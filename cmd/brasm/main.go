@@ -1,0 +1,138 @@
+// Command brasm assembles, disassembles and runs programs written in the
+// repository's assembly language — bring-your-own-workload for the branch
+// predictors.
+//
+// Usage:
+//
+//	brasm check prog.s                # assemble; report size and labels
+//	brasm disasm prog.s               # assemble and list the text segment
+//	brasm run prog.s                  # execute; print trace statistics
+//	brasm run prog.s -scheme 'PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))'
+//	brasm run prog.s -loop -branches 50000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"twolevel"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	verb, path := os.Args[1], os.Args[2]
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := twolevel.AssembleProgram(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	switch verb {
+	case "check":
+		check(prog)
+	case "disasm":
+		if err := twolevel.DisassembleProgram(prog, os.Stdout); err != nil {
+			fatal(err)
+		}
+	case "run":
+		run(prog, os.Args[3:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: brasm check|disasm|run <file.s> [flags]")
+	os.Exit(2)
+}
+
+func check(p *twolevel.Program) {
+	fmt.Printf("base:    %#x\n", p.Base)
+	fmt.Printf("size:    %d bytes (%d text + %d data)\n",
+		p.Size(), p.TextEnd-p.Base, uint32(p.Size())-(p.TextEnd-p.Base))
+	names := make([]string, 0, len(p.Labels))
+	for n := range p.Labels {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return p.Labels[names[i]] < p.Labels[names[j]] })
+	for _, n := range names {
+		fmt.Printf("  %08x  %s\n", p.Labels[n], n)
+	}
+}
+
+func run(prog *twolevel.Program, args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		scheme   = fs.String("scheme", "", "also run this predictor over the trace")
+		branches = fs.Uint64("branches", 0, "stop after this many conditional branches (0 = run to halt)")
+		loop     = fs.Bool("loop", false, "restart the program when it halts (needs -branches)")
+		profile  = fs.Bool("profile", false, "print the instruction mix after the run")
+	)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *loop && *branches == 0 {
+		fatal(fmt.Errorf("-loop without -branches would never terminate"))
+	}
+
+	mkSource := func() twolevel.Source {
+		s, err := twolevel.NewProgramSource(prog, *loop)
+		if err != nil {
+			fatal(err)
+		}
+		if *branches > 0 {
+			s = twolevel.LimitConditional(s, *branches)
+		}
+		return s
+	}
+
+	if *profile {
+		mix, err := twolevel.ProfileProgram(prog, *branches)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("instruction mix:")
+		for _, e := range mix {
+			fmt.Printf("  %-6s %8d (%.1f%%)\n", e.Op, e.Count, 100*e.Share)
+		}
+		fmt.Println()
+	}
+
+	stats, err := twolevel.SummarizeTrace(mkSource())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("instructions:        %d\n", stats.Instructions)
+	fmt.Printf("branches:            %d (%.1f%% conditional)\n",
+		stats.Branches(), 100*float64(stats.ByClass[twolevel.Cond])/float64(stats.Branches()))
+	fmt.Printf("static conditionals: %d\n", stats.StaticCond())
+	fmt.Printf("taken rate:          %.4f\n", stats.CondTakenRate())
+	fmt.Printf("traps:               %d\n", stats.Traps)
+
+	if *scheme != "" {
+		p, err := twolevel.NewPredictor(*scheme)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := twolevel.Simulate(p, mkSource(), twolevel.SimOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n%s:\n", p.Name())
+		fmt.Printf("  accuracy:    %s\n", res.Accuracy)
+		if res.TargetPredictions > 0 {
+			fmt.Printf("  target rate: %.4f\n", res.TargetRate())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "brasm:", err)
+	os.Exit(1)
+}

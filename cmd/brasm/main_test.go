@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// binary is built once by TestMain and executed by the tests — true
+// end-to-end coverage of the command surface.
+var binary string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "brasm-test")
+	if err != nil {
+		panic(err)
+	}
+	binary = filepath.Join(dir, "brasm")
+	if out, err := exec.Command("go", "build", "-o", binary, ".").CombinedOutput(); err != nil {
+		panic(string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func writeProgram(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.s")
+	src := `
+	li r1, 100
+loop:
+	addi r1, r1, -1
+	bcnd ne0, r1, loop
+	halt
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runTool(t *testing.T, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(binary, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("brasm %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCheck(t *testing.T) {
+	out := runTool(t, "check", writeProgram(t))
+	for _, want := range []string{"base:    0x1000", "loop"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisasm(t *testing.T) {
+	out := runTool(t, "disasm", writeProgram(t))
+	if !strings.Contains(out, "bcnd ne0, r1, loop") {
+		t.Errorf("disassembly missing resolved branch:\n%s", out)
+	}
+}
+
+func TestRunWithScheme(t *testing.T) {
+	out := runTool(t, "run", writeProgram(t), "-scheme", "PAg(BHT(512,4,8-sr),1xPHT(2^8,A2))")
+	if !strings.Contains(out, "static conditionals: 1") {
+		t.Errorf("stats wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "accuracy:") {
+		t.Errorf("missing prediction accuracy:\n%s", out)
+	}
+}
+
+func TestRejectsBadProgram(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.s")
+	if err := os.WriteFile(path, []byte("bogus r1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(binary, "check", path).CombinedOutput()
+	if err == nil {
+		t.Fatalf("bad program accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "line 1") {
+		t.Errorf("error should cite the line:\n%s", out)
+	}
+}
+
+func TestLoopRequiresBranches(t *testing.T) {
+	out, err := exec.Command(binary, "run", writeProgram(t), "-loop").CombinedOutput()
+	if err == nil {
+		t.Fatalf("-loop without -branches accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,76 @@
+// Command brexp regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	brexp -exp fig11                 # one experiment
+//	brexp -exp all                   # every table and figure
+//	brexp -exp fig5 -branches 500000 # higher-fidelity run
+//	brexp -exp fig9 -bench gcc,li    # restrict the benchmark set
+//	brexp -list                      # show experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"twolevel"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment ID (table1..table3, fig4..fig11) or 'all'")
+		branches = flag.Uint64("branches", 0, "conditional branches per benchmark (0 = default)")
+		train    = flag.Uint64("train", 0, "training-pass branch budget (0 = same as -branches)")
+		benchCSV = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		markdown = flag.Bool("md", false, "emit GitHub-flavoured markdown tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range twolevel.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := twolevel.ExperimentOptions{
+		CondBranches:  *branches,
+		TrainBranches: *train,
+	}
+	if *benchCSV != "" {
+		for _, name := range strings.Split(*benchCSV, ",") {
+			b, err := twolevel.BenchmarkByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			opts.Benchmarks = append(opts.Benchmarks, b)
+		}
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = twolevel.ExperimentIDs()
+	}
+	for _, id := range ids {
+		r, err := twolevel.RunExperiment(id, opts)
+		if err != nil {
+			fatal(err)
+		}
+		write := r.WriteText
+		if *markdown {
+			write = r.WriteMarkdown
+		}
+		if err := write(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "brexp:", err)
+	os.Exit(1)
+}

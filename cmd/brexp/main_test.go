@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binary string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "brexp-test")
+	if err != nil {
+		panic(err)
+	}
+	binary = filepath.Join(dir, "brexp")
+	if out, err := exec.Command("go", "build", "-o", binary, ".").CombinedOutput(); err != nil {
+		panic(string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func TestList(t *testing.T) {
+	out, err := exec.Command(binary, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"table1", "fig4", "fig11"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	out, err := exec.Command(binary, "-exp", "table2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "eight queens") {
+		t.Errorf("table2 content missing:\n%s", out)
+	}
+}
+
+func TestBenchmarkSubsetAndBudget(t *testing.T) {
+	out, err := exec.Command(binary,
+		"-exp", "fig7", "-bench", "eqntott,espresso", "-branches", "2000").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "eqntott") || strings.Contains(s, "tomcatv") {
+		t.Errorf("benchmark filter not applied:\n%s", s)
+	}
+	if !strings.Contains(s, "GAg(18-bit)") {
+		t.Errorf("fig7 rows missing:\n%s", s)
+	}
+}
+
+func TestUnknownExperimentFails(t *testing.T) {
+	if out, err := exec.Command(binary, "-exp", "fig99").CombinedOutput(); err == nil {
+		t.Fatalf("unknown experiment accepted:\n%s", out)
+	}
+}
+
+func TestUnknownBenchmarkFails(t *testing.T) {
+	if out, err := exec.Command(binary, "-exp", "fig7", "-bench", "nope").CombinedOutput(); err == nil {
+		t.Fatalf("unknown benchmark accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,124 @@
+// Command brsim runs one branch predictor configuration over one or more
+// benchmarks and reports accuracy.
+//
+// Usage:
+//
+//	brsim -scheme 'PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))'
+//	brsim -scheme 'GAg(HR(1,,18-sr),1xPHT(2^18,A2),c)' -bench gcc -branches 1000000
+//	brsim -scheme Profiling -bench li            # trains on li's training set
+//	brsim -scheme 'PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))' -pipeline 8
+//	brsim -scheme AlwaysTaken -trace trace.bin   # simulate from a trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"twolevel"
+)
+
+func main() {
+	var (
+		scheme    = flag.String("scheme", "PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))", "predictor specification")
+		benchCSV  = flag.String("bench", "", "comma-separated benchmarks (default: all nine)")
+		branches  = flag.Uint64("branches", 100_000, "conditional branches per benchmark")
+		trainN    = flag.Uint64("train", 0, "training branches for GSg/PSg/Profiling (0 = same as -branches)")
+		pipeline  = flag.Int("pipeline", 0, "pipeline depth (0 = resolve immediately)")
+		traceFile = flag.String("trace", "", "simulate a binary trace file instead of benchmarks")
+	)
+	flag.Parse()
+
+	sp, err := twolevel.ParseSpec(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	if *trainN == 0 {
+		*trainN = *branches
+	}
+	simOpts := twolevel.SimOptions{
+		ContextSwitches: sp.ContextSwitch,
+		MaxCondBranches: *branches,
+		PipelineDepth:   *pipeline,
+	}
+
+	if *traceFile != "" {
+		if sp.NeedsTraining() {
+			fatal(fmt.Errorf("training-based schemes need benchmark training data, not a raw trace"))
+		}
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src, err := twolevel.OpenTrace(f)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := twolevel.NewPredictor(*scheme)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := twolevel.Simulate(p, src, simOpts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s on %s: %s\n", p.Name(), *traceFile, res.Accuracy)
+		return
+	}
+
+	benchmarks := twolevel.Benchmarks()
+	if *benchCSV != "" {
+		benchmarks = benchmarks[:0:0]
+		for _, name := range strings.Split(*benchCSV, ",") {
+			b, err := twolevel.BenchmarkByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			benchmarks = append(benchmarks, b)
+		}
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\taccuracy\tmispredicts\tinstructions\tswitches\n")
+	for _, b := range benchmarks {
+		var p twolevel.Predictor
+		if sp.NeedsTraining() {
+			train, err := b.NewSource(b.Training)
+			if err != nil {
+				fatal(err)
+			}
+			p, err = twolevel.NewTrainedPredictor(*scheme, twolevel.LimitConditional(train, *trainN))
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			p, err = twolevel.NewPredictor(*scheme)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		src, err := b.NewSource(b.Testing)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := twolevel.Simulate(p, src, simOpts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%.2f%%\t%d\t%d\t%d\n",
+			b.Name, 100*res.Accuracy.Rate(),
+			res.Accuracy.Predictions-res.Accuracy.Correct,
+			res.Instructions, res.ContextSwitches)
+	}
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "brsim:", err)
+	os.Exit(1)
+}

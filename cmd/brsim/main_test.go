@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binary string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "brsim-test")
+	if err != nil {
+		panic(err)
+	}
+	binary = filepath.Join(dir, "brsim")
+	if out, err := exec.Command("go", "build", "-o", binary, ".").CombinedOutput(); err != nil {
+		panic(string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func TestSingleBenchmark(t *testing.T) {
+	out, err := exec.Command(binary,
+		"-scheme", "PAg(BHT(512,4,10-sr),1xPHT(2^10,A2))",
+		"-bench", "espresso", "-branches", "5000").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "espresso") || !strings.Contains(s, "%") {
+		t.Errorf("missing accuracy row:\n%s", s)
+	}
+	if strings.Contains(s, "gcc") {
+		t.Errorf("-bench filter ignored:\n%s", s)
+	}
+}
+
+func TestTrainedScheme(t *testing.T) {
+	out, err := exec.Command(binary,
+		"-scheme", "Profiling", "-bench", "eqntott", "-branches", "3000").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "eqntott") {
+		t.Errorf("missing row:\n%s", out)
+	}
+}
+
+func TestContextSwitchFlagCounted(t *testing.T) {
+	out, err := exec.Command(binary,
+		"-scheme", "PAg(BHT(512,4,8-sr),1xPHT(2^8,A2),c)",
+		"-bench", "gcc", "-branches", "20000").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	// gcc traps heavily: the switches column must be non-zero. The row
+	// is "gcc  <acc>  <misp>  <instr>  <switches>".
+	fields := strings.Fields(strings.Split(string(out), "gcc")[1])
+	if len(fields) < 4 || fields[3] == "0" {
+		t.Errorf("expected context switches on gcc:\n%s", out)
+	}
+}
+
+func TestTraceFileInput(t *testing.T) {
+	dir := t.TempDir()
+	trc := filepath.Join(dir, "t.trc")
+	// Generate a trace with brtrace's sibling logic via brsim's own
+	// package? Simpler: use the gen tool through go run is heavy;
+	// instead simulate benchmarks path writes nothing. Build a trace
+	// with the brtrace binary if present is out of scope — use the
+	// library through a tiny helper program? The cheapest reliable
+	// route: run brsim against a trace produced by itself is not
+	// possible, so this test writes a trace using go run of a one-off
+	// program. Skipped when go is unavailable.
+	helper := filepath.Join(dir, "helper.go")
+	src := `package main
+
+import (
+	"os"
+
+	"twolevel"
+)
+
+func main() {
+	s, err := twolevel.NewBenchmarkSource("tomcatv", false)
+	if err != nil { panic(err) }
+	f, err := os.Create(os.Args[1])
+	if err != nil { panic(err) }
+	if err := twolevel.WriteTrace(f, twolevel.LimitConditional(s, 2000)); err != nil { panic(err) }
+	if err := f.Close(); err != nil { panic(err) }
+}
+`
+	if err := os.WriteFile(helper, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command("go", "run", helper, trc).CombinedOutput(); err != nil {
+		t.Fatalf("helper: %v\n%s", err, out)
+	}
+	out, err := exec.Command(binary,
+		"-scheme", "GAg(HR(1,,10-sr),1xPHT(2^10,A2))", "-trace", trc).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "GAg") {
+		t.Errorf("missing result:\n%s", out)
+	}
+}
+
+func TestBadSchemeRejected(t *testing.T) {
+	if out, err := exec.Command(binary, "-scheme", "Nope(1)").CombinedOutput(); err == nil {
+		t.Fatalf("bad scheme accepted:\n%s", out)
+	}
+}

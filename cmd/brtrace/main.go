@@ -1,0 +1,138 @@
+// Command brtrace generates, converts and inspects branch traces.
+//
+// Usage:
+//
+//	brtrace gen -bench eqntott -branches 100000 -o eqntott.trc
+//	brtrace gen -bench gcc -data train -format text -o gcc.txt
+//	brtrace dump -in eqntott.trc            # binary -> text on stdout
+//	brtrace stats -in eqntott.trc           # class mix, static sites
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"twolevel"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "dump":
+		dump(os.Args[2:])
+	case "stats":
+		stats(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: brtrace gen|dump|stats [flags]")
+	os.Exit(2)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		bench    = fs.String("bench", "eqntott", "benchmark name")
+		data     = fs.String("data", "test", "data set: train or test")
+		branches = fs.Uint64("branches", 100_000, "conditional branches to capture")
+		format   = fs.String("format", "bin", "output format: bin or text")
+		out      = fs.String("o", "", "output file (default stdout)")
+	)
+	parse(fs, args)
+
+	src, err := twolevel.NewBenchmarkSource(*bench, *data == "train")
+	if err != nil {
+		fatal(err)
+	}
+	limited := twolevel.LimitConditional(src, *branches)
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	switch *format {
+	case "bin":
+		err = twolevel.WriteTrace(w, limited)
+	case "text":
+		err = twolevel.WriteTraceText(w, limited)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func open(path string) twolevel.Source {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	src, err := twolevel.OpenTrace(f)
+	if err != nil {
+		fatal(err)
+	}
+	return src
+}
+
+func dump(args []string) {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	in := fs.String("in", "", "binary trace file")
+	parse(fs, args)
+	if *in == "" {
+		fatal(fmt.Errorf("dump needs -in"))
+	}
+	if err := twolevel.WriteTraceText(os.Stdout, open(*in)); err != nil {
+		fatal(err)
+	}
+}
+
+func stats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "binary trace file")
+	parse(fs, args)
+	if *in == "" {
+		fatal(fmt.Errorf("stats needs -in"))
+	}
+	s, err := twolevel.SummarizeTrace(open(*in))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("instructions:        %d\n", s.Instructions)
+	fmt.Printf("branches:            %d\n", s.Branches())
+	for c := twolevel.Class(0); int(c) < len(s.ByClass); c++ {
+		fmt.Printf("  %-18s %d\n", c.String()+":", s.ByClass[c])
+	}
+	fmt.Printf("traps:               %d\n", s.Traps)
+	fmt.Printf("static conditionals: %d\n", s.StaticCond())
+	fmt.Printf("taken rate (cond):   %.4f\n", s.CondTakenRate())
+}
+
+func parse(fs *flag.FlagSet, args []string) {
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "brtrace:", err)
+	os.Exit(1)
+}

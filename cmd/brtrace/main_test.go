@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binary string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "brtrace-test")
+	if err != nil {
+		panic(err)
+	}
+	binary = filepath.Join(dir, "brtrace")
+	if out, err := exec.Command("go", "build", "-o", binary, ".").CombinedOutput(); err != nil {
+		panic(string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func TestGenStatsDumpPipeline(t *testing.T) {
+	trc := filepath.Join(t.TempDir(), "m3.trc")
+	if out, err := exec.Command(binary, "gen", "-bench", "matrix300", "-branches", "2000", "-o", trc).CombinedOutput(); err != nil {
+		t.Fatalf("gen: %v\n%s", err, out)
+	}
+	if fi, err := os.Stat(trc); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing or empty: %v", err)
+	}
+
+	out, err := exec.Command(binary, "stats", "-in", trc).CombinedOutput()
+	if err != nil {
+		t.Fatalf("stats: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"conditional:", "static conditionals:", "taken rate"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("stats missing %q:\n%s", want, s)
+		}
+	}
+
+	out, err = exec.Command(binary, "dump", "-in", trc).CombinedOutput()
+	if err != nil {
+		t.Fatalf("dump: %v\n%s", err, out)
+	}
+	if !strings.HasPrefix(string(out), "B ") && !strings.HasPrefix(string(out), "T ") {
+		t.Errorf("dump is not the text trace format:\n%.200s", out)
+	}
+}
+
+func TestGenTextFormat(t *testing.T) {
+	out, err := exec.Command(binary, "gen", "-bench", "eqntott", "-branches", "100", "-format", "text").CombinedOutput()
+	if err != nil {
+		t.Fatalf("gen text: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "B ") {
+		t.Errorf("text output missing branch records:\n%.200s", out)
+	}
+}
+
+func TestGenTrainingDataSet(t *testing.T) {
+	out, err := exec.Command(binary, "gen", "-bench", "li", "-data", "train", "-branches", "50", "-format", "text").CombinedOutput()
+	if err != nil {
+		t.Fatalf("gen train: %v\n%s", err, out)
+	}
+	if len(strings.Split(strings.TrimSpace(string(out)), "\n")) < 50 {
+		t.Errorf("too few records:\n%.200s", out)
+	}
+}
+
+func TestUnknownBenchmarkFails(t *testing.T) {
+	if out, err := exec.Command(binary, "gen", "-bench", "nope").CombinedOutput(); err == nil {
+		t.Fatalf("unknown benchmark accepted:\n%s", out)
+	}
+}
+
+func TestUsageOnMissingSubcommand(t *testing.T) {
+	if _, err := exec.Command(binary).CombinedOutput(); err == nil {
+		t.Fatal("no subcommand accepted")
+	}
+}

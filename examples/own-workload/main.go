@@ -1,0 +1,68 @@
+// Own workload: write a program in the repository's assembly language,
+// assemble it with the public API, and compare predictors on it — the
+// trace-driven methodology of the paper applied to code you control.
+//
+// The program is a little state machine whose branch is perfectly
+// predictable from pattern history (period-3 behaviour) but hovers at
+// two-thirds accuracy for any per-branch counter: the cleanest possible
+// demonstration of what the second level of Two-Level Adaptive
+// Prediction buys.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"twolevel"
+)
+
+const source = `
+; period-3 branch: taken, taken, not-taken, repeating
+	li  r1, 0          ; step counter
+	li  r2, 30000      ; iterations
+loop:
+	addi r1, r1, 1
+	li   r3, 3
+	rem  r3, r1, r3
+	bcnd ne0, r3, taken   ; taken twice out of three
+	addi r4, r4, 1        ; every third step
+taken:
+	addi r2, r2, -1
+	bcnd ne0, r2, loop
+	halt
+`
+
+func main() {
+	prog, err := twolevel.AssembleProgram(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assembled %d bytes; listing:\n\n", prog.Size())
+	if err := twolevel.DisassembleProgram(prog, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	for _, scheme := range []string{
+		"PAg(BHT(512,4,8-sr),1xPHT(2^8,A2))", // two-level: learns the period
+		"BTB(BHT(512,4,A2),)",                // per-branch counter: stuck at the bias
+		"AlwaysTaken",
+	} {
+		p, err := twolevel.NewPredictor(scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src, err := twolevel.NewProgramSource(prog, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := twolevel.Simulate(p, src, twolevel.SimOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-38s %.2f%%\n", p.Name(), 100*res.Accuracy.Rate())
+	}
+	fmt.Println("\nthe pattern-history level turns a 67% branch into a ~100% branch;")
+	fmt.Println("counters cannot, whatever their size.")
+}

@@ -1,0 +1,46 @@
+// Quickstart: build the paper's best-value predictor — PAg with 12-bit
+// history registers in a 4-way 512-entry branch history table — and
+// measure it on one of the built-in SPEC-like benchmarks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twolevel"
+)
+
+func main() {
+	// The naming convention is the paper's own (§4.2):
+	// Scheme(History(Size,Assoc,Content), Sets x Pattern(Size,Content)).
+	p, err := twolevel.NewPredictor("PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Trace source: the generated eqntott benchmark, testing data set.
+	src, err := twolevel.NewBenchmarkSource("eqntott", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := twolevel.Simulate(p, src, twolevel.SimOptions{
+		MaxCondBranches: 200_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on eqntott\n", p.Name())
+	fmt.Printf("  conditional branches: %d\n", res.Accuracy.Predictions)
+	fmt.Printf("  prediction accuracy:  %.2f%%\n", 100*res.Accuracy.Rate())
+	fmt.Printf("  instructions traced:  %d\n", res.Instructions)
+
+	// The hardware budget this configuration needs, per the §3.4 model.
+	bd, err := twolevel.EstimateCost(p.Name())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  estimated cost:       %.0f units (BHT %.0f + PHT %.0f)\n",
+		bd.Total(), bd.BHT(), bd.PHT())
+}

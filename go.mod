@@ -1,0 +1,3 @@
+module twolevel
+
+go 1.22

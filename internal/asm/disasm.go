@@ -1,0 +1,59 @@
+package asm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"twolevel/internal/isa"
+)
+
+// Disassemble writes a listing of the program's text segment to w: one
+// line per instruction with its address, encoded word and assembly, with
+// control-flow targets resolved to absolute addresses and annotated with
+// a label when the program defines one at that address.
+func Disassemble(p *Program, w io.Writer) error {
+	labelAt := make(map[uint32]string, len(p.Labels))
+	for name, addr := range p.Labels {
+		// Prefer the shortest (usually the hand-written) label.
+		if cur, ok := labelAt[addr]; !ok || len(name) < len(cur) {
+			labelAt[addr] = name
+		}
+	}
+	bw := bufio.NewWriter(w)
+	for pc := p.Base; pc < p.TextEnd; pc += 4 {
+		word := binary.LittleEndian.Uint32(p.Image[pc-p.Base:])
+		if l, ok := labelAt[pc]; ok {
+			fmt.Fprintf(bw, "%s:\n", l)
+		}
+		in, err := isa.Decode(word)
+		if err != nil {
+			return fmt.Errorf("asm: disassemble at %#x: %w", pc, err)
+		}
+		fmt.Fprintf(bw, "  %08x  %08x  %s\n", pc, word, renderInst(pc, in, labelAt))
+	}
+	return bw.Flush()
+}
+
+// renderInst renders in at pc, resolving pc-relative displacements to
+// absolute targets (and label names when known).
+func renderInst(pc uint32, in isa.Inst, labelAt map[uint32]string) string {
+	target := func() string {
+		addr := pc + uint32(in.Imm)*4
+		if l, ok := labelAt[addr]; ok {
+			return fmt.Sprintf("%s <%#x>", l, addr)
+		}
+		return fmt.Sprintf("%#x", addr)
+	}
+	switch in.Op {
+	case isa.BCND:
+		return fmt.Sprintf("bcnd %s, r%d, %s", in.Cond, in.Rs1, target())
+	case isa.BR:
+		return fmt.Sprintf("br %s", target())
+	case isa.BSR:
+		return fmt.Sprintf("bsr %s", target())
+	default:
+		return in.String()
+	}
+}

@@ -1,0 +1,83 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleListsEveryInstruction(t *testing.T) {
+	p := MustAssemble(`
+	start:
+		li r1, 5
+	loop:
+		addi r1, r1, -1
+		bcnd ne0, r1, loop
+		bsr fn
+		br start
+	fn:
+		rts
+	data:
+		.word 42
+	`)
+	var sb strings.Builder
+	if err := Disassemble(p, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Labels appear as headers.
+	for _, want := range []string{"start:", "loop:", "fn:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing label %q in:\n%s", want, out)
+		}
+	}
+	// Branch targets resolve to labels.
+	if !strings.Contains(out, "bcnd ne0, r1, loop") {
+		t.Errorf("bcnd target not resolved:\n%s", out)
+	}
+	if !strings.Contains(out, "bsr fn") || !strings.Contains(out, "br start") {
+		t.Errorf("jump targets not resolved:\n%s", out)
+	}
+	// Data is not disassembled.
+	if strings.Contains(out, "42") && strings.Contains(out, "data:") {
+		t.Errorf("data segment leaked into the listing:\n%s", out)
+	}
+	// Instruction count: 6 text instructions -> 6 listing lines.
+	lines := 0
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "  ") && strings.Contains(l, "  ") {
+			lines++
+		}
+	}
+	if lines != 6 {
+		t.Errorf("listed %d instructions, want 6:\n%s", lines, out)
+	}
+}
+
+func TestDisassembleRoundTripsGeneratedPrograms(t *testing.T) {
+	// Every instruction of a moderately complex program must decode.
+	p := MustAssemble(`
+		li r10, 0x12345678
+		la r6, buf
+		lw r2, 0(r6)
+		sw r2, 4(r6)
+		lb r3, 2(r6)
+		sb r3, 3(r6)
+		fadd r4, r2, r3
+		fcmp r5, r4, r2
+		trap 7
+		jmp r9
+		jsr r9
+		halt
+	buf:
+		.space 16
+	`)
+	var sb strings.Builder
+	if err := Disassemble(p, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lui", "ori", "trap 7", "jmp r9", "jsr r9", "halt", "fadd", "fcmp"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("missing %q in listing", want)
+		}
+	}
+}

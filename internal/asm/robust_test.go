@@ -1,0 +1,70 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"twolevel/internal/rng"
+)
+
+// Robustness: the assembler must return errors, never panic, on arbitrary
+// source text — brasm feeds it user files.
+
+func TestAssembleNeverPanicsOnRandomText(t *testing.T) {
+	r := rng.New(88100)
+	words := []string{
+		"add", "addi", "bcnd", "br", "bsr", "lw", "sw", "li", "la", "halt",
+		"r1", "r31", "r99", "sp", "ra", "eq0", "zz0", "loop", "loop:", ".word",
+		".space", ".org", "0x1000", "-5", "99999", ",", "(", ")", "(r1)", ";x",
+	}
+	for i := 0; i < 5000; i++ {
+		var sb strings.Builder
+		lines := r.Intn(8)
+		for l := 0; l < lines; l++ {
+			n := r.Intn(5)
+			for w := 0; w < n; w++ {
+				if w == 1 && r.Bool(0.5) {
+					sb.WriteString(", ")
+				} else {
+					sb.WriteByte(' ')
+				}
+				sb.WriteString(words[r.Intn(len(words))])
+			}
+			sb.WriteByte('\n')
+		}
+		src := sb.String()
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Assemble(%q) panicked: %v", src, p)
+				}
+			}()
+			_, _ = Assemble(src)
+		}()
+	}
+}
+
+func TestAssembleHandlesHostileEdgeCases(t *testing.T) {
+	hostile := []string{
+		strings.Repeat("a", 100) + ":",
+		":::",
+		"li r1, " + strings.Repeat("9", 40),
+		".space 1000000000000",
+		".org 0xfffffffc\nhalt",
+		"bcnd eq0, r1, 0xffffffff",
+		"x: br x", // self loop assembles fine
+		strings.Repeat("nop\n", 10000),
+		"\x00\x01\x02",
+		"lw r1, -32769(r2)",
+	}
+	for _, src := range hostile {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Assemble(%.40q...) panicked: %v", src, p)
+				}
+			}()
+			_, _ = Assemble(src)
+		}()
+	}
+}

@@ -1,0 +1,266 @@
+// Package automaton implements the finite-state Moore machines of Figure 2
+// of the paper: Last-Time, A1, A2, A3, A4 and the preset prediction bit
+// (PB) used by the Static Training schemes.
+//
+// Each automaton is a pair of functions over a small state space:
+//
+//	prediction  z = λ(S)        (Equation 1)
+//	transition  S' = δ(S, R)    (Equation 2)
+//
+// where S is the pattern history state kept in a pattern history table
+// entry and R is the resolved branch outcome (1 = taken). The machines are
+// table-driven so that δ and λ are single array lookups on the simulator's
+// hot path.
+package automaton
+
+import "fmt"
+
+// State is a pattern-history state. All automata in the paper use at most
+// two bits (four states).
+type State uint8
+
+// Kind enumerates the automata simulated in the paper.
+type Kind uint8
+
+const (
+	// LastTime keeps only the outcome of the last execution of the
+	// pattern (one bit) and predicts the same outcome next time.
+	LastTime Kind = iota
+	// A1 records the outcomes of the last two occurrences of the
+	// pattern in a 2-bit shift register and predicts not-taken only when
+	// neither recorded outcome was taken.
+	A1
+	// A2 is the 2-bit saturating up-down counter (J. Smith's counter
+	// applied to pattern history): increment on taken, decrement on
+	// not-taken, predict taken when the count is >= 2.
+	A2
+	// A3 is a variation of A2 in which a misprediction in a saturated
+	// state falls directly to the opposite weak state (3 --not-taken-->
+	// 1 and 0 --taken--> 2), adapting faster after a strong state is
+	// contradicted. The paper's Figure 2 is only available as an image;
+	// the text states A3 and A4 are "variations of A2" whose accuracy is
+	// nearly identical to A2's, which this definition reproduces (see
+	// DESIGN.md).
+	A3
+	// A4 is a variation of A2 biased toward taken: the taken side
+	// recovers in one step (1 --taken--> 3) while the not-taken side
+	// must be earned one step at a time.
+	A4
+	// PB is the preset prediction bit used by the Static Training
+	// schemes GSg and PSg: λ returns the preset bit and δ never changes
+	// state (the table is frozen after training).
+	PB
+
+	numKinds
+)
+
+// Kinds lists every automaton kind in presentation order.
+var Kinds = []Kind{LastTime, A1, A2, A3, A4, PB}
+
+// String returns the paper's abbreviation for the automaton.
+func (k Kind) String() string {
+	switch k {
+	case LastTime:
+		return "LT"
+	case A1:
+		return "A1"
+	case A2:
+		return "A2"
+	case A3:
+		return "A3"
+	case A4:
+		return "A4"
+	case PB:
+		return "PB"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind converts a paper abbreviation ("LT", "A1" … "A4", "PB") to a
+// Kind. It accepts "Last-Time" as an alias for LT.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "LT", "Last-Time", "LastTime":
+		return LastTime, nil
+	case "A1":
+		return A1, nil
+	case "A2":
+		return A2, nil
+	case "A3":
+		return A3, nil
+	case "A4":
+		return A4, nil
+	case "PB":
+		return PB, nil
+	default:
+		return 0, fmt.Errorf("automaton: unknown kind %q", s)
+	}
+}
+
+// Machine is a table-driven Moore machine. Machines are immutable and
+// shared; per-pattern state lives in the pattern history table.
+type Machine struct {
+	kind    Kind
+	name    string
+	bits    int
+	states  int
+	initial State
+	predict []bool     // λ, indexed by state
+	next    [][2]State // δ, indexed by state and outcome (0/1)
+}
+
+// machines holds the singleton definition of every automaton.
+var machines [numKinds]*Machine
+
+func define(k Kind, bits int, initial State, predictTaken []int, next [][2]State) {
+	m := &Machine{
+		kind:    k,
+		name:    k.String(),
+		bits:    bits,
+		states:  1 << bits,
+		initial: initial,
+		predict: make([]bool, 1<<bits),
+		next:    make([][2]State, 1<<bits),
+	}
+	for _, s := range predictTaken {
+		m.predict[s] = true
+	}
+	copy(m.next, next)
+	machines[k] = m
+}
+
+// NewSaturating returns an n-bit saturating up-down counter machine: 2^n
+// states, increment on taken, decrement on not-taken, predict taken in
+// the upper half, initialised fully saturated on the taken side (the
+// generalisation of A2 the paper's cost model parameterises as s). The
+// machine reports Kind A2 (its family) and names itself "SatN".
+func NewSaturating(bits int) *Machine {
+	if bits < 1 || bits > 6 {
+		panic(fmt.Sprintf("automaton: saturating counter width %d out of range [1,6]", bits))
+	}
+	if bits == 2 {
+		return New(A2)
+	}
+	n := 1 << bits
+	m := &Machine{
+		kind:    A2,
+		name:    fmt.Sprintf("Sat%d", bits),
+		bits:    bits,
+		states:  n,
+		initial: State(n - 1),
+		predict: make([]bool, n),
+		next:    make([][2]State, n),
+	}
+	for s := 0; s < n; s++ {
+		m.predict[s] = s >= n/2
+		down, up := s-1, s+1
+		if down < 0 {
+			down = 0
+		}
+		if up > n-1 {
+			up = n - 1
+		}
+		m.next[s] = [2]State{State(down), State(up)}
+	}
+	return m
+}
+
+func init() {
+	// Last-Time: state is the last outcome. Initialised to 1 so that
+	// branches at the beginning of execution are predicted taken (§4.2).
+	define(LastTime, 1, 1,
+		[]int{1},
+		[][2]State{
+			0: {0, 1},
+			1: {0, 1},
+		})
+
+	// A1: 2-bit shift register of the last two outcomes; predict taken
+	// unless both were not-taken. State encodes (older<<1 | newer).
+	define(A1, 2, 3,
+		[]int{1, 2, 3},
+		[][2]State{
+			0: {0, 1}, // 00 -> 00 / 01
+			1: {2, 3}, // 01 -> 10 / 11
+			2: {0, 1}, // 10 -> 00 / 01
+			3: {2, 3}, // 11 -> 10 / 11
+		})
+
+	// A2: saturating up-down counter.
+	define(A2, 2, 3,
+		[]int{2, 3},
+		[][2]State{
+			0: {0, 1},
+			1: {0, 2},
+			2: {1, 3},
+			3: {2, 3},
+		})
+
+	// A3: A2 with fast saturation — a confirmed weak state jumps
+	// straight to the strong state (1 -taken-> 3, 2 -not-taken-> 0),
+	// so one confirmation restores full hysteresis after a deviation.
+	define(A3, 2, 3,
+		[]int{2, 3},
+		[][2]State{
+			0: {0, 1},
+			1: {0, 3},
+			2: {0, 3},
+			3: {2, 3},
+		})
+
+	// A4: A2 with a fast-recovering taken side.
+	define(A4, 2, 3,
+		[]int{2, 3},
+		[][2]State{
+			0: {0, 1},
+			1: {0, 3}, // one taken outcome restores strong taken
+			2: {1, 3},
+			3: {2, 3},
+		})
+
+	// PB: frozen preset bit. δ is the identity; λ returns the bit.
+	define(PB, 1, 1,
+		[]int{1},
+		[][2]State{
+			0: {0, 0},
+			1: {1, 1},
+		})
+}
+
+// New returns the shared Machine for kind k.
+func New(k Kind) *Machine {
+	if int(k) >= int(numKinds) {
+		panic(fmt.Sprintf("automaton: invalid kind %d", k))
+	}
+	return machines[k]
+}
+
+// Kind returns the automaton's kind.
+func (m *Machine) Kind() Kind { return m.kind }
+
+// Bits returns s, the number of pattern history bits per entry.
+func (m *Machine) Bits() int { return m.bits }
+
+// States returns the number of states (2^Bits).
+func (m *Machine) States() int { return m.states }
+
+// Initial returns the state pattern history table entries are initialised
+// to: state 3 for the four-state automata and state 1 for Last-Time and PB
+// (§4.2: taken branches dominate, so entries start on the taken side).
+func (m *Machine) Initial() State { return m.initial }
+
+// Predict is λ: it returns the predicted direction for state s.
+func (m *Machine) Predict(s State) bool { return m.predict[s&State(m.states-1)] }
+
+// Next is δ: it returns the successor of state s given outcome taken.
+func (m *Machine) Next(s State, taken bool) State {
+	o := 0
+	if taken {
+		o = 1
+	}
+	return m.next[s&State(m.states-1)][o]
+}
+
+// String implements fmt.Stringer.
+func (m *Machine) String() string { return m.name }

@@ -1,0 +1,328 @@
+package automaton
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{LastTime: "LT", A1: "A1", A2: "A2", A3: "A3", A4: "A4", PB: "PB"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%v.String() = %q, want %q", uint8(k), k.String(), s)
+		}
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range Kinds {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind accepted bogus kind")
+	}
+	if k, err := ParseKind("Last-Time"); err != nil || k != LastTime {
+		t.Errorf("ParseKind(Last-Time) = %v, %v", k, err)
+	}
+}
+
+func TestNewPanicsOnInvalidKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Kind(200))
+}
+
+func TestLastTime(t *testing.T) {
+	m := New(LastTime)
+	if m.Bits() != 1 || m.States() != 2 || m.Initial() != 1 {
+		t.Fatalf("LT shape wrong: bits=%d states=%d init=%d", m.Bits(), m.States(), m.Initial())
+	}
+	// Prediction always equals the last outcome.
+	s := m.Initial()
+	outcomes := []bool{true, false, false, true, true, false}
+	for i, o := range outcomes {
+		s = m.Next(s, o)
+		if m.Predict(s) != o {
+			t.Fatalf("step %d: LT does not predict last outcome", i)
+		}
+	}
+}
+
+func TestA2SaturatingCounter(t *testing.T) {
+	m := New(A2)
+	s := State(0)
+	// Counter semantics: state value is the count.
+	for i := 0; i < 10; i++ {
+		s = m.Next(s, true)
+	}
+	if s != 3 {
+		t.Fatalf("A2 did not saturate at 3: %d", s)
+	}
+	for i := 0; i < 10; i++ {
+		s = m.Next(s, false)
+	}
+	if s != 0 {
+		t.Fatalf("A2 did not saturate at 0: %d", s)
+	}
+	// Predict taken iff count >= 2.
+	for st := State(0); st < 4; st++ {
+		if m.Predict(st) != (st >= 2) {
+			t.Errorf("A2 predict(%d) = %v", st, m.Predict(st))
+		}
+	}
+	// Exact increments/decrements in the unsaturated region.
+	if m.Next(1, true) != 2 || m.Next(2, false) != 1 {
+		t.Error("A2 middle transitions are not +/-1")
+	}
+}
+
+func TestA2HysteresisTolerance(t *testing.T) {
+	// The signature property of a 2-bit counter: a single deviation in a
+	// long taken run causes exactly one misprediction, not two.
+	m := New(A2)
+	s := State(3)
+	mispredicts := 0
+	seq := []bool{true, true, false, true, true, true}
+	for _, o := range seq {
+		if m.Predict(s) != o {
+			mispredicts++
+		}
+		s = m.Next(s, o)
+	}
+	if mispredicts != 1 {
+		t.Fatalf("A2 mispredicted %d times on a single deviation, want 1", mispredicts)
+	}
+	// Last-Time mispredicts twice on the same sequence.
+	lt := New(LastTime)
+	s = State(1)
+	mispredicts = 0
+	for _, o := range seq {
+		if lt.Predict(s) != o {
+			mispredicts++
+		}
+		s = lt.Next(s, o)
+	}
+	if mispredicts != 2 {
+		t.Fatalf("LT mispredicted %d times, want 2", mispredicts)
+	}
+}
+
+func TestA1ShiftRegisterSemantics(t *testing.T) {
+	m := New(A1)
+	// From any state, two not-taken outcomes must land in state 0 (the
+	// only predict-not-taken state), and any taken outcome must leave
+	// a predict-taken state.
+	for s := State(0); s < 4; s++ {
+		twoN := m.Next(m.Next(s, false), false)
+		if twoN != 0 {
+			t.Errorf("A1: two not-taken from %d should reach 0, got %d", s, twoN)
+		}
+		if !m.Predict(m.Next(s, true)) {
+			t.Errorf("A1: after a taken outcome prediction should be taken (from %d)", s)
+		}
+	}
+	if m.Predict(0) {
+		t.Error("A1 state 0 should predict not-taken")
+	}
+	for s := State(1); s < 4; s++ {
+		if !m.Predict(s) {
+			t.Errorf("A1 state %d should predict taken", s)
+		}
+	}
+}
+
+func TestA3FastSaturation(t *testing.T) {
+	m := New(A3)
+	// A3's defining property: a confirmed weak state saturates in one
+	// step, so a single agreeing outcome restores full hysteresis.
+	if m.Next(1, true) != 3 {
+		t.Errorf("A3: 1 on taken should saturate to 3, got %d", m.Next(1, true))
+	}
+	if m.Next(2, false) != 0 {
+		t.Errorf("A3: 2 on not-taken should saturate to 0, got %d", m.Next(2, false))
+	}
+	// Hysteresis is retained: a single deviation from a strong state
+	// does not flip the prediction.
+	if !m.Predict(m.Next(3, false)) {
+		t.Error("A3: one not-taken from strong taken should still predict taken")
+	}
+	if m.Predict(m.Next(0, true)) {
+		t.Error("A3: one taken from strong not-taken should still predict not-taken")
+	}
+	// And A3 must NOT degenerate to Last-Time: on strict alternation
+	// starting from 3 it keeps predicting taken.
+	s := State(3)
+	for i := 0; i < 10; i++ {
+		taken := i%2 == 0
+		if !m.Predict(s) && taken {
+			t.Fatal("A3 flipped on alternation like Last-Time would")
+		}
+		s = m.Next(s, taken)
+	}
+}
+
+func TestA4TakenBias(t *testing.T) {
+	m := New(A4)
+	if m.Next(1, true) != 3 {
+		t.Errorf("A4: 1 on taken should recover to 3, got %d", m.Next(1, true))
+	}
+	// Not-taken side behaves like A2.
+	if m.Next(3, false) != 2 || m.Next(2, false) != 1 || m.Next(1, false) != 0 {
+		t.Error("A4 not-taken transitions should match A2")
+	}
+}
+
+func TestPBFrozen(t *testing.T) {
+	m := New(PB)
+	for s := State(0); s < 2; s++ {
+		if m.Next(s, true) != s || m.Next(s, false) != s {
+			t.Errorf("PB state %d is not frozen", s)
+		}
+	}
+	if m.Predict(0) || !m.Predict(1) {
+		t.Error("PB λ should return the preset bit")
+	}
+}
+
+func TestAllMachinesClosedOverStateSpace(t *testing.T) {
+	// Property: δ never leaves the state space and λ is total.
+	for _, k := range Kinds {
+		m := New(k)
+		max := State(m.States() - 1)
+		for s := State(0); s <= max; s++ {
+			for _, o := range []bool{false, true} {
+				n := m.Next(s, o)
+				if n > max {
+					t.Errorf("%v: δ(%d,%v) = %d escapes state space", k, s, o, n)
+				}
+			}
+			_ = m.Predict(s)
+		}
+		if m.Initial() > max {
+			t.Errorf("%v: initial state out of range", k)
+		}
+	}
+}
+
+func TestFourStateAutomataConvergeProperty(t *testing.T) {
+	// Property: after 4+ consecutive identical outcomes every automaton
+	// (except frozen PB) predicts that outcome.
+	if err := quick.Check(func(kind8 uint8, start8 uint8, taken bool) bool {
+		k := Kinds[int(kind8)%5] // exclude PB
+		m := New(k)
+		s := State(start8) & State(m.States()-1)
+		for i := 0; i < 4; i++ {
+			s = m.Next(s, taken)
+		}
+		return m.Predict(s) == taken
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMachineMasksOutOfRangeStates(t *testing.T) {
+	// Defensive masking: callers handing a stale wide state must not
+	// index out of the table.
+	m := New(LastTime)
+	_ = m.Predict(State(255))
+	_ = m.Next(State(255), true)
+}
+
+func TestInitialStatesPerPaper(t *testing.T) {
+	// §4.2: four-state automata initialise to state 3, Last-Time to 1.
+	for _, k := range []Kind{A1, A2, A3, A4} {
+		if New(k).Initial() != 3 {
+			t.Errorf("%v initial = %d, want 3", k, New(k).Initial())
+		}
+	}
+	if New(LastTime).Initial() != 1 {
+		t.Errorf("LT initial = %d, want 1", New(LastTime).Initial())
+	}
+	// All initial states predict taken.
+	for _, k := range Kinds {
+		m := New(k)
+		if !m.Predict(m.Initial()) {
+			t.Errorf("%v initial state predicts not-taken", k)
+		}
+	}
+}
+
+func BenchmarkA2PredictUpdate(b *testing.B) {
+	m := New(A2)
+	s := m.Initial()
+	var taken bool
+	for i := 0; i < b.N; i++ {
+		taken = m.Predict(s)
+		s = m.Next(s, i%3 != 0)
+	}
+	_ = taken
+}
+
+func TestNewSaturatingGeneralCounter(t *testing.T) {
+	for _, bits := range []int{1, 3, 4, 6} {
+		m := NewSaturating(bits)
+		n := 1 << bits
+		if m.States() != n || m.Bits() != bits {
+			t.Fatalf("Sat%d shape: states=%d bits=%d", bits, m.States(), m.Bits())
+		}
+		if int(m.Initial()) != n-1 {
+			t.Fatalf("Sat%d initial = %d", bits, m.Initial())
+		}
+		// Counter semantics: monotone transitions, saturation, midpoint
+		// threshold.
+		for s := 0; s < n; s++ {
+			up, down := m.Next(State(s), true), m.Next(State(s), false)
+			if int(up) != min(s+1, n-1) || int(down) != max(s-1, 0) {
+				t.Fatalf("Sat%d state %d: up=%d down=%d", bits, s, up, down)
+			}
+			if m.Predict(State(s)) != (s >= n/2) {
+				t.Fatalf("Sat%d predict(%d) = %v", bits, s, m.Predict(State(s)))
+			}
+		}
+		if m.String() != fmt.Sprintf("Sat%d", bits) {
+			t.Fatalf("name = %q", m.String())
+		}
+	}
+	// Width 2 is A2 itself.
+	if NewSaturating(2) != New(A2) {
+		t.Fatal("Sat2 should be the shared A2 machine")
+	}
+}
+
+func TestNewSaturatingPanicsOutOfRange(t *testing.T) {
+	for _, bits := range []int{0, 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSaturating(%d) did not panic", bits)
+				}
+			}()
+			NewSaturating(bits)
+		}()
+	}
+}
+
+func TestSaturatingHysteresisDepth(t *testing.T) {
+	// An n-bit counter saturated taken needs 2^(n-1) consecutive
+	// not-taken outcomes to flip its prediction.
+	m := NewSaturating(4)
+	s := m.Initial()
+	flips := 0
+	for m.Predict(s) {
+		s = m.Next(s, false)
+		flips++
+		if flips > 16 {
+			t.Fatal("never flipped")
+		}
+	}
+	if flips != 8 {
+		t.Fatalf("4-bit counter flipped after %d not-taken, want 8", flips)
+	}
+}

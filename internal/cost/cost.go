@@ -1,0 +1,207 @@
+// Package cost implements the hardware cost model of §3.4 of the paper:
+// Equation 3 (the full cost of a Two-Level Adaptive predictor) and the
+// simplified Equations 4 (GAg), 5 (PAg) and 6 (PAp).
+//
+// The model counts storage bits (history registers, tags, prediction
+// bits, LRU bits, pattern history bits) plus the accessing and updating
+// logic (decoders, comparators, multiplexers, shifters, LRU incrementors
+// and pattern-state update automata), weighted by per-element base-cost
+// constants C_s, C_d, C_c, C_m, C_sh, C_i and C_a. The paper leaves the
+// constants symbolic; Defaults documents the values used throughout this
+// repository.
+package cost
+
+import (
+	"fmt"
+	"math/bits"
+
+	"twolevel/internal/spec"
+)
+
+// Constants are the base costs of §3.4: storage (per bit), decoder,
+// comparator (per bit), multiplexer (per bit), shifter (per bit), LRU
+// incrementor (per bit) and the pattern-state finite-state machine.
+type Constants struct {
+	Storage     float64 // C_s
+	Decoder     float64 // C_d
+	Comparator  float64 // C_c
+	Mux         float64 // C_m
+	Shifter     float64 // C_sh
+	Incrementor float64 // C_i
+	Automaton   float64 // C_a
+}
+
+// Defaults are the constants used for every cost figure in this
+// repository. The paper leaves C_s..C_a symbolic; these relative
+// magnitudes make storage the dominant term — matching the paper's
+// qualitative conclusions (GAg cost exponential in k; PAg linear in h
+// plus one exponential PHT; PAp dominated by h pattern tables) — while
+// still charging for logic.
+var Defaults = Constants{
+	Storage:     1,
+	Decoder:     1,
+	Comparator:  2,
+	Mux:         1,
+	Shifter:     2,
+	Incrementor: 3,
+	Automaton:   4,
+}
+
+// Params are the structural parameters of Equation 3.
+type Params struct {
+	// AddressBits is a, the number of branch address bits.
+	AddressBits int
+	// BHTEntries is h, the branch history table size (1 for GAg).
+	BHTEntries int
+	// AssocLog2 is j, with the table 2^j-way set-associative.
+	AssocLog2 int
+	// HistoryBits is k, the history register length.
+	HistoryBits int
+	// PatternBits is s, the pattern history bits per PHT entry.
+	PatternBits int
+	// PHTSets is p, the number of pattern history tables (1 for GAg and
+	// PAg; h for PAp).
+	PHTSets int
+	// Global marks GAg/GSg: a single history register with no tags or
+	// BHT access logic.
+	Global bool
+}
+
+// DefaultAddressBits is the branch address width used when deriving
+// Params from a Spec: 30 significant bits of a 32-bit word-aligned
+// address.
+const DefaultAddressBits = 30
+
+// Validate reports whether the parameters satisfy the model's domain
+// (a + j >= i, power-of-two table sizes).
+func (p Params) Validate() error {
+	if p.HistoryBits < 1 {
+		return fmt.Errorf("cost: history length %d", p.HistoryBits)
+	}
+	if p.PatternBits < 1 {
+		return fmt.Errorf("cost: pattern bits %d", p.PatternBits)
+	}
+	if p.Global {
+		return nil
+	}
+	if p.BHTEntries < 1 || p.BHTEntries&(p.BHTEntries-1) != 0 {
+		return fmt.Errorf("cost: BHT size %d must be a power of two", p.BHTEntries)
+	}
+	i := bits.TrailingZeros(uint(p.BHTEntries))
+	if p.AddressBits+p.AssocLog2 < i {
+		return fmt.Errorf("cost: a+j (%d) < i (%d)", p.AddressBits+p.AssocLog2, i)
+	}
+	return nil
+}
+
+// Breakdown itemises a predictor's estimated cost.
+type Breakdown struct {
+	BHTStorage float64
+	BHTAccess  float64
+	BHTUpdate  float64
+	PHTStorage float64
+	PHTAccess  float64
+	PHTUpdate  float64
+}
+
+// BHT returns the first-level total.
+func (b Breakdown) BHT() float64 { return b.BHTStorage + b.BHTAccess + b.BHTUpdate }
+
+// PHT returns the second-level total (all pattern tables).
+func (b Breakdown) PHT() float64 { return b.PHTStorage + b.PHTAccess + b.PHTUpdate }
+
+// Total returns the full predictor cost.
+func (b Breakdown) Total() float64 { return b.BHT() + b.PHT() }
+
+// Estimate evaluates Equation 3 with constants c.
+//
+//	Cost = {h[(a-i+j)+k+1+j]·C_s
+//	        + [h·C_d + 2^j(a-i+j)·C_c + 2^j·k·C_m]
+//	        + [h·k·C_sh + 2^j·j·C_i]}
+//	     + p·{2^k·s·C_s + 2^k·C_d + s·2^(s+1)·C_a}
+//
+// For Global (GAg/GSg) structures the tag, BHT access logic and LRU terms
+// vanish (Equation 4 keeps only the register storage and shifter).
+func Estimate(p Params, c Constants) (Breakdown, error) {
+	if err := p.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	var out Breakdown
+	k := float64(p.HistoryBits)
+	s := float64(p.PatternBits)
+	if p.Global {
+		// Single history register: (k+1) storage bits (history +
+		// prediction bit) and a k-bit shifter.
+		out.BHTStorage = (k + 1) * c.Storage
+		out.BHTUpdate = k * c.Shifter
+	} else {
+		h := float64(p.BHTEntries)
+		a := float64(p.AddressBits)
+		j := float64(p.AssocLog2)
+		i := float64(bits.TrailingZeros(uint(p.BHTEntries)))
+		ways := float64(int(1) << p.AssocLog2)
+		tag := a - i + j
+		out.BHTStorage = h * (tag + k + 1 + j) * c.Storage
+		out.BHTAccess = h*c.Decoder + ways*tag*c.Comparator + ways*k*c.Mux
+		out.BHTUpdate = h*k*c.Shifter + ways*j*c.Incrementor
+	}
+	entries := float64(uint64(1) << p.HistoryBits)
+	sets := float64(p.PHTSets)
+	out.PHTStorage = sets * entries * s * c.Storage
+	out.PHTAccess = sets * entries * c.Decoder
+	out.PHTUpdate = sets * s * float64(uint64(1)<<(p.PatternBits+1)) * c.Automaton
+	return out, nil
+}
+
+// FromSpec derives Params from a parsed predictor specification. BTB and
+// static schemes are outside the §3.4 model and are rejected. Ideal
+// tables have no finite cost and are rejected.
+func FromSpec(sp spec.Spec) (Params, error) {
+	switch sp.Scheme {
+	case spec.SchemeGAg, spec.SchemeGSg:
+		return Params{
+			AddressBits: DefaultAddressBits,
+			BHTEntries:  1,
+			HistoryBits: sp.HistoryBits,
+			PatternBits: patternBits(sp),
+			PHTSets:     1,
+			Global:      true,
+		}, nil
+	case spec.SchemePAg, spec.SchemePSg, spec.SchemePAp:
+		if sp.Ideal {
+			return Params{}, fmt.Errorf("cost: ideal tables have no finite hardware cost")
+		}
+		p := Params{
+			AddressBits: DefaultAddressBits,
+			BHTEntries:  sp.HistEntries,
+			AssocLog2:   bits.TrailingZeros(uint(sp.HistAssoc)),
+			HistoryBits: sp.HistoryBits,
+			PatternBits: patternBits(sp),
+			PHTSets:     1,
+		}
+		if sp.Scheme == spec.SchemePAp {
+			p.PHTSets = sp.HistEntries
+		}
+		return p, nil
+	default:
+		return Params{}, fmt.Errorf("cost: scheme %s is outside the §3.4 model", sp.Scheme)
+	}
+}
+
+func patternBits(sp spec.Spec) int {
+	switch sp.Automaton.String() {
+	case "LT", "PB":
+		return 1
+	default:
+		return 2
+	}
+}
+
+// EstimateSpec is Estimate ∘ FromSpec with the default constants.
+func EstimateSpec(sp spec.Spec) (Breakdown, error) {
+	p, err := FromSpec(sp)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	return Estimate(p, Defaults)
+}

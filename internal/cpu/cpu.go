@@ -1,0 +1,466 @@
+// Package cpu implements the instruction-level simulator that generates
+// branch traces — the stand-in for the paper's Motorola 88100 simulator.
+//
+// The CPU executes an assembled Program from package asm, retiring one
+// instruction per Step. Control-transfer instructions and traps produce
+// trace events carrying the number of instructions retired since the
+// previous event, which is all the branch-prediction simulator needs.
+//
+// Semantics notes:
+//   - r0 is hardwired to zero; writes to it are discarded.
+//   - ANDI/ORI/XORI zero-extend their 16-bit immediate (so la/li can
+//     compose addresses); arithmetic immediates sign-extend.
+//   - DIV/REM by zero yield zero (a real machine would trap; the
+//     benchmark programs never divide by zero).
+//   - Stores into the text segment are an error: the trace generator
+//     does not support self-modifying code, and the check catches
+//     program-generator bugs early.
+//   - On Reset the stack pointer is initialised to the top of memory.
+package cpu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"twolevel/internal/asm"
+	"twolevel/internal/isa"
+	"twolevel/internal/trace"
+)
+
+// DefaultMemSize is the default memory size (4 MiB).
+const DefaultMemSize = 1 << 22
+
+// RunCounterAddr is a reserved word below the default program base. The
+// looping trace Source stores the restart count there, letting benchmark
+// programs vary their behaviour across restarts (they fold the counter
+// into their data-generation seeds).
+const RunCounterAddr = 0x0FF0
+
+// CPU is one processor executing one program.
+type CPU struct {
+	prog    *asm.Program
+	mem     []byte
+	regs    [isa.NumRegs]uint32
+	pc      uint32
+	halted  bool
+	instret uint64
+
+	textStart, textEnd uint32
+	icache             []isa.Inst
+	idecoded           []bool
+
+	sinceEvent uint32
+
+	// profile counts retired instructions per opcode when profiling is
+	// enabled (nil otherwise: the common case pays nothing).
+	profile []uint64
+}
+
+// EnableProfile turns on per-opcode retirement counting.
+func (c *CPU) EnableProfile() {
+	if c.profile == nil {
+		c.profile = make([]uint64, isa.NumOps)
+	}
+}
+
+// Profile returns the per-opcode retirement counts (nil when profiling
+// was never enabled). Index with isa.Op values.
+func (c *CPU) Profile() []uint64 { return c.profile }
+
+// New creates a CPU with memSize bytes of memory (DefaultMemSize if 0)
+// loaded with prog, ready to run.
+func New(prog *asm.Program, memSize int) (*CPU, error) {
+	if memSize == 0 {
+		memSize = DefaultMemSize
+	}
+	if memSize%4 != 0 || memSize < 4096 {
+		return nil, fmt.Errorf("cpu: memory size %d must be a multiple of 4 and at least 4096", memSize)
+	}
+	end := int64(prog.Base) + int64(len(prog.Image))
+	if end > int64(memSize) {
+		return nil, fmt.Errorf("cpu: program [%#x,%#x) exceeds memory size %#x", prog.Base, end, memSize)
+	}
+	nText := (prog.TextEnd - prog.Base) / 4
+	c := &CPU{
+		prog:      prog,
+		mem:       make([]byte, memSize),
+		textStart: prog.Base,
+		textEnd:   prog.TextEnd,
+		icache:    make([]isa.Inst, nText),
+		idecoded:  make([]bool, nText),
+	}
+	c.Reset()
+	return c, nil
+}
+
+// Reset reloads the program image, clears registers and restarts at the
+// entry point. The decoded-instruction cache is retained (text is
+// immutable). The stack pointer is set to the top of memory.
+func (c *CPU) Reset() {
+	for i := range c.mem {
+		c.mem[i] = 0
+	}
+	copy(c.mem[c.prog.Base:], c.prog.Image)
+	c.regs = [isa.NumRegs]uint32{}
+	c.regs[isa.RSP] = uint32(len(c.mem) - 16)
+	c.pc = c.prog.Entry()
+	c.halted = false
+	c.sinceEvent = 0
+}
+
+// Halted reports whether the program has executed HALT.
+func (c *CPU) Halted() bool { return c.halted }
+
+// PC returns the current program counter.
+func (c *CPU) PC() uint32 { return c.pc }
+
+// Instret returns the number of instructions retired since New.
+func (c *CPU) Instret() uint64 { return c.instret }
+
+// Reg returns the value of register r.
+func (c *CPU) Reg(r int) uint32 { return c.regs[r] }
+
+// SetReg sets register r (writes to r0 are discarded, as in hardware).
+func (c *CPU) SetReg(r int, v uint32) {
+	if r != isa.R0 {
+		c.regs[r] = v
+	}
+}
+
+// StoreWord writes a word to memory, bypassing the text-segment check
+// (used by the harness, e.g. for the run counter).
+func (c *CPU) StoreWord(addr, v uint32) error {
+	if addr%4 != 0 || int64(addr)+4 > int64(len(c.mem)) {
+		return fmt.Errorf("cpu: StoreWord address %#x invalid", addr)
+	}
+	binary.LittleEndian.PutUint32(c.mem[addr:], v)
+	return nil
+}
+
+// LoadWord reads a word from memory.
+func (c *CPU) LoadWord(addr uint32) (uint32, error) {
+	if addr%4 != 0 || int64(addr)+4 > int64(len(c.mem)) {
+		return 0, fmt.Errorf("cpu: LoadWord address %#x invalid", addr)
+	}
+	return binary.LittleEndian.Uint32(c.mem[addr:]), nil
+}
+
+// fetch returns the decoded instruction at pc.
+func (c *CPU) fetch(pc uint32) (isa.Inst, error) {
+	if pc < c.textStart || pc >= c.textEnd {
+		return isa.Inst{}, fmt.Errorf("cpu: pc %#x outside text [%#x,%#x)", pc, c.textStart, c.textEnd)
+	}
+	if pc%4 != 0 {
+		return isa.Inst{}, fmt.Errorf("cpu: unaligned pc %#x", pc)
+	}
+	idx := (pc - c.textStart) / 4
+	if !c.idecoded[idx] {
+		in, err := isa.Decode(binary.LittleEndian.Uint32(c.mem[pc:]))
+		if err != nil {
+			return isa.Inst{}, fmt.Errorf("cpu: at pc %#x: %v", pc, err)
+		}
+		c.icache[idx] = in
+		c.idecoded[idx] = true
+	}
+	return c.icache[idx], nil
+}
+
+func (c *CPU) load(addr uint32, size int) (uint32, error) {
+	if int64(addr)+int64(size) > int64(len(c.mem)) {
+		return 0, fmt.Errorf("cpu: load beyond memory at %#x", addr)
+	}
+	if size == 4 {
+		if addr%4 != 0 {
+			return 0, fmt.Errorf("cpu: unaligned word load at %#x", addr)
+		}
+		return binary.LittleEndian.Uint32(c.mem[addr:]), nil
+	}
+	return uint32(c.mem[addr]), nil
+}
+
+func (c *CPU) store(addr uint32, size int, v uint32) error {
+	if int64(addr)+int64(size) > int64(len(c.mem)) {
+		return fmt.Errorf("cpu: store beyond memory at %#x", addr)
+	}
+	if addr+uint32(size) > c.textStart && addr < c.textEnd {
+		return fmt.Errorf("cpu: store into text segment at %#x (self-modifying code is unsupported)", addr)
+	}
+	if size == 4 {
+		if addr%4 != 0 {
+			return fmt.Errorf("cpu: unaligned word store at %#x", addr)
+		}
+		binary.LittleEndian.PutUint32(c.mem[addr:], v)
+	} else {
+		c.mem[addr] = byte(v)
+	}
+	return nil
+}
+
+func f32(v uint32) float32    { return math.Float32frombits(v) }
+func bits32(f float32) uint32 { return math.Float32bits(f) }
+
+// Step executes one instruction. If the instruction generates a trace
+// event (a branch or a trap) it is returned with emitted true. After HALT
+// (or on a halted CPU) Step returns emitted false and no error.
+func (c *CPU) Step() (ev trace.Event, emitted bool, err error) {
+	if c.halted {
+		return trace.Event{}, false, nil
+	}
+	in, err := c.fetch(c.pc)
+	if err != nil {
+		return trace.Event{}, false, err
+	}
+	c.instret++
+	c.sinceEvent++
+	if c.profile != nil {
+		c.profile[in.Op]++
+	}
+	next := c.pc + 4
+	r := &c.regs
+	rs1 := r[in.Rs1]
+	rs2 := r[in.Rs2]
+
+	setRd := func(v uint32) {
+		if in.Rd != isa.R0 {
+			r[in.Rd] = v
+		}
+	}
+	branchEvent := func(target uint32, class trace.Class, taken bool) trace.Event {
+		e := trace.Event{
+			Instrs: c.sinceEvent,
+			Branch: trace.Branch{PC: c.pc, Target: target, Class: class, Taken: taken},
+		}
+		c.sinceEvent = 0
+		return e
+	}
+
+	switch in.Op {
+	case isa.ADD:
+		setRd(rs1 + rs2)
+	case isa.SUB:
+		setRd(rs1 - rs2)
+	case isa.MUL:
+		setRd(rs1 * rs2)
+	case isa.DIV:
+		if rs2 == 0 {
+			setRd(0)
+		} else if int32(rs1) == math.MinInt32 && int32(rs2) == -1 {
+			setRd(rs1) // overflow wraps
+		} else {
+			setRd(uint32(int32(rs1) / int32(rs2)))
+		}
+	case isa.REM:
+		if rs2 == 0 {
+			setRd(0)
+		} else if int32(rs1) == math.MinInt32 && int32(rs2) == -1 {
+			setRd(0)
+		} else {
+			setRd(uint32(int32(rs1) % int32(rs2)))
+		}
+	case isa.AND:
+		setRd(rs1 & rs2)
+	case isa.OR:
+		setRd(rs1 | rs2)
+	case isa.XOR:
+		setRd(rs1 ^ rs2)
+	case isa.SLL:
+		setRd(rs1 << (rs2 & 31))
+	case isa.SRL:
+		setRd(rs1 >> (rs2 & 31))
+	case isa.SRA:
+		setRd(uint32(int32(rs1) >> (rs2 & 31)))
+	case isa.SLT:
+		setRd(b2u(int32(rs1) < int32(rs2)))
+	case isa.SLTU:
+		setRd(b2u(rs1 < rs2))
+	case isa.FADD:
+		setRd(bits32(f32(rs1) + f32(rs2)))
+	case isa.FSUB:
+		setRd(bits32(f32(rs1) - f32(rs2)))
+	case isa.FMUL:
+		setRd(bits32(f32(rs1) * f32(rs2)))
+	case isa.FDIV:
+		setRd(bits32(f32(rs1) / f32(rs2)))
+	case isa.FCMP:
+		a, b := f32(rs1), f32(rs2)
+		switch {
+		case a < b:
+			setRd(uint32(0xFFFFFFFF)) // -1
+		case a > b:
+			setRd(1)
+		default:
+			setRd(0) // equal or unordered
+		}
+	case isa.CVTIF:
+		setRd(bits32(float32(int32(rs1))))
+	case isa.CVTFI:
+		// Compare in float64: float32(MaxInt32) rounds UP to 2^31, so a
+		// float32 comparison would let 2^31 through to an out-of-range
+		// (implementation-defined) conversion.
+		f := float64(f32(rs1))
+		if f != f || f >= 1<<31 || f < -(1<<31) {
+			setRd(0)
+		} else {
+			setRd(uint32(int32(f)))
+		}
+
+	case isa.ADDI:
+		setRd(rs1 + uint32(in.Imm))
+	case isa.ANDI:
+		setRd(rs1 & uint32(uint16(in.Imm)))
+	case isa.ORI:
+		setRd(rs1 | uint32(uint16(in.Imm)))
+	case isa.XORI:
+		setRd(rs1 ^ uint32(uint16(in.Imm)))
+	case isa.SLLI:
+		setRd(rs1 << (uint32(in.Imm) & 31))
+	case isa.SRLI:
+		setRd(rs1 >> (uint32(in.Imm) & 31))
+	case isa.SRAI:
+		setRd(uint32(int32(rs1) >> (uint32(in.Imm) & 31)))
+	case isa.SLTI:
+		setRd(b2u(int32(rs1) < in.Imm))
+	case isa.LUI:
+		setRd(uint32(uint16(in.Imm)) << 16)
+	case isa.LW:
+		v, err := c.load(rs1+uint32(in.Imm), 4)
+		if err != nil {
+			return trace.Event{}, false, fmt.Errorf("%v (pc %#x)", err, c.pc)
+		}
+		setRd(v)
+	case isa.LB:
+		v, err := c.load(rs1+uint32(in.Imm), 1)
+		if err != nil {
+			return trace.Event{}, false, fmt.Errorf("%v (pc %#x)", err, c.pc)
+		}
+		setRd(v)
+	case isa.SW:
+		if err := c.store(rs1+uint32(in.Imm), 4, r[in.Rd]); err != nil {
+			return trace.Event{}, false, fmt.Errorf("%v (pc %#x)", err, c.pc)
+		}
+	case isa.SB:
+		if err := c.store(rs1+uint32(in.Imm), 1, r[in.Rd]); err != nil {
+			return trace.Event{}, false, fmt.Errorf("%v (pc %#x)", err, c.pc)
+		}
+
+	case isa.BCND:
+		target := c.pc + uint32(in.Imm)*4
+		taken := in.Cond.Holds(rs1)
+		ev = branchEvent(target, trace.Cond, taken)
+		emitted = true
+		if taken {
+			next = target
+		}
+	case isa.BR:
+		target := c.pc + uint32(in.Imm)*4
+		ev = branchEvent(target, trace.Uncond, true)
+		emitted = true
+		next = target
+	case isa.BSR:
+		target := c.pc + uint32(in.Imm)*4
+		r[isa.RLink] = c.pc + 4
+		ev = branchEvent(target, trace.Call, true)
+		emitted = true
+		next = target
+	case isa.JMP:
+		class := trace.Indirect
+		if in.Rs1 == isa.RLink {
+			class = trace.Return
+		}
+		ev = branchEvent(rs1, class, true)
+		emitted = true
+		next = rs1
+	case isa.JSR:
+		target := rs1
+		r[isa.RLink] = c.pc + 4
+		ev = branchEvent(target, trace.Call, true)
+		emitted = true
+		next = target
+
+	case isa.TRAP:
+		ev = trace.Event{Instrs: c.sinceEvent, Trap: true}
+		c.sinceEvent = 0
+		emitted = true
+	case isa.HALT:
+		c.halted = true
+		return trace.Event{}, false, nil
+	default:
+		return trace.Event{}, false, fmt.Errorf("cpu: unimplemented opcode %v at pc %#x", in.Op, c.pc)
+	}
+	c.pc = next
+	return ev, emitted, nil
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Run executes until the program halts or maxInstrs instructions retire
+// (0 = no limit), discarding events. It returns the number of
+// instructions retired by this call.
+func (c *CPU) Run(maxInstrs uint64) (uint64, error) {
+	start := c.instret
+	for !c.halted {
+		if maxInstrs > 0 && c.instret-start >= maxInstrs {
+			break
+		}
+		if _, _, err := c.Step(); err != nil {
+			return c.instret - start, err
+		}
+	}
+	return c.instret - start, nil
+}
+
+// Source adapts a CPU into a trace.Source. With Loop set, the program is
+// restarted when it halts: memory and registers are reset and the restart
+// count is stored at RunCounterAddr so programs can vary their data
+// across runs. A program that halts without producing any event cannot
+// loop meaningfully; Next reports an error in that case.
+type Source struct {
+	cpu           *CPU
+	loop          bool
+	runs          uint32
+	events        uint64
+	eventsAtReset uint64
+}
+
+// NewSource wraps cpu. loop selects restart-on-halt.
+func NewSource(cpu *CPU, loop bool) *Source {
+	return &Source{cpu: cpu, loop: loop}
+}
+
+// Runs returns the number of program restarts so far.
+func (s *Source) Runs() uint32 { return s.runs }
+
+// Next implements trace.Source.
+func (s *Source) Next() (trace.Event, error) {
+	for {
+		if s.cpu.Halted() {
+			if !s.loop {
+				return trace.Event{}, io.EOF
+			}
+			if s.events == s.eventsAtReset {
+				return trace.Event{}, fmt.Errorf("cpu: program produced no events in a full run; refusing to loop")
+			}
+			s.runs++
+			s.cpu.Reset()
+			if err := s.cpu.StoreWord(RunCounterAddr, s.runs); err != nil {
+				return trace.Event{}, err
+			}
+			s.eventsAtReset = s.events
+		}
+		ev, emitted, err := s.cpu.Step()
+		if err != nil {
+			return trace.Event{}, err
+		}
+		if emitted {
+			s.events++
+			return ev, nil
+		}
+	}
+}

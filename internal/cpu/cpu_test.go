@@ -1,0 +1,529 @@
+package cpu
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"twolevel/internal/asm"
+	"twolevel/internal/isa"
+	"twolevel/internal/trace"
+)
+
+// runProgram assembles and runs src to completion, returning the CPU.
+func runProgram(t *testing.T, src string) *CPU {
+	t.Helper()
+	c, err := New(asm.MustAssemble(src), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Halted() {
+		t.Fatal("program did not halt within budget")
+	}
+	return c
+}
+
+func TestArithmetic(t *testing.T) {
+	c := runProgram(t, `
+		li r1, 7
+		li r2, 3
+		add r3, r1, r2   ; 10
+		sub r4, r1, r2   ; 4
+		mul r5, r1, r2   ; 21
+		div r6, r1, r2   ; 2
+		rem r7, r1, r2   ; 1
+		and r8, r1, r2   ; 3
+		or  r9, r1, r2   ; 7
+		xor r10, r1, r2  ; 4
+		sll r11, r1, r2  ; 56
+		slt r12, r2, r1  ; 1
+		slt r13, r1, r2  ; 0
+		halt
+	`)
+	want := map[int]uint32{3: 10, 4: 4, 5: 21, 6: 2, 7: 1, 8: 3, 9: 7, 10: 4, 11: 56, 12: 1, 13: 0}
+	for reg, v := range want {
+		if c.Reg(reg) != v {
+			t.Errorf("r%d = %d, want %d", reg, c.Reg(reg), v)
+		}
+	}
+}
+
+func TestSignedArithmetic(t *testing.T) {
+	c := runProgram(t, `
+		li r1, -7
+		li r2, 3
+		div r3, r1, r2    ; -2
+		rem r4, r1, r2    ; -1
+		sra r5, r1, r2    ; -1
+		srl r6, r1, r2    ; big
+		slt r7, r1, r2    ; 1
+		sltu r8, r1, r2   ; 0 (as unsigned -7 is huge)
+		li r9, 0
+		div r10, r1, r9   ; division by zero -> 0
+		halt
+	`)
+	if int32(c.Reg(3)) != -2 || int32(c.Reg(4)) != -1 || int32(c.Reg(5)) != -1 {
+		t.Errorf("signed ops: div=%d rem=%d sra=%d", int32(c.Reg(3)), int32(c.Reg(4)), int32(c.Reg(5)))
+	}
+	if c.Reg(6) != uint32(0xFFFFFFF9)>>3 {
+		t.Errorf("srl = %#x", c.Reg(6))
+	}
+	if c.Reg(7) != 1 || c.Reg(8) != 0 {
+		t.Errorf("slt=%d sltu=%d", c.Reg(7), c.Reg(8))
+	}
+	if c.Reg(10) != 0 {
+		t.Errorf("div by zero = %d, want 0", c.Reg(10))
+	}
+}
+
+func TestLogicalImmediatesZeroExtend(t *testing.T) {
+	c := runProgram(t, `
+		li r1, 0
+		ori r2, r1, -32768   ; raw 0x8000, zero-extended
+		lui r3, -32768       ; 0x80000000
+		ori r3, r3, -1       ; | 0x0000FFFF
+		halt
+	`)
+	if c.Reg(2) != 0x8000 {
+		t.Errorf("ori zero-extension: %#x", c.Reg(2))
+	}
+	if c.Reg(3) != 0x8000FFFF {
+		t.Errorf("lui/ori composition: %#x", c.Reg(3))
+	}
+}
+
+func TestR0Hardwired(t *testing.T) {
+	c := runProgram(t, `
+		li r1, 5
+		add r0, r1, r1
+		addi r0, r1, 100
+		halt
+	`)
+	if c.Reg(0) != 0 {
+		t.Fatalf("r0 = %d", c.Reg(0))
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	c := runProgram(t, `
+		li r1, 3
+		li r2, 4
+		cvtif r3, r1, r0   ; 3.0
+		cvtif r4, r2, r0   ; 4.0
+		fadd r5, r3, r4    ; 7.0
+		fmul r6, r3, r4    ; 12.0
+		fdiv r7, r4, r3    ; 1.333...
+		fsub r8, r3, r4    ; -1.0
+		fcmp r9, r3, r4    ; -1
+		fcmp r10, r4, r3   ; 1
+		fcmp r11, r3, r3   ; 0
+		cvtfi r12, r6, r0  ; 12
+		halt
+	`)
+	if math.Float32frombits(c.Reg(5)) != 7.0 {
+		t.Errorf("fadd = %v", math.Float32frombits(c.Reg(5)))
+	}
+	if math.Float32frombits(c.Reg(6)) != 12.0 {
+		t.Errorf("fmul = %v", math.Float32frombits(c.Reg(6)))
+	}
+	if math.Float32frombits(c.Reg(8)) != -1.0 {
+		t.Errorf("fsub = %v", math.Float32frombits(c.Reg(8)))
+	}
+	if int32(c.Reg(9)) != -1 || c.Reg(10) != 1 || c.Reg(11) != 0 {
+		t.Errorf("fcmp: %d %d %d", int32(c.Reg(9)), c.Reg(10), c.Reg(11))
+	}
+	if c.Reg(12) != 12 {
+		t.Errorf("cvtfi = %d", c.Reg(12))
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	c := runProgram(t, `
+		la r1, buf
+		li r2, 0x12345678
+		sw r2, 0(r1)
+		lw r3, 0(r1)
+		lb r4, 0(r1)    ; 0x78 little-endian
+		lb r5, 3(r1)    ; 0x12
+		li r6, 0xAB
+		sb r6, 8(r1)
+		lb r7, 8(r1)
+		lw r8, 8(r1)
+		halt
+	buf:
+		.space 16
+	`)
+	if c.Reg(3) != 0x12345678 {
+		t.Errorf("lw = %#x", c.Reg(3))
+	}
+	if c.Reg(4) != 0x78 || c.Reg(5) != 0x12 {
+		t.Errorf("lb = %#x %#x", c.Reg(4), c.Reg(5))
+	}
+	if c.Reg(7) != 0xAB || c.Reg(8) != 0xAB {
+		t.Errorf("sb/lb = %#x lw=%#x", c.Reg(7), c.Reg(8))
+	}
+}
+
+func TestLoopAndBranchEvents(t *testing.T) {
+	c, err := New(asm.MustAssemble(`
+		li r1, 3
+	loop:
+		addi r1, r1, -1
+		bcnd ne0, r1, loop
+		halt
+	`), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSource(c, false)
+	tr, err := trace.Collect(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 executions of bcnd: taken, taken, not-taken.
+	if tr.Len() != 3 {
+		t.Fatalf("events = %d, want 3", tr.Len())
+	}
+	for i, e := range tr.Events {
+		if e.Branch.Class != trace.Cond {
+			t.Fatalf("event %d class %v", i, e.Branch.Class)
+		}
+		wantTaken := i < 2
+		if e.Branch.Taken != wantTaken {
+			t.Fatalf("event %d taken = %v", i, e.Branch.Taken)
+		}
+		if !e.Branch.Backward() {
+			t.Fatalf("loop branch should be backward")
+		}
+	}
+	// Instruction accounting: first event covers li+addi+bcnd = 3.
+	if tr.Events[0].Instrs != 3 {
+		t.Fatalf("first event instrs = %d, want 3", tr.Events[0].Instrs)
+	}
+	// Later iterations: addi+bcnd = 2.
+	if tr.Events[1].Instrs != 2 || tr.Events[2].Instrs != 2 {
+		t.Fatalf("loop event instrs = %d,%d want 2,2", tr.Events[1].Instrs, tr.Events[2].Instrs)
+	}
+}
+
+func TestCallReturnClasses(t *testing.T) {
+	c, err := New(asm.MustAssemble(`
+		bsr f
+		la r9, g
+		jsr r9
+		br over
+	over:
+		halt
+	f:
+		rts
+	g:
+		rts
+	`), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Collect(NewSource(c, false), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var classes []trace.Class
+	for _, e := range tr.Events {
+		classes = append(classes, e.Branch.Class)
+	}
+	want := []trace.Class{trace.Call, trace.Return, trace.Call, trace.Return, trace.Uncond}
+	if len(classes) != len(want) {
+		t.Fatalf("classes = %v", classes)
+	}
+	for i := range want {
+		if classes[i] != want[i] {
+			t.Fatalf("event %d class %v, want %v", i, classes[i], want[i])
+		}
+	}
+}
+
+func TestTrapEvent(t *testing.T) {
+	c, err := New(asm.MustAssemble("nop\ntrap 3\nnop\nhalt\n"), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Collect(NewSource(c, false), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || !tr.Events[0].Trap || tr.Events[0].Instrs != 2 {
+		t.Fatalf("trap event: %+v", tr.Events)
+	}
+	// Execution continues past the trap.
+	if !c.Halted() {
+		t.Fatal("CPU should have halted after trap")
+	}
+}
+
+func TestStoreIntoTextRejected(t *testing.T) {
+	c, err := New(asm.MustAssemble(`
+		la r1, start
+	start:
+		sw r1, 0(r1)
+		halt
+	`), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(100)
+	if err == nil || !strings.Contains(err.Error(), "text segment") {
+		t.Fatalf("want text-segment store error, got %v", err)
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	cases := []string{
+		"li r1, 0x7FFFFFF0\nlw r2, 0(r1)\nhalt\n",
+		"li r1, 0x7FFFFFF0\nsw r1, 0(r1)\nhalt\n",
+		"li r1, 3\nlw r2, 0(r1)\nhalt\n", // unaligned
+	}
+	for _, src := range cases {
+		c, err := New(asm.MustAssemble(src), 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Run(100); err == nil {
+			t.Errorf("program %q should fault", src)
+		}
+	}
+}
+
+func TestJumpOutsideTextRejected(t *testing.T) {
+	c, err := New(asm.MustAssemble("li r1, 0x8000\njmp r1\nhalt\n"), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The jump itself emits an event; the following fetch faults.
+	if _, err := c.Run(100); err == nil || !strings.Contains(err.Error(), "outside text") {
+		t.Fatalf("want outside-text error, got %v", err)
+	}
+}
+
+func TestProgramTooLargeRejected(t *testing.T) {
+	if _, err := New(asm.MustAssemble("halt\n.space 8192\n"), 4096); err == nil {
+		t.Fatal("oversized program accepted")
+	}
+}
+
+func TestResetRestoresInitialState(t *testing.T) {
+	prog := asm.MustAssemble(`
+		la r1, counter
+		lw r2, 0(r1)
+		addi r2, r2, 1
+		sw r2, 0(r1)
+		halt
+	counter:
+		.word 100
+	`)
+	c, err := New(prog, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(2) != 101 {
+		t.Fatalf("first run r2 = %d", c.Reg(2))
+	}
+	c.Reset()
+	if c.Halted() || c.PC() != prog.Entry() {
+		t.Fatal("Reset did not restart")
+	}
+	if _, err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Memory was reloaded: counter starts at 100 again.
+	if c.Reg(2) != 101 {
+		t.Fatalf("after Reset r2 = %d, want 101 (fresh memory)", c.Reg(2))
+	}
+}
+
+func TestSourceLoopRestartsWithRunCounter(t *testing.T) {
+	// The program emits one conditional branch whose direction depends
+	// on the run counter's low bit.
+	prog := asm.MustAssemble(`
+		li r1, 0x0FF0
+		lw r2, 0(r1)
+		andi r2, r2, 1
+		bcnd ne0, r2, odd
+	odd:
+		halt
+	`)
+	c, err := New(prog, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSource(c, true)
+	var taken []bool
+	for i := 0; i < 6; i++ {
+		e, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		taken = append(taken, e.Branch.Taken)
+	}
+	want := []bool{false, true, false, true, false, true}
+	for i := range want {
+		if taken[i] != want[i] {
+			t.Fatalf("run %d taken = %v, want %v (run counter should alternate)", i, taken[i], want[i])
+		}
+	}
+	if src.Runs() != 5 {
+		t.Fatalf("runs = %d, want 5", src.Runs())
+	}
+}
+
+func TestSourceNoLoopEOF(t *testing.T) {
+	c, err := New(asm.MustAssemble("br done\ndone: halt\n"), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSource(c, false)
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestSourceRefusesEventlessLoop(t *testing.T) {
+	c, err := New(asm.MustAssemble("nop\nhalt\n"), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSource(c, true)
+	if _, err := src.Next(); err == nil {
+		t.Fatal("eventless loop should error")
+	}
+}
+
+func TestStackPointerInitialised(t *testing.T) {
+	c, err := New(asm.MustAssemble(`
+		sw ra, -4(sp)
+		addi sp, sp, -8
+		addi sp, sp, 8
+		lw r1, -4(sp)
+		halt
+	`), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(isa.RSP) != 1<<16-16 {
+		t.Fatalf("sp = %#x", c.Reg(isa.RSP))
+	}
+	if _, err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecursionViaStack(t *testing.T) {
+	// fact(5) with a real call stack.
+	c := runProgram(t, `
+		li r1, 5
+		bsr fact
+		halt
+	fact:              ; arg/result in r1, uses r2
+		addi sp, sp, -8
+		sw ra, 0(sp)
+		sw r1, 4(sp)
+		addi r2, r1, -1
+		bcnd gt0, r2, recurse
+		li r1, 1
+		br done
+	recurse:
+		mv r1, r2
+		bsr fact
+		lw r2, 4(sp)
+		mul r1, r1, r2
+	done:
+		lw ra, 0(sp)
+		addi sp, sp, 8
+		rts
+	`)
+	if c.Reg(1) != 120 {
+		t.Fatalf("fact(5) = %d", c.Reg(1))
+	}
+}
+
+func TestInstretCounts(t *testing.T) {
+	c := runProgram(t, "nop\nnop\nnop\nhalt\n")
+	if c.Instret() != 4 {
+		t.Fatalf("instret = %d, want 4", c.Instret())
+	}
+}
+
+func TestStepAfterHaltIsNoop(t *testing.T) {
+	c := runProgram(t, "halt\n")
+	before := c.Instret()
+	_, emitted, err := c.Step()
+	if err != nil || emitted || c.Instret() != before {
+		t.Fatal("Step after halt should be a no-op")
+	}
+}
+
+func BenchmarkCPUStep(b *testing.B) {
+	prog := asm.MustAssemble(`
+		li r1, 1000000000
+	loop:
+		addi r1, r1, -1
+		xor r2, r2, r1
+		and r3, r2, r1
+		add r4, r3, r2
+		bcnd ne0, r1, loop
+		halt
+	`)
+	c, err := New(prog, 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestProfileCounts(t *testing.T) {
+	c, err := New(asm.MustAssemble(`
+		li r1, 10
+	loop:
+		addi r1, r1, -1
+		xor r2, r2, r1
+		bcnd ne0, r1, loop
+		halt
+	`), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Profile() != nil {
+		t.Fatal("profiling should be off by default")
+	}
+	c.EnableProfile()
+	if _, err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	p := c.Profile()
+	if p[isa.ADDI] != 11 { // li + 10 loop decrements
+		t.Errorf("addi count = %d, want 11", p[isa.ADDI])
+	}
+	if p[isa.XOR] != 10 || p[isa.BCND] != 10 || p[isa.HALT] != 1 {
+		t.Errorf("counts: xor=%d bcnd=%d halt=%d", p[isa.XOR], p[isa.BCND], p[isa.HALT])
+	}
+	var total uint64
+	for _, n := range p {
+		total += n
+	}
+	if total != c.Instret() {
+		t.Errorf("profile total %d != instret %d", total, c.Instret())
+	}
+}

@@ -1,0 +1,139 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"twolevel/internal/asm"
+)
+
+// Float edge semantics: the CPU must be total (no panics, defined
+// results) on the awkward corners of float32 arithmetic, because the
+// benchmark generators chain float ops freely.
+
+func runFor(t *testing.T, src string) *CPU {
+	t.Helper()
+	c, err := New(asm.MustAssemble(src), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFloatDivisionByZero(t *testing.T) {
+	c := runFor(t, `
+		li r1, 1
+		cvtif r1, r1, r0   ; 1.0
+		mv r2, r0          ; +0.0
+		fdiv r3, r1, r2    ; +Inf
+		fdiv r4, r2, r2    ; NaN
+		halt
+	`)
+	if !math.IsInf(float64(math.Float32frombits(c.Reg(3))), 1) {
+		t.Errorf("1/0 = %v, want +Inf", math.Float32frombits(c.Reg(3)))
+	}
+	if !math.IsNaN(float64(math.Float32frombits(c.Reg(4)))) {
+		t.Errorf("0/0 = %v, want NaN", math.Float32frombits(c.Reg(4)))
+	}
+}
+
+func TestFCmpUnordered(t *testing.T) {
+	// NaN comparisons are unordered: FCMP returns 0, so neither gt0 nor
+	// lt0 fires — branches on comparisons with NaN fall through.
+	c := runFor(t, `
+		li r1, 1
+		cvtif r1, r1, r0
+		mv r2, r0
+		fdiv r2, r2, r2    ; NaN
+		fcmp r3, r1, r2    ; unordered -> 0
+		fcmp r4, r2, r2    ; unordered -> 0
+		halt
+	`)
+	if c.Reg(3) != 0 || c.Reg(4) != 0 {
+		t.Errorf("unordered fcmp = %d, %d; want 0, 0", c.Reg(3), c.Reg(4))
+	}
+}
+
+func TestCvtfiSaturatesPathologicalValues(t *testing.T) {
+	c := runFor(t, `
+		mv r1, r0
+		fdiv r1, r1, r1    ; NaN
+		cvtfi r2, r1, r0   ; NaN -> 0
+		li r3, 0x7F800000  ; +Inf bits
+		cvtfi r4, r3, r0   ; +Inf -> 0 (out of int32 range)
+		li r5, 0x4F000000  ; 2^31 as float32
+		cvtfi r6, r5, r0   ; boundary: > MaxInt32 -> 0
+		halt
+	`)
+	if c.Reg(2) != 0 {
+		t.Errorf("cvtfi(NaN) = %d", c.Reg(2))
+	}
+	if c.Reg(4) != 0 {
+		t.Errorf("cvtfi(+Inf) = %d", c.Reg(4))
+	}
+	if c.Reg(6) != 0 {
+		t.Errorf("cvtfi(2^31) = %d, want 0 (out of range)", c.Reg(6))
+	}
+}
+
+func TestCvtRoundTripSmallInts(t *testing.T) {
+	c := runFor(t, `
+		li r1, -12345
+		cvtif r2, r1, r0
+		cvtfi r3, r2, r0
+		halt
+	`)
+	if int32(c.Reg(3)) != -12345 {
+		t.Errorf("int->float->int round trip = %d", int32(c.Reg(3)))
+	}
+}
+
+func TestIntegerOverflowWraps(t *testing.T) {
+	c := runFor(t, `
+		li r1, 0x7FFFFFFF
+		li r2, 1
+		add r3, r1, r2     ; wraps to MinInt32
+		li r4, -2147483648
+		li r5, -1
+		div r6, r4, r5     ; MinInt32 / -1 wraps (defined, no panic)
+		rem r7, r4, r5     ; MinInt32 %% -1 = 0
+		halt
+	`)
+	if int32(c.Reg(3)) != math.MinInt32 {
+		t.Errorf("MaxInt32+1 = %d", int32(c.Reg(3)))
+	}
+	if c.Reg(6) != 0x80000000 {
+		t.Errorf("MinInt32/-1 = %#x, want wrap", c.Reg(6))
+	}
+	if c.Reg(7) != 0 {
+		t.Errorf("MinInt32 rem -1 = %d", c.Reg(7))
+	}
+}
+
+func TestShiftAmountsMasked(t *testing.T) {
+	c := runFor(t, `
+		li r1, 1
+		li r2, 33          ; shift amounts use the low 5 bits
+		sll r3, r1, r2     ; 1 << 1
+		li r4, -1
+		srl r5, r4, r2     ; logical shift by 1
+		sra r6, r4, r2     ; arithmetic: still -1
+		slli r7, r1, 31
+		halt
+	`)
+	if c.Reg(3) != 2 {
+		t.Errorf("sll by 33 = %d, want 2", c.Reg(3))
+	}
+	if c.Reg(5) != 0x7FFFFFFF {
+		t.Errorf("srl -1 by 33 = %#x", c.Reg(5))
+	}
+	if int32(c.Reg(6)) != -1 {
+		t.Errorf("sra -1 by 33 = %d", int32(c.Reg(6)))
+	}
+	if c.Reg(7) != 0x80000000 {
+		t.Errorf("slli by 31 = %#x", c.Reg(7))
+	}
+}

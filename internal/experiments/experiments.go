@@ -1,0 +1,362 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§4-§5): Tables 1-3 and Figures 4-11. Each experiment runs
+// the relevant predictor configurations over the nine generated SPEC
+// benchmarks and produces a Report whose rows mirror the paper's series,
+// including the "Int GMean", "FP GMean" and "Tot GMean" aggregates the
+// figures plot.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"text/tabwriter"
+
+	"twolevel/internal/asm"
+	"twolevel/internal/cpu"
+	"twolevel/internal/predictor"
+	"twolevel/internal/prog"
+	"twolevel/internal/sim"
+	"twolevel/internal/spec"
+	"twolevel/internal/stats"
+	"twolevel/internal/trace"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// CondBranches is the per-benchmark conditional branch budget for
+	// the measured (testing) run. The paper used 20M; accuracy
+	// estimates at these table sizes stabilise far earlier, so the
+	// default is DefaultCondBranches (see EXPERIMENTS.md for the scale
+	// note).
+	CondBranches uint64
+	// TrainBranches is the budget for training passes (Static Training
+	// and Profiling schemes). Defaults to CondBranches.
+	TrainBranches uint64
+	// Benchmarks restricts the benchmark set (default: all nine).
+	Benchmarks []*prog.Benchmark
+}
+
+// DefaultCondBranches is the default per-benchmark conditional branch
+// budget.
+const DefaultCondBranches = 100_000
+
+func (o Options) withDefaults() Options {
+	if o.CondBranches == 0 {
+		o.CondBranches = DefaultCondBranches
+	}
+	if o.TrainBranches == 0 {
+		o.TrainBranches = o.CondBranches
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = prog.All
+	}
+	return o
+}
+
+// Cell is one value in a report row; NaN marks "not available" (rendered
+// as "-", as the paper leaves unavailable Static Training points out of
+// Figure 11).
+type Cell = float64
+
+// Series is one row/curve of an experiment: a label and one value per
+// column.
+type Series struct {
+	Label  string
+	Values []Cell
+}
+
+// Report is the result of one experiment.
+type Report struct {
+	ID      string
+	Title   string
+	Columns []string
+	Series  []Series
+	// Percent marks values as fractions to render as percentages.
+	Percent bool
+	// Notes carries per-experiment commentary (paper expectations,
+	// scale substitutions).
+	Notes []string
+}
+
+// WriteText renders the report as an aligned text table.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", strings.ToUpper(r.ID), r.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\n", strings.Join(append([]string{""}, r.Columns...), "\t"))
+	for _, s := range r.Series {
+		cells := make([]string, 0, len(s.Values)+1)
+		cells = append(cells, s.Label)
+		for _, v := range s.Values {
+			switch {
+			case math.IsNaN(v):
+				cells = append(cells, "-")
+			case r.Percent:
+				cells = append(cells, fmt.Sprintf("%.2f%%", 100*v))
+			case v == math.Trunc(v) && math.Abs(v) < 1e15:
+				cells = append(cells, fmt.Sprintf("%.0f", v))
+			default:
+				cells = append(cells, fmt.Sprintf("%.4g", v))
+			}
+		}
+		fmt.Fprintf(tw, "%s\n", strings.Join(cells, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Value returns the cell for (seriesLabel, column), or NaN if absent.
+func (r *Report) Value(seriesLabel, column string) float64 {
+	col := -1
+	for i, c := range r.Columns {
+		if c == column {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return math.NaN()
+	}
+	for _, s := range r.Series {
+		if s.Label == seriesLabel && col < len(s.Values) {
+			return s.Values[col]
+		}
+	}
+	return math.NaN()
+}
+
+// programCache memoises assembled benchmark programs; experiments reuse
+// images across predictor configurations and across the parallel
+// per-benchmark runs.
+var (
+	programCacheMu sync.Mutex
+	programCache   = map[string]*asm.Program{}
+)
+
+func buildProgram(b *prog.Benchmark, ds prog.DataSet) (*asm.Program, error) {
+	key := b.Name + "\x00" + ds.Name
+	programCacheMu.Lock()
+	p, ok := programCache[key]
+	programCacheMu.Unlock()
+	if ok {
+		return p, nil
+	}
+	p, err := b.Build(ds)
+	if err != nil {
+		return nil, err
+	}
+	programCacheMu.Lock()
+	programCache[key] = p
+	programCacheMu.Unlock()
+	return p, nil
+}
+
+// newSource returns a fresh looping trace source for (benchmark, data set).
+func newSource(b *prog.Benchmark, ds prog.DataSet) (trace.Source, error) {
+	p, err := buildProgram(b, ds)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cpu.New(p, 0)
+	if err != nil {
+		return nil, err
+	}
+	return cpu.NewSource(c, true), nil
+}
+
+// trainingData runs the training pass sp requires over b's training data
+// set. It returns nil when sp needs no training.
+func trainingData(sp spec.Spec, b *prog.Benchmark, budget uint64) (*spec.TrainingData, error) {
+	if !sp.NeedsTraining() {
+		return nil, nil
+	}
+	src, err := newSource(b, b.Training)
+	if err != nil {
+		return nil, err
+	}
+	limited := &trace.LimitSource{Src: src, N: budget}
+	td := &spec.TrainingData{}
+	switch sp.Scheme {
+	case spec.SchemeProfiling:
+		td.Profile = predictor.NewProfileTrainer()
+		err = td.Profile.ObserveTrace(limited)
+	default:
+		td.Static, err = spec.NewTrainer(sp)
+		if err == nil {
+			err = td.Static.ObserveTrace(limited)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return td, nil
+}
+
+// RunSpec measures one predictor specification on one benchmark's testing
+// data set and returns the full simulation result.
+func RunSpec(sp spec.Spec, b *prog.Benchmark, o Options) (sim.Result, error) {
+	o = o.withDefaults()
+	td, err := trainingData(sp, b, o.TrainBranches)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("experiments: training %s on %s: %w", sp, b.Name, err)
+	}
+	p, err := spec.Build(sp, td)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	src, err := newSource(b, b.Testing)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.Run(p, src, sim.Options{
+		ContextSwitches: sp.ContextSwitch,
+		MaxCondBranches: o.CondBranches,
+	})
+}
+
+// Accuracy measures prediction accuracy of sp on b.
+func Accuracy(sp spec.Spec, b *prog.Benchmark, o Options) (float64, error) {
+	res, err := RunSpec(sp, b, o)
+	if err != nil {
+		return 0, err
+	}
+	return res.Accuracy.Rate(), nil
+}
+
+// benchColumns is the column layout shared by the accuracy figures:
+// the nine benchmarks followed by the three geometric means.
+func benchColumns(benchmarks []*prog.Benchmark) []string {
+	cols := make([]string, 0, len(benchmarks)+3)
+	for _, b := range benchmarks {
+		cols = append(cols, b.Name)
+	}
+	return append(cols, "Int GMean", "FP GMean", "Tot GMean")
+}
+
+// accuracyRow runs sp over every benchmark — concurrently, since each
+// run builds its own predictor and CPU — and appends the geometric means,
+// mirroring the figures' x-axes.
+func accuracyRow(label string, sp spec.Spec, o Options) (Series, error) {
+	o = o.withDefaults()
+	values := make([]float64, len(o.Benchmarks))
+	errs := make([]error, len(o.Benchmarks))
+	var wg sync.WaitGroup
+	for i, b := range o.Benchmarks {
+		wg.Add(1)
+		go func(i int, b *prog.Benchmark) {
+			defer wg.Done()
+			values[i], errs[i] = Accuracy(sp, b, o)
+		}(i, b)
+	}
+	wg.Wait()
+	var intAcc, fpAcc []float64
+	for i, b := range o.Benchmarks {
+		if errs[i] != nil {
+			return Series{}, fmt.Errorf("experiments: %s on %s: %w", sp, b.Name, errs[i])
+		}
+		if b.FP {
+			fpAcc = append(fpAcc, values[i])
+		} else {
+			intAcc = append(intAcc, values[i])
+		}
+	}
+	values = append(values, stats.GeoMean(intAcc), stats.GeoMean(fpAcc),
+		stats.GeoMean(append(append([]float64{}, intAcc...), fpAcc...)))
+	return Series{Label: label, Values: values}, nil
+}
+
+// accuracyReport runs a list of (label, spec) rows.
+func accuracyReport(id, title string, rows []labeledSpec, o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{ID: id, Title: title, Columns: benchColumns(o.Benchmarks), Percent: true}
+	for _, row := range rows {
+		s, err := accuracyRow(row.label, row.sp, o)
+		if err != nil {
+			return nil, err
+		}
+		r.Series = append(r.Series, s)
+	}
+	return r, nil
+}
+
+type labeledSpec struct {
+	label string
+	sp    spec.Spec
+}
+
+func mustSpecs(specs ...string) []labeledSpec {
+	out := make([]labeledSpec, len(specs))
+	for i, s := range specs {
+		out[i] = labeledSpec{label: s, sp: spec.MustParse(s)}
+	}
+	return out
+}
+
+// Runner is an experiment entry point.
+type Runner func(Options) (*Report, error)
+
+// registry maps experiment IDs to runners.
+var registry = map[string]Runner{
+	"table1": Table1,
+	"table2": Table2,
+	"table3": Table3,
+	"fig4":   Figure4,
+	"fig5":   Figure5,
+	"fig6":   Figure6,
+	"fig7":   Figure7,
+	"fig8":   Figure8,
+	"fig9":   Figure9,
+	"fig10":  Figure10,
+	"fig11":  Figure11,
+	// Extensions beyond the paper (DESIGN.md §5).
+	"ext-taxonomy":   ExtTaxonomy,
+	"ext-interleave": ExtInterleave,
+	"ext-residual":   ExtResidual,
+}
+
+// IDs returns the known experiment identifiers in presentation order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	rank := func(id string) int {
+		switch {
+		case strings.HasPrefix(id, "table"):
+			return 0
+		case strings.HasPrefix(id, "fig"):
+			return 1
+		default:
+			return 2 // extensions last
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if rank(ids[i]) != rank(ids[j]) {
+			return rank(ids[i]) < rank(ids[j])
+		}
+		return len(ids[i]) < len(ids[j]) || len(ids[i]) == len(ids[j]) && ids[i] < ids[j]
+	})
+	return ids
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, o Options) (*Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return r(o)
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+
+	"twolevel/internal/analysis"
+	"twolevel/internal/prog"
+	"twolevel/internal/sim"
+	"twolevel/internal/spec"
+	"twolevel/internal/trace"
+)
+
+// The "ext" experiments go beyond the paper's evaluation (DESIGN.md §5):
+// the fourth variation of the taxonomy and a stronger context-switch
+// model.
+
+// ExtTaxonomy compares all nine variations of the {G,P,S} x {g,p,s}
+// association taxonomy (Yeh & Patt's follow-up classification) at one
+// history length: the paper's three (GAg/PAg/PAp) plus the six
+// extensions. Per-set structures use 64 history registers and 16 pattern
+// tables — untagged, so aliasing is allowed, trading accuracy for tags.
+func ExtTaxonomy(o Options) (*Report, error) {
+	const k = 6
+	taxonomySpecs := []string{
+		fmt.Sprintf("GAg(HR(1,,%d-sr),1xPHT(2^%d,A2))", k, k),
+		fmt.Sprintf("GAs(HR(1,,%d-sr),16xPHT(2^%d,A2))", k, k),
+		fmt.Sprintf("GAp(HR(1,,%d-sr),512xPHT(2^%d,A2))", k, k),
+		fmt.Sprintf("SAg(SHT(64,,%d-sr),1xPHT(2^%d,A2))", k, k),
+		fmt.Sprintf("SAs(SHT(64,,%d-sr),16xPHT(2^%d,A2))", k, k),
+		fmt.Sprintf("SAp(SHT(64,,%d-sr),512xPHT(2^%d,A2))", k, k),
+		fmt.Sprintf("PAg(BHT(512,4,%d-sr),1xPHT(2^%d,A2))", k, k),
+		fmt.Sprintf("PAs(BHT(512,4,%d-sr),16xPHT(2^%d,A2))", k, k),
+		fmt.Sprintf("PAp(BHT(512,4,%d-sr),512xPHT(2^%d,A2))", k, k),
+	}
+	r, err := accuracyReport("ext-taxonomy",
+		"Extension: the full {G,P,S} x {g,p,s} association taxonomy at k=6",
+		mustSpecs(taxonomySpecs...), o)
+	if err != nil {
+		return nil, err
+	}
+	r.Notes = append(r.Notes,
+		"rows ordered by history association (G, S, P), then pattern association (g, s, p)",
+		"expected: accuracy rises along both axes; per-set is the budget middle ground between global and per-address")
+	return r, nil
+}
+
+// extInterleaveQuantum is the instruction quantum used by the interleaved
+// context-switch experiment. It is much shorter than the paper's 500k so
+// that switches are frequent at this harness's trace budgets.
+const extInterleaveQuantum = 50_000
+
+// ExtInterleave compares the paper's context-switch model (flush the
+// branch history table) against actually interleaving two processes'
+// traces with per-process address spaces: the multiplexed predictor
+// suffers genuine cross-process pollution rather than modelled flushes.
+func ExtInterleave(o Options) (*Report, error) {
+	o = o.withDefaults()
+	sp := spec.MustParse("PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))")
+	r := &Report{
+		ID:      "ext-interleave",
+		Title:   "Extension: flush-model vs real interleaved context switches (PAg(12))",
+		Columns: []string{"accuracy", "switches"},
+		Percent: false,
+		Notes: []string{
+			fmt.Sprintf("interleave quantum: %d instructions (short, so switches are frequent at this budget)", extInterleaveQuantum),
+			"accuracy cells are fractions; the flush model approximates, interleaving measures the real pollution",
+		},
+	}
+	pair := [2]string{"gcc", "espresso"}
+
+	addRow := func(label string, res sim.Result) {
+		r.Series = append(r.Series, Series{
+			Label:  label,
+			Values: []Cell{res.Accuracy.Rate(), float64(res.ContextSwitches)},
+		})
+	}
+
+	for _, name := range pair {
+		b, err := prog.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		// Isolated, no switches.
+		p, err := spec.Build(sp, nil)
+		if err != nil {
+			return nil, err
+		}
+		src, err := newSource(b, b.Testing)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(p, src, sim.Options{MaxCondBranches: o.CondBranches})
+		if err != nil {
+			return nil, err
+		}
+		addRow(name+" isolated", res)
+
+		// Flush model at the interleaving quantum.
+		p, err = spec.Build(sp, nil)
+		if err != nil {
+			return nil, err
+		}
+		src, err = newSource(b, b.Testing)
+		if err != nil {
+			return nil, err
+		}
+		res, err = sim.Run(p, src, sim.Options{
+			MaxCondBranches: o.CondBranches,
+			ContextSwitches: true,
+			CSInterval:      extInterleaveQuantum,
+		})
+		if err != nil {
+			return nil, err
+		}
+		addRow(name+" flush-model", res)
+	}
+
+	// Real interleaving of the two processes.
+	var sources []trace.Source
+	for _, name := range pair {
+		b, err := prog.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		src, err := newSource(b, b.Testing)
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, src)
+	}
+	mux, err := sim.NewMultiplex(sources, extInterleaveQuantum)
+	if err != nil {
+		return nil, err
+	}
+	p, err := spec.Build(sp, nil)
+	if err != nil {
+		return nil, err
+	}
+	// The multiplexer emits its own switch traps; the simulator's flush
+	// is disabled so only genuine pollution is measured.
+	res, err := sim.Run(p, mux, sim.Options{MaxCondBranches: 2 * o.CondBranches})
+	if err != nil {
+		return nil, err
+	}
+	res.ContextSwitches = mux.Switches
+	addRow("gcc+espresso interleaved", res)
+	return r, nil
+}
+
+// ExtResidual characterises the residual mispredictions of the paper's
+// preferred configuration (PAg(12), 512x4-way) per benchmark — the
+// direction §6 of the paper points at: "we are examining that 3 percent
+// to try to characterize it and hopefully reduce it".
+func ExtResidual(o Options) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:      "ext-residual",
+		Title:   "Extension: what the residual mispredictions of PAg(12) are made of",
+		Columns: []string{"accuracy", "bht-miss", "pattern-cold", "pattern-training", "interference", "inherent"},
+		Percent: true,
+		Notes: []string{
+			"cause columns are shares of that benchmark's mispredictions",
+			"interference is the share PAp's per-address pattern tables would remove (§2.2)",
+		},
+	}
+	for _, b := range o.Benchmarks {
+		src, err := newSource(b, b.Testing)
+		if err != nil {
+			return nil, err
+		}
+		bd, err := analysis.Analyze(src, 12, 512, 4, o.CondBranches)
+		if err != nil {
+			return nil, err
+		}
+		row := Series{Label: b.Name, Values: []Cell{bd.Accuracy()}}
+		for c := analysis.Category(0); c < analysis.Category(analysis.NumCategories); c++ {
+			row.Values = append(row.Values, bd.Share(c))
+		}
+		r.Series = append(r.Series, row)
+	}
+	return r, nil
+}

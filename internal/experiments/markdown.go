@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteMarkdown renders the report as a GitHub-flavoured markdown table —
+// the format EXPERIMENTS.md embeds.
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n\n", strings.ToUpper(r.ID), r.Title); err != nil {
+		return err
+	}
+	header := append([]string{""}, r.Columns...)
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(header, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "|%s|\n", strings.Join(sep, "|")); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		cells := []string{s.Label}
+		for _, v := range s.Values {
+			cells = append(cells, r.formatCell(v))
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "\n> %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func (r *Report) formatCell(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case r.Percent:
+		return fmt.Sprintf("%.2f%%", 100*v)
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteMarkdown(t *testing.T) {
+	r := &Report{
+		ID:      "fig5",
+		Title:   "automata",
+		Columns: []string{"a", "b"},
+		Series: []Series{
+			{Label: "row1", Values: []Cell{0.975, math.NaN()}},
+			{Label: "row2", Values: []Cell{1, 42}},
+		},
+		Percent: true,
+		Notes:   []string{"a note"},
+	}
+	var sb strings.Builder
+	if err := r.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"## FIG5 — automata",
+		"|  | a | b |",
+		"|---|---|---|",
+		"| row1 | 97.50% | - |",
+		"> a note",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteMarkdownNonPercent(t *testing.T) {
+	r := &Report{
+		ID:      "t",
+		Title:   "x",
+		Columns: []string{"n"},
+		Series:  []Series{{Label: "r", Values: []Cell{512}}},
+	}
+	var sb strings.Builder
+	if err := r.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "| r | 512 |") {
+		t.Errorf("integer formatting wrong:\n%s", sb.String())
+	}
+}

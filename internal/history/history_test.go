@@ -1,0 +1,170 @@
+package history
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewInitialisedAllOnes(t *testing.T) {
+	for k := 1; k <= MaxBits; k++ {
+		r := New(k)
+		if r.Pattern() != uint32(1)<<k-1 {
+			t.Fatalf("k=%d: initial pattern %b, want all ones", k, r.Pattern())
+		}
+		if !r.Fresh() {
+			t.Fatalf("k=%d: new register should be fresh", k)
+		}
+		if r.Len() != k {
+			t.Fatalf("k=%d: Len()=%d", k, r.Len())
+		}
+	}
+}
+
+func TestNewPanicsOutOfRange(t *testing.T) {
+	for _, k := range []int{0, -3, MaxBits + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", k)
+				}
+			}()
+			New(k)
+		}()
+	}
+}
+
+func TestFirstOutcomeSmeared(t *testing.T) {
+	r := New(8)
+	r.Shift(false)
+	if r.Pattern() != 0 {
+		t.Fatalf("first not-taken should clear register, got %08b", r.Pattern())
+	}
+	r2 := New(8)
+	r2.Shift(true)
+	if r2.Pattern() != 0xFF {
+		t.Fatalf("first taken should fill register, got %08b", r2.Pattern())
+	}
+	if r.Fresh() || r2.Fresh() {
+		t.Fatal("register should not be fresh after first shift")
+	}
+}
+
+func TestShiftSemantics(t *testing.T) {
+	r := New(4)
+	// smear, then shift pattern 1,0,1 -> oldest..newest = 1110 1 101?
+	r.Shift(true)  // 1111
+	r.Shift(false) // 1110
+	r.Shift(true)  // 1101
+	r.Shift(false) // 1010
+	if r.Pattern() != 0b1010 {
+		t.Fatalf("pattern = %04b, want 1010", r.Pattern())
+	}
+	if r.String() != "1010" {
+		t.Fatalf("String() = %q", r.String())
+	}
+}
+
+func TestShiftDropsOldBits(t *testing.T) {
+	r := New(3)
+	r.Shift(true)
+	for i := 0; i < 3; i++ {
+		r.Shift(false)
+	}
+	if r.Pattern() != 0 {
+		t.Fatalf("old bits survived: %03b", r.Pattern())
+	}
+}
+
+func TestResetRestoresFreshState(t *testing.T) {
+	r := New(6)
+	r.Shift(true)
+	r.Shift(false)
+	r.Reset()
+	if !r.Fresh() || r.Pattern() != 0b111111 {
+		t.Fatalf("Reset did not restore initial state: fresh=%v pattern=%06b", r.Fresh(), r.Pattern())
+	}
+	// And smearing applies again after reset.
+	r.Shift(false)
+	if r.Pattern() != 0 {
+		t.Fatal("smear did not reapply after Reset")
+	}
+}
+
+func TestSetMasksAndUnfreshes(t *testing.T) {
+	r := New(4)
+	r.Set(0xFFFF)
+	if r.Pattern() != 0xF {
+		t.Fatalf("Set did not mask: %b", r.Pattern())
+	}
+	if r.Fresh() {
+		t.Fatal("Set should mark register live")
+	}
+}
+
+func TestShiftRawNoSmear(t *testing.T) {
+	r := New(4)
+	r.ShiftRaw(false) // 1111 -> 1110, no smearing
+	if r.Pattern() != 0b1110 {
+		t.Fatalf("ShiftRaw smeared: %04b", r.Pattern())
+	}
+}
+
+func TestPatternAlwaysWithinMask(t *testing.T) {
+	if err := quick.Check(func(k8 uint8, outcomes []bool) bool {
+		k := int(k8%MaxBits) + 1
+		r := New(k)
+		mask := uint32(1)<<k - 1
+		for _, o := range outcomes {
+			r.Shift(o)
+			if r.Pattern() & ^mask != 0 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternRecordsLastKOutcomes(t *testing.T) {
+	// Property: after at least k+1 shifts, the pattern equals the last k
+	// outcomes with the newest in bit 0.
+	if err := quick.Check(func(k8 uint8, raw []bool) bool {
+		k := int(k8%12) + 1
+		if len(raw) < k+2 {
+			return true // not enough data; trivially pass
+		}
+		r := New(k)
+		for _, o := range raw {
+			r.Shift(o)
+		}
+		var want uint32
+		for _, o := range raw[len(raw)-k:] {
+			want <<= 1
+			if o {
+				want |= 1
+			}
+		}
+		return r.Pattern() == want
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringWidth(t *testing.T) {
+	r := New(12)
+	if len(r.String()) != 12 {
+		t.Fatalf("String length %d, want 12", len(r.String()))
+	}
+	if strings.Trim(r.String(), "01") != "" {
+		t.Fatalf("String contains non-bits: %q", r.String())
+	}
+}
+
+func BenchmarkShift(b *testing.B) {
+	r := New(12)
+	for i := 0; i < b.N; i++ {
+		r.Shift(i&1 == 0)
+	}
+}

@@ -1,0 +1,203 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: SUB, Rd: 31, Rs1: 30, Rs2: 29},
+		{Op: FCMP, Rd: 5, Rs1: 6, Rs2: 7},
+		{Op: JMP, Rs1: 31},
+		{Op: JSR, Rs1: 4},
+		{Op: ADDI, Rd: 1, Rs1: 2, Imm: -1},
+		{Op: ADDI, Rd: 1, Rs1: 2, Imm: 32767},
+		{Op: ADDI, Rd: 1, Rs1: 2, Imm: -32768},
+		{Op: LUI, Rd: 9, Imm: 0x7FFF},
+		{Op: LW, Rd: 3, Rs1: 30, Imm: -8},
+		{Op: SW, Rd: 3, Rs1: 30, Imm: 12},
+		{Op: BCND, Cond: NE0, Rs1: 7, Imm: -100},
+		{Op: BCND, Cond: LE0, Rs1: 0, Imm: 200},
+		{Op: BR, Imm: -(1 << 25)},
+		{Op: BSR, Imm: 1<<25 - 1},
+		{Op: TRAP, Imm: 3},
+		{Op: HALT},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%v)): %v", in, err)
+		}
+		if got != in {
+			t.Fatalf("round trip %v -> %#08x -> %v", in, w, got)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	bad := []Inst{
+		{Op: Op(200)},
+		{Op: ADD, Rd: 32},
+		{Op: ADDI, Rd: 1, Imm: 40000},
+		{Op: ADDI, Rd: 1, Imm: -40000},
+		{Op: BCND, Cond: Cond(17), Imm: 0},
+		{Op: BR, Imm: 1 << 26},
+	}
+	for _, in := range bad {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%v) accepted", in)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	// Opcode beyond numOps.
+	if _, err := Decode(uint32(63) << 26); err == nil {
+		t.Error("invalid opcode decoded")
+	}
+	// BCND with invalid condition field.
+	w := uint32(BCND)<<26 | uint32(20)<<21
+	if _, err := Decode(w); err == nil {
+		t.Error("invalid condition decoded")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(op8, rd, rs1, rs2, cond uint8, imm int32) bool {
+		in := Inst{
+			Op:  Op(op8 % uint8(numOps)),
+			Rd:  rd % 32,
+			Rs1: rs1 % 32,
+			Rs2: rs2 % 32,
+		}
+		switch in.Op.Format() {
+		case FormatI:
+			in.Rs2 = 0
+			in.Imm = imm%(1<<15) - 1
+			if in.Imm < immMin {
+				in.Imm = immMin
+			}
+		case FormatB:
+			in.Cond = Cond(cond % uint8(numConds))
+			in.Rd, in.Rs2 = 0, 0
+			in.Imm = imm % (1 << 15)
+		case FormatJ:
+			in.Imm = imm % (1 << 25)
+			in.Rd, in.Rs1, in.Rs2 = 0, 0, 0
+		case FormatR:
+			in.Rs2 = rs2 % 32
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(w)
+		return err == nil && got == in
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondHolds(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		v    uint32
+		want bool
+	}{
+		{EQ0, 0, true}, {EQ0, 1, false},
+		{NE0, 0, false}, {NE0, 5, true},
+		{GT0, 1, true}, {GT0, 0, false}, {GT0, 0xFFFFFFFF, false}, // -1
+		{LT0, 0xFFFFFFFF, true}, {LT0, 0, false},
+		{GE0, 0, true}, {GE0, 0x80000000, false},
+		{LE0, 0, true}, {LE0, 1, false}, {LE0, 0xFFFFFFFF, true},
+	}
+	for _, c := range cases {
+		if got := c.c.Holds(c.v); got != c.want {
+			t.Errorf("%v.Holds(%#x) = %v, want %v", c.c, c.v, got, c.want)
+		}
+	}
+	if Cond(99).Holds(0) {
+		t.Error("invalid condition should never hold")
+	}
+}
+
+func TestCondComplementaryPairs(t *testing.T) {
+	// Property: eq0/ne0, gt0/le0, lt0/ge0 are complements.
+	if err := quick.Check(func(v uint32) bool {
+		return EQ0.Holds(v) != NE0.Holds(v) &&
+			GT0.Holds(v) != LE0.Holds(v) &&
+			LT0.Holds(v) != GE0.Holds(v)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseOpRoundTrip(t *testing.T) {
+	for o := Op(0); o < numOps; o++ {
+		got, err := ParseOp(o.String())
+		if err != nil || got != o {
+			t.Errorf("ParseOp(%q) = %v, %v", o.String(), got, err)
+		}
+	}
+	if _, err := ParseOp("bogus"); err == nil {
+		t.Error("ParseOp accepted bogus mnemonic")
+	}
+}
+
+func TestParseCondRoundTrip(t *testing.T) {
+	for c := Cond(0); c < numConds; c++ {
+		got, err := ParseCond(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseCond(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseCond("zz0"); err == nil {
+		t.Error("ParseCond accepted bogus condition")
+	}
+}
+
+func TestIsBranch(t *testing.T) {
+	branches := []Op{BCND, BR, BSR, JMP, JSR}
+	for _, o := range branches {
+		if !o.IsBranch() {
+			t.Errorf("%v should be a branch", o)
+		}
+	}
+	for _, o := range []Op{ADD, LW, SW, TRAP, HALT, LUI} {
+		if o.IsBranch() {
+			t.Errorf("%v should not be a branch", o)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := map[string]Inst{
+		"add r1, r2, r3":    {Op: ADD, Rd: 1, Rs1: 2, Rs2: 3},
+		"jmp r31":           {Op: JMP, Rs1: 31},
+		"addi r1, r2, -5":   {Op: ADDI, Rd: 1, Rs1: 2, Imm: -5},
+		"lw r3, 8(r30)":     {Op: LW, Rd: 3, Rs1: 30, Imm: 8},
+		"bcnd ne0, r7, -12": {Op: BCND, Cond: NE0, Rs1: 7, Imm: -12},
+		"halt":              {Op: HALT},
+		"trap 3":            {Op: TRAP, Imm: 3},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	w, _ := Encode(Inst{Op: ADDI, Rd: 1, Rs1: 2, Imm: 42})
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package pht
+
+import (
+	"testing"
+	"testing/quick"
+
+	"twolevel/internal/automaton"
+)
+
+func TestNewInitialisesToAutomatonInitial(t *testing.T) {
+	for _, k := range automaton.Kinds {
+		m := automaton.New(k)
+		tab := New(6, m)
+		if tab.Len() != 64 {
+			t.Fatalf("%v: Len = %d, want 64", k, tab.Len())
+		}
+		for p := uint32(0); p < 64; p++ {
+			if tab.State(p) != m.Initial() {
+				t.Fatalf("%v: entry %d not initialised", k, p)
+			}
+		}
+		if !tab.Predict(0) {
+			t.Errorf("%v: fresh table should predict taken", k)
+		}
+	}
+}
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	for _, k := range []int{0, 31, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", k)
+				}
+			}()
+			New(k, automaton.New(automaton.A2))
+		}()
+	}
+}
+
+func TestUpdateIsPerPattern(t *testing.T) {
+	tab := New(4, automaton.New(automaton.A2))
+	// Drive pattern 5 to strong not-taken; pattern 6 must be untouched.
+	for i := 0; i < 4; i++ {
+		tab.Update(5, false)
+	}
+	if tab.Predict(5) {
+		t.Error("pattern 5 should predict not-taken")
+	}
+	if !tab.Predict(6) {
+		t.Error("pattern 6 should still predict taken")
+	}
+	if tab.State(5) != 0 {
+		t.Errorf("pattern 5 state = %d, want 0", tab.State(5))
+	}
+}
+
+func TestPatternMasking(t *testing.T) {
+	tab := New(4, automaton.New(automaton.A2))
+	tab.Update(0xFFF5, false) // aliases to 5
+	if tab.State(5) != 2 {
+		t.Errorf("masked update missed: state(5) = %d", tab.State(5))
+	}
+	if tab.State(0x5) != tab.State(0xFFF5&0xF) {
+		t.Error("Predict/State must mask identically")
+	}
+}
+
+func TestResetRestoresInitial(t *testing.T) {
+	m := automaton.New(automaton.A2)
+	tab := New(3, m)
+	for p := uint32(0); p < 8; p++ {
+		tab.Update(p, false)
+		tab.Update(p, false)
+	}
+	tab.Reset()
+	for p := uint32(0); p < 8; p++ {
+		if tab.State(p) != m.Initial() {
+			t.Fatalf("Reset missed entry %d", p)
+		}
+	}
+}
+
+func TestTableTracksAutomatonExactly(t *testing.T) {
+	// Property: a table entry followed through random outcomes equals
+	// running the bare automaton.
+	if err := quick.Check(func(kind8 uint8, pattern uint32, outcomes []bool) bool {
+		kind := automaton.Kinds[int(kind8)%len(automaton.Kinds)]
+		m := automaton.New(kind)
+		tab := New(8, m)
+		s := m.Initial()
+		for _, o := range outcomes {
+			if tab.Predict(pattern) != m.Predict(s) {
+				return false
+			}
+			tab.Update(pattern, o)
+			s = m.Next(s, o)
+		}
+		return tab.State(pattern) == s
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainerMajorityVote(t *testing.T) {
+	tr := NewTrainer(4)
+	for i := 0; i < 10; i++ {
+		tr.Observe(3, true)
+	}
+	for i := 0; i < 4; i++ {
+		tr.Observe(3, false)
+	}
+	for i := 0; i < 9; i++ {
+		tr.Observe(7, false)
+	}
+	tr.Observe(7, true)
+	if tr.Observations() != 24 {
+		t.Fatalf("Observations = %d, want 24", tr.Observations())
+	}
+	preset := tr.Preset()
+	if !preset.Predict(3) {
+		t.Error("pattern 3 majority taken, preset should predict taken")
+	}
+	if preset.Predict(7) {
+		t.Error("pattern 7 majority not-taken, preset should predict not-taken")
+	}
+	// Unobserved patterns default to taken.
+	if !preset.Predict(0) {
+		t.Error("unobserved pattern should preset to taken")
+	}
+}
+
+func TestTrainerTieGoesToTaken(t *testing.T) {
+	tr := NewTrainer(2)
+	tr.Observe(1, true)
+	tr.Observe(1, false)
+	if !tr.Preset().Predict(1) {
+		t.Error("tie should preset taken")
+	}
+}
+
+func TestPresetTableIsFrozen(t *testing.T) {
+	tr := NewTrainer(3)
+	tr.Observe(2, false)
+	tr.Observe(2, false)
+	preset := tr.Preset()
+	// Updates during the "testing" run must not change predictions:
+	// that is the defining difference between Static Training and
+	// Two-Level Adaptive prediction.
+	for i := 0; i < 10; i++ {
+		preset.Update(2, true)
+	}
+	if preset.Predict(2) {
+		t.Fatal("preset table changed its mind at run time")
+	}
+}
+
+func TestTrainerPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTrainer(0)
+}
+
+func BenchmarkPredictUpdate(b *testing.B) {
+	tab := New(12, automaton.New(automaton.A2))
+	var p uint32
+	for i := 0; i < b.N; i++ {
+		taken := tab.Predict(p)
+		tab.Update(p, i%5 != 0)
+		p = p<<1 | uint32(i&1)
+		_ = taken
+	}
+}

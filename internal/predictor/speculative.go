@@ -1,0 +1,93 @@
+package predictor
+
+import (
+	"twolevel/internal/bht"
+	"twolevel/internal/trace"
+)
+
+// Speculative history update (§3.1).
+//
+// In a pipelined machine the outcome of a branch may not be known before
+// the next branch must be predicted. Using the obsolete history degrades
+// accuracy, so the paper proposes shifting the *prediction* into the
+// history register at predict time and repairing the register when a
+// misprediction resolves.
+//
+// With SpeculativeHistory enabled, Predict shifts its own prediction into
+// the affected history register and records a repair checkpoint (the
+// pre-shift pattern). Update consumes checkpoints in FIFO order — branches
+// resolve in program order — updates the pattern table with the
+// checkpointed (pre-shift) pattern, and on a misprediction rolls every
+// younger speculative shift back before installing the actual outcome.
+// The driver (sim.Run with PipelineDepth > 0) then re-predicts the
+// squashed younger branches, exactly as a refetched pipeline would.
+
+// checkpoint is one speculatively-predicted, unresolved branch.
+type checkpoint struct {
+	pc     uint32 // branch address (unused for GAg/GSg)
+	before uint32 // history pattern before the speculative shift
+	pred   bool   // the speculative outcome shifted in
+}
+
+// specShift performs the speculative history shift for b's register and
+// pushes a repair checkpoint.
+func (p *TwoLevel) specShift(b trace.Branch, pred bool) {
+	cp := checkpoint{pc: b.PC, pred: pred}
+	r := p.regFor(b.PC, true)
+	cp.before = r.Pattern()
+	r.Shift(pred)
+	p.inflight = append(p.inflight, cp)
+}
+
+// specUpdate resolves the oldest in-flight branch. It returns false if the
+// checkpoint queue is out of sync with the resolution stream, in which
+// case the caller falls back to the non-speculative update path.
+func (p *TwoLevel) specUpdate(b trace.Branch) bool {
+	if len(p.inflight) == 0 || p.inflight[0].pc != b.PC {
+		return false
+	}
+	cp := p.inflight[0]
+	p.inflight = p.inflight[1:]
+
+	// The pattern table is updated with the pre-shift pattern — the one
+	// the prediction was made from (its update timing "is not as
+	// critical", so it waits for the real outcome).
+	var e *bht.Entry
+	if p.needEntry() {
+		e = p.entry(b.PC, false)
+	}
+	p.tableFor(b.PC, e).Update(cp.before, b.Taken)
+	if e != nil && b.Taken {
+		e.Target = b.Target
+	}
+
+	if cp.pred == b.Taken {
+		return true
+	}
+
+	// Misprediction: the younger speculative shifts belong to squashed
+	// wrong-path work. Roll them back newest-to-oldest so each register
+	// ends at its oldest checkpointed pattern, then install the actual
+	// outcome of the mispredicted branch.
+	for i := len(p.inflight) - 1; i >= 0; i-- {
+		young := p.inflight[i]
+		if r := p.regFor(young.pc, false); r != nil {
+			r.Set(young.before)
+		}
+	}
+	p.inflight = p.inflight[:0]
+	if r := p.regFor(b.PC, false); r != nil {
+		r.Set(cp.before<<1 | bit(b.Taken))
+	}
+	return true
+}
+
+func bit(taken bool) uint32 {
+	if taken {
+		return 1
+	}
+	return 0
+}
+
+// InFlight returns the number of unresolved speculative predictions.
+func (p *TwoLevel) InFlight() int { return len(p.inflight) }

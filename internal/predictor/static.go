@@ -1,0 +1,40 @@
+package predictor
+
+import "twolevel/internal/trace"
+
+// AlwaysTaken is the static scheme that predicts taken for every branch.
+type AlwaysTaken struct{}
+
+// Name implements Predictor.
+func (AlwaysTaken) Name() string { return "Always Taken" }
+
+// Predict implements Predictor.
+func (AlwaysTaken) Predict(trace.Branch) bool { return true }
+
+// Update implements Predictor.
+func (AlwaysTaken) Update(trace.Branch, bool) {}
+
+// ContextSwitch implements Predictor.
+func (AlwaysTaken) ContextSwitch() {}
+
+// BTFN is the Backward-Taken/Forward-Not-Taken static scheme: backward
+// branches (loops) predict taken, forward branches predict not taken. It
+// mispredicts only once per loop execution on loop-closing branches (§4.2).
+type BTFN struct{}
+
+// Name implements Predictor.
+func (BTFN) Name() string { return "BTFN" }
+
+// Predict implements Predictor.
+func (BTFN) Predict(b trace.Branch) bool { return b.Backward() }
+
+// Update implements Predictor.
+func (BTFN) Update(trace.Branch, bool) {}
+
+// ContextSwitch implements Predictor.
+func (BTFN) ContextSwitch() {}
+
+var (
+	_ Predictor = AlwaysTaken{}
+	_ Predictor = BTFN{}
+)

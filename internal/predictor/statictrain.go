@@ -1,0 +1,195 @@
+package predictor
+
+import (
+	"fmt"
+	"io"
+
+	"twolevel/internal/history"
+	"twolevel/internal/pht"
+	"twolevel/internal/trace"
+)
+
+// StaticTrainer performs the profiling pass of Lee & A. Smith's Static
+// Training (§4.2): it runs the training data set through the two-level
+// structure, counting for every history pattern how often the next branch
+// was taken, and freezes the majority decision into a preset pattern
+// table.
+//
+// For GSg the pattern is global history; for PSg it is per-address
+// history tracked with an ideal table ("Lee and A. Smith's Static
+// Training scheme is similar in structure to the Per-address Two-Level
+// Adaptive scheme with an IBHT").
+type StaticTrainer struct {
+	perAddress bool
+	k          int
+	trainer    *pht.Trainer
+	ghr        history.Register
+	hists      map[uint32]*history.Register
+}
+
+// NewStaticTrainer returns a trainer collecting k-bit pattern statistics.
+// perAddress selects PSg-style per-branch history; false is GSg-style
+// global history.
+func NewStaticTrainer(k int, perAddress bool) *StaticTrainer {
+	t := &StaticTrainer{
+		perAddress: perAddress,
+		k:          k,
+		trainer:    pht.NewTrainer(k),
+	}
+	if perAddress {
+		t.hists = make(map[uint32]*history.Register)
+	} else {
+		t.ghr = history.New(k)
+	}
+	return t
+}
+
+// Observe records one resolved conditional branch from the training run.
+func (t *StaticTrainer) Observe(b trace.Branch) {
+	if !t.perAddress {
+		t.trainer.Observe(t.ghr.Pattern(), b.Taken)
+		t.ghr.Shift(b.Taken)
+		return
+	}
+	h := t.hists[b.PC]
+	if h == nil {
+		r := history.New(t.k)
+		h = &r
+		t.hists[b.PC] = h
+	}
+	t.trainer.Observe(h.Pattern(), b.Taken)
+	h.Shift(b.Taken)
+}
+
+// ObserveTrace drains a trace source, observing every conditional branch.
+func (t *StaticTrainer) ObserveTrace(src trace.Source) error {
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if !e.Trap && e.Branch.Class == trace.Cond {
+			t.Observe(e.Branch)
+		}
+	}
+}
+
+// Observations returns the number of branches observed so far.
+func (t *StaticTrainer) Observations() uint64 { return t.trainer.Observations() }
+
+// Preset freezes the collected statistics into a preset pattern table.
+func (t *StaticTrainer) Preset() *pht.Table { return t.trainer.Preset() }
+
+// NewGSg builds a Global Static Training predictor (GSg): the GAg
+// structure with the pattern table preset from the trainer.
+func NewGSg(t *StaticTrainer) (*TwoLevel, error) {
+	if t.perAddress {
+		return nil, fmt.Errorf("predictor: GSg requires a global-history trainer")
+	}
+	return NewTwoLevel(TwoLevelConfig{
+		Variation:   GAg,
+		HistoryBits: t.k,
+		Preset:      t.Preset(),
+	})
+}
+
+// NewPSg builds a Per-address Static Training predictor (PSg): the PAg
+// structure (with the given branch history table) and a preset global
+// pattern table.
+func NewPSg(t *StaticTrainer, entries, assoc int, ideal bool) (*TwoLevel, error) {
+	if !t.perAddress {
+		return nil, fmt.Errorf("predictor: PSg requires a per-address trainer")
+	}
+	return NewTwoLevel(TwoLevelConfig{
+		Variation:   PAg,
+		HistoryBits: t.k,
+		Entries:     entries,
+		Assoc:       assoc,
+		Ideal:       ideal,
+		Preset:      t.Preset(),
+	})
+}
+
+// Profile is the per-branch profiling static scheme (§4.2): each static
+// branch is predicted in the direction it took most frequently during the
+// training run; branches unseen in training are predicted taken.
+type Profile struct {
+	taken map[uint32]bool
+	name  string
+}
+
+// ProfileTrainer counts per-branch outcomes during a training run.
+type ProfileTrainer struct {
+	taken    map[uint32]uint64
+	notTaken map[uint32]uint64
+}
+
+// NewProfileTrainer returns an empty profile trainer.
+func NewProfileTrainer() *ProfileTrainer {
+	return &ProfileTrainer{taken: make(map[uint32]uint64), notTaken: make(map[uint32]uint64)}
+}
+
+// Observe records one resolved conditional branch.
+func (t *ProfileTrainer) Observe(b trace.Branch) {
+	if b.Taken {
+		t.taken[b.PC]++
+	} else {
+		t.notTaken[b.PC]++
+	}
+}
+
+// ObserveTrace drains a trace source, observing every conditional branch.
+func (t *ProfileTrainer) ObserveTrace(src trace.Source) error {
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if !e.Trap && e.Branch.Class == trace.Cond {
+			t.Observe(e.Branch)
+		}
+	}
+}
+
+// Build freezes the profile into a predictor. Ties predict taken.
+func (t *ProfileTrainer) Build() *Profile {
+	p := &Profile{taken: make(map[uint32]bool, len(t.taken)+len(t.notTaken)), name: "Profiling"}
+	for pc, n := range t.taken {
+		p.taken[pc] = n >= t.notTaken[pc]
+	}
+	for pc := range t.notTaken {
+		if _, seen := t.taken[pc]; !seen {
+			p.taken[pc] = false
+		}
+	}
+	return p
+}
+
+// Name implements Predictor.
+func (p *Profile) Name() string { return p.name }
+
+// Predict implements Predictor.
+func (p *Profile) Predict(b trace.Branch) bool {
+	if taken, ok := p.taken[b.PC]; ok {
+		return taken
+	}
+	return true
+}
+
+// Update implements Predictor; profiles are static.
+func (p *Profile) Update(trace.Branch, bool) {}
+
+// ContextSwitch implements Predictor; profiles hold no dynamic state.
+func (p *Profile) ContextSwitch() {}
+
+// ensure interface compliance
+var (
+	_ Predictor = (*TwoLevel)(nil)
+	_ Predictor = (*Profile)(nil)
+)

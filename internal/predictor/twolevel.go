@@ -1,0 +1,502 @@
+package predictor
+
+import (
+	"fmt"
+
+	"twolevel/internal/automaton"
+	"twolevel/internal/bht"
+	"twolevel/internal/history"
+	"twolevel/internal/pht"
+	"twolevel/internal/trace"
+)
+
+// Variation identifies one of the three alternative implementations of
+// Two-Level Adaptive Branch Prediction (§2.2), plus the Static Training
+// structures that share them.
+type Variation uint8
+
+const (
+	// GAg: single global history register, single global pattern table.
+	GAg Variation = iota
+	// PAg: per-address branch history table, global pattern table.
+	PAg
+	// PAp: per-address branch history table, per-address pattern tables
+	// (one bound to each branch history table entry slot).
+	PAp
+	// GAp: single global history register, per-address pattern tables.
+	// Not one of the paper's three implementations — with the per-set
+	// variations below it completes the {G,P,S} x {g,p,s} grid of Yeh &
+	// Patt's later taxonomy and is provided as an extension.
+	GAp
+	// GAs: global history register, per-set pattern tables (tables
+	// selected by untagged branch address bits). Extension.
+	GAs
+	// PAs: per-address history, per-set pattern tables. Extension.
+	PAs
+	// SAg: per-set history registers (an untagged register file indexed
+	// by branch address bits — aliasing allowed, no tags), global
+	// pattern table. Extension.
+	SAg
+	// SAs: per-set history registers, per-set pattern tables. Extension.
+	SAs
+	// SAp: per-set history registers, per-address pattern tables.
+	// Extension.
+	SAp
+)
+
+// axis is one level's association granularity: global, per-address or
+// per-set.
+type axis uint8
+
+const (
+	axisGlobal axis = iota
+	axisPerAddress
+	axisPerSet
+)
+
+// historyAxis returns the first level's association granularity.
+func (v Variation) historyAxis() axis {
+	switch v {
+	case GAg, GAp, GAs:
+		return axisGlobal
+	case SAg, SAs, SAp:
+		return axisPerSet
+	default:
+		return axisPerAddress
+	}
+}
+
+// patternAxis returns the second level's association granularity.
+func (v Variation) patternAxis() axis {
+	switch v {
+	case GAg, PAg, SAg:
+		return axisGlobal
+	case PAp, GAp, SAp:
+		return axisPerAddress
+	default:
+		return axisPerSet
+	}
+}
+
+// String returns the paper's abbreviation.
+func (v Variation) String() string {
+	switch v {
+	case GAg:
+		return "GAg"
+	case PAg:
+		return "PAg"
+	case PAp:
+		return "PAp"
+	case GAp:
+		return "GAp"
+	case GAs:
+		return "GAs"
+	case PAs:
+		return "PAs"
+	case SAg:
+		return "SAg"
+	case SAs:
+		return "SAs"
+	case SAp:
+		return "SAp"
+	default:
+		return fmt.Sprintf("Variation(%d)", uint8(v))
+	}
+}
+
+// TwoLevelConfig describes a Two-Level Adaptive predictor.
+type TwoLevelConfig struct {
+	// Variation selects GAg, PAg or PAp.
+	Variation Variation
+	// HistoryBits is k, the history register length.
+	HistoryBits int
+	// Automaton is the pattern-table entry machine (Figure 2).
+	Automaton automaton.Kind
+	// Machine, when non-nil, overrides Automaton with a custom machine
+	// (e.g. automaton.NewSaturating(3) for a 3-bit counter). The naming
+	// convention cannot express custom machines, so configurations
+	// using one are programmatic-only.
+	Machine *automaton.Machine
+	// Ideal selects the Ideal Branch History Table (per-address
+	// variations only).
+	Ideal bool
+	// Entries and Assoc size the practical branch history table
+	// (per-address variations with Ideal false). Assoc 1 is
+	// direct-mapped.
+	Entries int
+	Assoc   int
+	// HistorySets sizes the untagged per-set history register file of
+	// the S* variations (power of two).
+	HistorySets int
+	// PatternSets sizes the per-set pattern table array of the *s
+	// variations (power of two).
+	PatternSets int
+	// InheritPHTOnReplace, for PAp, keeps a slot's pattern table
+	// contents when the slot is reallocated to a different branch
+	// (hardware without a reset path would behave this way). The
+	// default (false) reinitialises the table for the new branch,
+	// matching the paper's per-address semantics; inheriting is an
+	// ablation (DESIGN.md §5).
+	InheritPHTOnReplace bool
+	// SpeculativeHistory enables the §3.1 timing model: Predict shifts
+	// its own prediction into the history register and Update repairs
+	// the register on a misprediction. Meaningful only when branches
+	// resolve late (sim.Options.PipelineDepth > 0); with immediate
+	// resolution it is behaviourally identical to the base model.
+	SpeculativeHistory bool
+	// PatternInit overrides the initial pattern-history state. nil uses
+	// the automaton's taken-biased initial state (§4.2). Ablation knob.
+	PatternInit *automaton.State
+	// ColdHistoryZero initialises a freshly allocated branch history
+	// register to all zeros instead of the paper's all-ones plus
+	// first-outcome smearing (§4.2). Ablation knob.
+	ColdHistoryZero bool
+	// Preset, when non-nil, freezes the global pattern table to the
+	// given preset table (Static Training GSg/PSg). The table's entries
+	// must use the PB automaton. Invalid for PAp.
+	Preset *pht.Table
+	// DisplayName overrides the generated configuration name.
+	DisplayName string
+}
+
+// Validate reports whether the configuration is well-formed.
+func (c TwoLevelConfig) Validate() error {
+	if c.HistoryBits < 1 || c.HistoryBits > history.MaxBits {
+		return fmt.Errorf("predictor: history length %d out of range", c.HistoryBits)
+	}
+	needsStore := c.Variation.historyAxis() == axisPerAddress ||
+		c.Variation.patternAxis() == axisPerAddress
+	if needsStore && !c.Ideal {
+		if c.Entries <= 0 || c.Entries&(c.Entries-1) != 0 {
+			return fmt.Errorf("predictor: BHT entries %d must be a power of two", c.Entries)
+		}
+		if c.Assoc <= 0 || c.Assoc&(c.Assoc-1) != 0 || c.Assoc > c.Entries {
+			return fmt.Errorf("predictor: BHT associativity %d invalid", c.Assoc)
+		}
+	}
+	if c.Variation.historyAxis() == axisPerSet {
+		if c.HistorySets <= 0 || c.HistorySets&(c.HistorySets-1) != 0 {
+			return fmt.Errorf("predictor: per-set history needs a power-of-two HistorySets, got %d", c.HistorySets)
+		}
+	}
+	if c.Variation.patternAxis() == axisPerSet {
+		if c.PatternSets <= 0 || c.PatternSets&(c.PatternSets-1) != 0 {
+			return fmt.Errorf("predictor: per-set pattern needs a power-of-two PatternSets, got %d", c.PatternSets)
+		}
+	}
+	if c.Preset != nil {
+		if c.Variation.patternAxis() != axisGlobal {
+			return fmt.Errorf("predictor: preset pattern tables require a global pattern level (GSg/PSg)")
+		}
+		if c.Preset.HistoryBits() != c.HistoryBits {
+			return fmt.Errorf("predictor: preset table is %d-bit, config is %d-bit",
+				c.Preset.HistoryBits(), c.HistoryBits)
+		}
+		if c.Preset.Machine().Kind() != automaton.PB {
+			return fmt.Errorf("predictor: preset table must use the PB automaton")
+		}
+	}
+	return nil
+}
+
+// TwoLevel is a Two-Level Adaptive Branch Predictor (or a Static Training
+// predictor sharing its structure).
+type TwoLevel struct {
+	cfg     TwoLevelConfig
+	machine *automaton.Machine
+	name    string
+
+	ghr  history.Register // global history (GAg/GSg/GAp/GAs)
+	gpht *pht.Table       // global pattern table (*Ag and static training)
+
+	store bht.Store // per-address history and/or pattern binding
+
+	setHists []history.Register // per-set history registers (SA*)
+	setPHTs  []*pht.Table       // per-set pattern tables (*As)
+
+	// inflight holds the repair checkpoints of unresolved speculative
+	// predictions (SpeculativeHistory only).
+	inflight []checkpoint
+
+	// statistics
+	bhtLookups uint64
+	bhtMisses  uint64
+}
+
+// NewTwoLevel builds a predictor from cfg.
+func NewTwoLevel(cfg TwoLevelConfig) (*TwoLevel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	machine := cfg.Machine
+	if machine == nil {
+		machine = automaton.New(cfg.Automaton)
+	}
+	p := &TwoLevel{cfg: cfg, machine: machine}
+	switch {
+	case cfg.Preset != nil:
+		p.gpht = cfg.Preset
+		p.machine = cfg.Preset.Machine()
+	case cfg.Variation.patternAxis() == axisGlobal:
+		p.gpht = p.newPHT()
+	case cfg.Variation.patternAxis() == axisPerSet:
+		p.setPHTs = make([]*pht.Table, cfg.PatternSets)
+		for i := range p.setPHTs {
+			p.setPHTs[i] = p.newPHT()
+		}
+	}
+	if p.needEntry() {
+		if cfg.Ideal {
+			p.store = bht.NewIdeal()
+		} else {
+			p.store = bht.NewCache(cfg.Entries, cfg.Assoc)
+		}
+	}
+	switch cfg.Variation.historyAxis() {
+	case axisGlobal:
+		p.ghr = history.New(cfg.HistoryBits)
+	case axisPerSet:
+		p.setHists = make([]history.Register, cfg.HistorySets)
+		for i := range p.setHists {
+			p.setHists[i] = history.New(cfg.HistoryBits)
+		}
+	}
+	p.name = cfg.DisplayName
+	if p.name == "" {
+		p.name = cfg.defaultName()
+	}
+	return p, nil
+}
+
+// newPHT builds a pattern table honouring the PatternInit ablation.
+func (p *TwoLevel) newPHT() *pht.Table {
+	if p.cfg.PatternInit != nil {
+		return pht.NewInit(p.cfg.HistoryBits, p.machine, *p.cfg.PatternInit)
+	}
+	return pht.New(p.cfg.HistoryBits, p.machine)
+}
+
+// MustTwoLevel is NewTwoLevel that panics on error; for tests and tables
+// of known-good configurations.
+func MustTwoLevel(cfg TwoLevelConfig) *TwoLevel {
+	p, err := NewTwoLevel(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// globalHistory reports whether the variation keeps one global history
+// register instead of per-address or per-set registers.
+func (p *TwoLevel) globalHistory() bool {
+	return p.cfg.Variation.historyAxis() == axisGlobal
+}
+
+// needEntry reports whether predictions must look up a branch history
+// table entry (per-address history and/or per-address pattern binding).
+func (p *TwoLevel) needEntry() bool {
+	return p.cfg.Variation.historyAxis() == axisPerAddress ||
+		p.cfg.Variation.patternAxis() == axisPerAddress
+}
+
+// setIdx selects the per-set history register for pc.
+func (p *TwoLevel) setIdx(pc uint32) int {
+	return int(pc >> 2 & uint32(len(p.setHists)-1))
+}
+
+// patIdx selects the per-set pattern table for pc.
+func (p *TwoLevel) patIdx(pc uint32) int {
+	return int(pc >> 2 & uint32(len(p.setPHTs)-1))
+}
+
+// regFor returns the history register consulted for pc: the global
+// register, the per-set register, or the per-address entry's register
+// (nil when the entry is not resident and allocate is false).
+func (p *TwoLevel) regFor(pc uint32, allocate bool) *history.Register {
+	switch p.cfg.Variation.historyAxis() {
+	case axisGlobal:
+		return &p.ghr
+	case axisPerSet:
+		return &p.setHists[p.setIdx(pc)]
+	default:
+		if allocate {
+			return &p.entry(pc, false).Hist
+		}
+		if e := p.store.Lookup(pc); e != nil {
+			return &e.Hist
+		}
+		return nil
+	}
+}
+
+// regVia returns the history register for pc, using the already-resolved
+// entry when the history level is per-address.
+func (p *TwoLevel) regVia(e *bht.Entry, pc uint32) *history.Register {
+	if p.cfg.Variation.historyAxis() == axisPerAddress {
+		return &e.Hist
+	}
+	return p.regFor(pc, false)
+}
+
+// tableFor returns the pattern table consulted for pc. e may be nil when
+// the variation needs no entry.
+func (p *TwoLevel) tableFor(pc uint32, e *bht.Entry) *pht.Table {
+	switch p.cfg.Variation.patternAxis() {
+	case axisPerAddress:
+		return e.PHT
+	case axisPerSet:
+		return p.setPHTs[p.patIdx(pc)]
+	default:
+		return p.gpht
+	}
+}
+
+func (c TwoLevelConfig) defaultName() string {
+	scheme := c.Variation.String()
+	atm := c.Automaton.String()
+	if c.Machine != nil {
+		atm = c.Machine.String()
+	}
+	if c.Preset != nil {
+		// Static Training structures: GSg / PSg.
+		if c.Variation == GAg {
+			scheme = "GSg"
+		} else {
+			scheme = "PSg"
+		}
+		atm = "PB"
+	}
+	k := c.HistoryBits
+	setSize := 1
+	var hist string
+	switch c.Variation.historyAxis() {
+	case axisGlobal:
+		hist = fmt.Sprintf("HR(1,,%d-sr)", k)
+	case axisPerSet:
+		hist = fmt.Sprintf("SHT(%d,,%d-sr)", c.HistorySets, k)
+	default:
+		if c.Ideal {
+			hist = fmt.Sprintf("IBHT(inf,,%d-sr)", k)
+		} else {
+			hist = fmt.Sprintf("BHT(%d,%d,%d-sr)", c.Entries, c.Assoc, k)
+		}
+	}
+	switch c.Variation.patternAxis() {
+	case axisPerAddress:
+		if c.Ideal {
+			return fmt.Sprintf("%s(%s,infxPHT(2^%d,%s))", scheme, hist, k, atm)
+		}
+		setSize = c.Entries
+	case axisPerSet:
+		setSize = c.PatternSets
+	}
+	return fmt.Sprintf("%s(%s,%dxPHT(2^%d,%s))", scheme, hist, setSize, k, atm)
+}
+
+// Name implements Predictor.
+func (p *TwoLevel) Name() string { return p.name }
+
+// Config returns the predictor's configuration.
+func (p *TwoLevel) Config() TwoLevelConfig { return p.cfg }
+
+// BHTMissRate returns the fraction of predictions that missed in the
+// branch history table (0 for GAg).
+func (p *TwoLevel) BHTMissRate() float64 {
+	if p.bhtLookups == 0 {
+		return 0
+	}
+	return float64(p.bhtMisses) / float64(p.bhtLookups)
+}
+
+// entry finds or allocates the branch history table entry for pc,
+// initialising per §3.3/§4.2 on a miss.
+func (p *TwoLevel) entry(pc uint32, countLookup bool) *bht.Entry {
+	if countLookup {
+		p.bhtLookups++
+	}
+	e := p.store.Lookup(pc)
+	if e != nil {
+		return e
+	}
+	if countLookup {
+		p.bhtMisses++
+	}
+	e, recycled := p.store.Allocate(pc)
+	e.Hist = history.New(p.cfg.HistoryBits)
+	e.Pred = true // all-ones pattern starts on the taken side
+	if p.cfg.ColdHistoryZero {
+		e.Hist.Set(0)
+	}
+	if p.cfg.Variation.patternAxis() == axisPerAddress {
+		switch {
+		case e.PHT == nil:
+			e.PHT = p.newPHT()
+		case recycled && !p.cfg.InheritPHTOnReplace:
+			e.PHT.Reset()
+		}
+	}
+	return e
+}
+
+// Predict implements Predictor.
+func (p *TwoLevel) Predict(b trace.Branch) bool {
+	var e *bht.Entry
+	if p.needEntry() {
+		e = p.entry(b.PC, true)
+	}
+	pattern := p.regVia(e, b.PC).Pattern()
+	pred := p.tableFor(b.PC, e).Predict(pattern)
+	if p.cfg.SpeculativeHistory {
+		p.specShift(b, pred)
+	}
+	return pred
+}
+
+// Update implements Predictor. The pattern table entry addressed by the
+// pre-resolution history is updated with the outcome, then the outcome is
+// shifted into the history register (§2.1, Equations 1-2).
+func (p *TwoLevel) Update(b trace.Branch, predicted bool) {
+	if p.cfg.SpeculativeHistory && p.specUpdate(b) {
+		return
+	}
+	var e *bht.Entry
+	if p.needEntry() {
+		e = p.entry(b.PC, false)
+	}
+	t := p.tableFor(b.PC, e)
+	r := p.regVia(e, b.PC)
+	t.Update(r.Pattern(), b.Taken)
+	r.Shift(b.Taken)
+	if e != nil {
+		// Cache the next prediction and the target address in the
+		// entry, as the one-cycle pipeline of §3.1-3.2 would.
+		e.Pred = t.Predict(r.Pattern())
+		if b.Taken {
+			e.Target = b.Target
+		}
+	}
+}
+
+// ContextSwitch implements Predictor: the branch history (first level) is
+// flushed and reinitialised; pattern tables are retained (§5.1.4).
+func (p *TwoLevel) ContextSwitch() {
+	p.inflight = p.inflight[:0]
+	if p.globalHistory() {
+		p.ghr.Reset()
+	}
+	for i := range p.setHists {
+		p.setHists[i].Reset()
+	}
+	if p.store != nil {
+		p.store.Flush()
+	}
+}
+
+// DebugHist returns the current history pattern of pc's entry as a bit
+// string, or "-" when the branch is not resident. Testing/diagnostics.
+func (p *TwoLevel) DebugHist(pc uint32) string {
+	if r := p.regFor(pc, false); r != nil {
+		return r.String()
+	}
+	return "-"
+}

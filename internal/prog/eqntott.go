@@ -1,0 +1,167 @@
+package prog
+
+import "fmt"
+
+// eqntottTarget is the Table 1 static conditional branch count.
+const eqntottTarget = 277
+
+// eqntott: boolean equation to truth-table conversion. Its dynamic branch
+// profile is famously concentrated in cmppt, the bit-vector comparison
+// routine called from quicksort: short data-dependent compare loops whose
+// outcomes follow strong patterns (long equal prefixes, alternating sort
+// order) that pattern-history predictors capture and per-branch counters
+// cannot. The generated program sorts an array of bit vectors with
+// exactly that comparison kernel and adds a sign-alternating scan.
+var eqntott = &Benchmark{
+	Name:             "eqntott",
+	FP:               false,
+	Description:      "bit-vector compare/sort kernel with alternating scans",
+	TargetStaticCond: eqntottTarget,
+	Training:         DataSet{Name: "NA (reduced PLA)", Seed: 0xE01707A1, Scale: 48},
+	Testing:          DataSet{Name: "int_pri_3.eqn", Seed: 0xE01707B2, Scale: 64},
+	build:            buildEqntott,
+}
+
+func buildEqntott(ds DataSet) string {
+	b := newBuilder(277)
+	data := &dataSegment{}
+	nvec := ds.Scale // number of bit vectors
+	words := 4       // words per vector
+	b.prologue(ds)
+	// The emission/decision tail runs first so short trace prefixes see
+	// every site; the sort kernel follows.
+	b.f("\tbr eq_fill")
+	b.at("eq_kernels")
+
+	// Generate nvec bit vectors. The leading words are a shared tag —
+	// real eqntott PT entries share long equal prefixes, so cmppt's
+	// word-equal loop runs its full patterned length — and the final
+	// word is a nearly-sorted key (index plus small noise), so the sort
+	// performs few, patterned swaps.
+	b.f("\tla r6, eq_vecs")
+	b.f("\tmv r4, r0") // index
+	b.countedLoop("r16", nvec, func() {
+		for w := 0; w < words-1; w++ {
+			b.f("\tli r3, %d", 5+3*w) // shared prefix tag
+			b.f("\tsw r3, %d(r6)", 4*w)
+		}
+		b.rand("r3")
+		b.f("\tandi r3, r3, 3")
+		b.f("\tslli r5, r4, 2")
+		b.f("\tadd r3, r3, r5") // key = 4*i + noise: nearly sorted
+		b.f("\tsw r3, %d(r6)", 4*(words-1))
+		b.f("\taddi r4, r4, 1")
+		b.f("\taddi r6, r6, %d", 4*words)
+	})
+
+	// cmppt: compare vectors at r6,r7 word-by-word. Result in r5:
+	// -1/0/+1. Sites: the word-equal loop branch and the less/greater
+	// decision.
+	b.f("\tbr eq_main")
+	b.at("eq_cmppt")
+	b.f("\tli r18, %d", words)
+	cmpLoop := b.label("cmp")
+	diff := b.label("cmp_diff")
+	b.at(cmpLoop)
+	b.f("\tlw r2, 0(r6)")
+	b.f("\tlw r3, 0(r7)")
+	b.f("\tsub r4, r2, r3")
+	b.bcnd("ne0", "r4", diff) // usually not taken early (shared prefixes)
+	b.f("\taddi r6, r6, 4")
+	b.f("\taddi r7, r7, 4")
+	b.f("\taddi r18, r18, -1")
+	b.bcnd("ne0", "r18", cmpLoop)
+	b.f("\tmv r5, r0") // equal
+	b.f("\trts")
+	b.at(diff)
+	less := b.label("cmp_less")
+	b.f("\tsltu r5, r2, r3")
+	b.bcnd("ne0", "r5", less)
+	b.f("\tli r5, 1")
+	b.f("\trts")
+	b.at(less)
+	b.f("\tli r5, -1")
+	b.f("\trts")
+
+	b.at("eq_main")
+	// Selection-sort-style pass over the vectors: for each i, compare
+	// against each j > i and swap pointers in an index table when out
+	// of order. Comparison outcomes trend from random to sorted — the
+	// evolving pattern that makes eqntott interesting.
+	// Build the index table 0..nvec-1 first.
+	b.f("\tla r6, eq_idx")
+	b.f("\tmv r4, r0")
+	b.countedLoop("r16", nvec, func() {
+		b.f("\tsw r4, 0(r6)")
+		b.f("\taddi r4, r4, 1")
+		b.f("\taddi r6, r6, 4")
+	})
+	// Outer/inner compare loops (2 sites) + swap decision (1 site).
+	b.f("\tli r24, %d", nvec-1) // i counter
+	outer := b.label("sort_i")
+	b.at(outer)
+	b.f("\tmv r25, r24") // j counter (j runs i..1 against slot j-1)
+	inner := b.label("sort_j")
+	noswap := b.label("noswap")
+	b.at(inner)
+	// Load idx[j-1], idx[j]; vectors at eq_vecs + idx*16.
+	b.f("\tla r8, eq_idx")
+	b.f("\tslli r2, r25, 2")
+	b.f("\tadd r8, r8, r2")
+	b.f("\tlw r26, -4(r8)") // idx[j-1]
+	b.f("\tlw r27, 0(r8)")  // idx[j]
+	b.f("\tla r6, eq_vecs")
+	b.f("\tslli r2, r26, %d", 4) // *16
+	b.f("\tadd r6, r6, r2")
+	b.f("\tla r7, eq_vecs")
+	b.f("\tslli r2, r27, %d", 4)
+	b.f("\tadd r7, r7, r2")
+	b.f("\tbsr eq_cmppt")
+	b.bcnd("le0", "r5", noswap) // in order (or equal): no swap
+	b.f("\tsw r27, -4(r8)")     // swap the indices
+	b.f("\tsw r26, 0(r8)")
+	b.at(noswap)
+	b.f("\taddi r25, r25, -1")
+	b.bcnd("ne0", "r25", inner)
+	b.f("\taddi r24, r24, -1")
+	b.bcnd("ne0", "r24", outer)
+
+	// The PT/OR-plane scan: walk an array whose entries alternate in
+	// sign by construction; the scan branch alternates taken/not-taken
+	// — trivially captured by two levels, hopeless for counters.
+	b.f("\tla r6, eq_alt")
+	b.f("\tli r4, 1")
+	b.countedLoop("r16", 2*nvec, func() {
+		b.f("\tsub r4, r0, r4") // flip sign
+		b.f("\tsw r4, 0(r6)")
+		b.f("\taddi r6, r6, 4")
+	})
+	negSkip := b.label("neg")
+	b.f("\tla r6, eq_alt")
+	b.countedLoop("r16", 2*nvec, func() {
+		b.f("\tlw r3, 0(r6)")
+		b.bcnd("gt0", "r3", negSkip) // alternates every iteration
+		b.f("\taddi r11, r11, 1")
+		b.at(negSkip)
+		b.f("\taddi r6, r6, 4")
+	})
+
+	b.f("\thalt")
+
+	b.at("eq_fill")
+	// Truth-table emission decisions (biased, with patterned minority).
+	b.mixBlocks(data, "eq", 40, 0.25, 0.55, []int{13, 14, 15})
+	fill := eqntottTarget - b.Conds()
+	if fill < 0 {
+		panic(fmt.Sprintf("eqntott: kernel already has %d sites", b.Conds()))
+	}
+	loopShare := fill / 3
+	b.rotatingBlocks(data, "eqf", fill-loopShare, 4, 0.25, 0.55, []int{13, 14, 15})
+	b.regularFiller(loopShare, false)
+	b.f("\tbr eq_kernels")
+
+	data.space("eq_vecs", 4*words*nvec)
+	data.space("eq_idx", 4*nvec)
+	data.space("eq_alt", 4*2*nvec)
+	return b.String() + data.sb.String()
+}

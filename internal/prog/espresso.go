@@ -1,0 +1,113 @@
+package prog
+
+import "fmt"
+
+// espressoTarget is the Table 1 static conditional branch count.
+const espressoTarget = 556
+
+// espresso: two-level logic minimisation. The program spends its time in
+// set operations over cube bit-vectors — loops whose bodies branch on
+// individual bits with strong per-column biases — and in greedy covering
+// heuristics ("is this the new best cube?") whose branches become
+// progressively less taken. The generated program reproduces both.
+var espresso = &Benchmark{
+	Name:             "espresso",
+	FP:               false,
+	Description:      "cube bit-set operations and greedy covering heuristics",
+	TargetStaticCond: espressoTarget,
+	Training:         DataSet{Name: "cps", Seed: 0xE59A5501, Scale: 48},
+	Testing:          DataSet{Name: "bca", Seed: 0xE59A5602, Scale: 64},
+	build:            buildEspresso,
+}
+
+func buildEspresso(ds DataSet) string {
+	b := newBuilder(556)
+	data := &dataSegment{}
+	ncubes := ds.Scale
+	b.prologue(ds)
+
+	// Generate the cube array. Each cube is one word; different bit
+	// columns get very different densities (always-set, mostly-set,
+	// rare), giving the bit-test branches their biases.
+	b.f("\tla r6, es_cubes")
+	b.countedLoop("r16", ncubes, func() {
+		b.rand("r3")
+		b.rand("r4")
+		b.f("\tand r3, r3, r4")   // bits with density 1/4
+		b.f("\tandi r3, r3, 511") // columns 9..11 never set
+		b.f("\tori r3, r3, 7")    // columns 0..2 always set
+		b.f("\tsw r3, 0(r6)")
+		b.f("\taddi r6, r6, 4")
+	})
+
+	// Column scans: for each of 12 columns (distinct static sites),
+	// loop over the cubes testing that column's bit. Early columns are
+	// dense (branch highly biased), later ones sparse.
+	for col := 0; col < 12; col++ {
+		skip := b.label("col")
+		b.f("\tla r6, es_cubes")
+		b.countedLoop("r17", ncubes, func() {
+			b.f("\tlw r3, 0(r6)")
+			b.f("\tandi r3, r3, %d", 1<<uint(col))
+			b.bcnd("eq0", "r3", skip)
+			b.f("\taddi r11, r11, 1") // count cover
+			b.at(skip)
+			b.f("\taddi r6, r6, 4")
+		})
+	}
+
+	// Greedy covering: find the cube with maximum popcount-ish weight.
+	// The "new max" branch is taken less and less as the scan proceeds
+	// — a decaying pattern per-address history learns well.
+	better := b.label("better")
+	next := b.label("next")
+	b.f("\tla r6, es_cubes")
+	b.f("\tmv r24, r0") // best weight
+	b.countedLoop("r17", ncubes, func() {
+		b.f("\tlw r3, 0(r6)")
+		// weight = (x & 0xFF) + (x>>8 & 0xFF)
+		b.f("\tandi r4, r3, 255")
+		b.f("\tsrli r3, r3, 8")
+		b.f("\tandi r3, r3, 255")
+		b.f("\tadd r4, r4, r3")
+		b.f("\tsub r5, r4, r24")
+		b.bcnd("le0", "r5", next)
+		b.at(better)
+		b.f("\tmv r24, r4")
+		b.at(next)
+		b.f("\taddi r6, r6, 4")
+	})
+
+	// Cube intersection/containment sweeps: pairwise ops with two
+	// nested loops (2 sites) and an emptiness test per pair.
+	empty := b.label("empty")
+	b.f("\tla r7, es_cubes")
+	b.countedLoop("r18", 16, func() {
+		b.f("\tla r6, es_cubes")
+		b.countedLoop("r17", ncubes, func() {
+			b.f("\tlw r2, 0(r6)")
+			b.f("\tlw r3, 0(r7)")
+			b.f("\tand r4, r2, r3")
+			b.bcnd("ne0", "r4", empty) // intersection non-empty: mostly taken
+			b.f("\taddi r12, r12, 1")
+			b.at(empty)
+			b.f("\taddi r6, r6, 4")
+		})
+		b.f("\taddi r7, r7, 4")
+	})
+
+	// Heuristic phase decisions.
+	b.mixBlocks(data, "es", 80, 0.25, 0.55, []int{0, 14, 15, 16})
+
+	fill := espressoTarget - b.Conds()
+	if fill < 0 {
+		panic(fmt.Sprintf("espresso: kernel already has %d sites", b.Conds()))
+	}
+	loopShare := fill / 4
+	b.rotatingBlocks(data, "esf", fill-loopShare, 6, 0.25, 0.55, []int{0, 14, 15, 16})
+	b.regularFiller(loopShare, false)
+	b.f("\thalt")
+
+	data.space("es_cubes", 4*ncubes)
+	return b.String() + data.sb.String()
+}

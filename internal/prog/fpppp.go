@@ -1,0 +1,64 @@
+package prog
+
+import "fmt"
+
+// fppppTarget is the Table 1 static conditional branch count.
+const fppppTarget = 653
+
+// fpppp: quantum chemistry two-electron integrals. The real program is
+// famous for enormous straight-line basic blocks of floating-point code
+// with occasional numerical guards — very few dynamic branches (about 5%
+// of instructions) and almost all of them decided the same way every
+// time. The generated program reproduces that shape: an outer loop over
+// "shell quadruples" whose body is long flop chains separated by heavily
+// biased guard branches.
+var fpppp = &Benchmark{
+	Name:             "fpppp",
+	FP:               true,
+	Description:      "straight-line float blocks with biased numerical guards",
+	TargetStaticCond: fppppTarget,
+	Training:         DataSet{Name: "NA (natoms reduced)", Seed: 0xF4B4A001, Scale: 4},
+	Testing:          DataSet{Name: "natoms", Seed: 0xF4B4B002, Scale: 6},
+	build:            buildFpppp,
+}
+
+func buildFpppp(ds DataSet) string {
+	b := newBuilder(653)
+	data := &dataSegment{}
+	b.prologue(ds)
+
+	// Seed the flop chain registers with benign values.
+	b.f("\tli r5, 3")
+	b.f("\tcvtif r5, r5, r0")
+	b.f("\tli r6, 2")
+	b.f("\tcvtif r6, r6, r0")
+
+	// A couple of small outer loops (shell pair enumeration).
+	b.countedLoop("r19", ds.Scale, func() {
+		b.countedLoop("r18", ds.Scale, func() {
+			// Long straight-line integral blocks: ~15 flops per
+			// guard. 88% of guards sit on the taken side (forward
+			// skips over correction code), the rest never trigger.
+			for i := 0; i < 140; i++ {
+				b.flops(12 + b.gen.Intn(7))
+				b.f("\taddi r11, r11, 1")
+				b.guard(b.gen.Bool(0.22))
+			}
+		})
+	})
+
+	// A periodic renormalisation branch (the rare recompute path).
+	data.word("fp_renorm_ctr", 0)
+	b.periodicBranch("fp_renorm_ctr", 5)
+
+	fill := fppppTarget - b.Conds()
+	if fill < 0 {
+		panic(fmt.Sprintf("fpppp: kernel already has %d sites", b.Conds()))
+	}
+	// The long tail of integral-block code: only a slice of it runs per
+	// pass (real fpppp's enormous text has strong phase locality), with
+	// deterministic guard-like decisions.
+	b.rotatingBlocks(data, "fpf", fill, 6, 0.2, 0.55, []int{0, 16})
+	b.f("\thalt")
+	return b.String() + data.sb.String()
+}

@@ -1,0 +1,180 @@
+package prog
+
+import "fmt"
+
+// matrix300Target is the Table 1 static conditional branch count.
+const matrix300Target = 213
+
+// matrix300: dense matrix arithmetic. The real benchmark multiplies
+// 300x300 matrices through a SAXPY-based library; the generated program
+// performs NxN matrix products, a transpose, and a set of BLAS-1 style
+// library routines (dot, saxpy, scal), all dominated by deeply regular
+// loop-closing branches — which is why the paper gets near-perfect
+// accuracy on it with every predictor that handles loops.
+var matrix300 = &Benchmark{
+	Name:             "matrix300",
+	FP:               true,
+	Description:      "dense NxN matrix multiply with BLAS-1 library loops",
+	TargetStaticCond: matrix300Target,
+	Training:         DataSet{Name: "built-in (reduced)", Seed: 0x6D300A01, Scale: 32},
+	Testing:          DataSet{Name: "built-in", Seed: 0x6D300B02, Scale: 40},
+	build:            buildMatrix300,
+}
+
+func buildMatrix300(ds DataSet) string {
+	b := newBuilder(300)
+	data := &dataSegment{}
+	n := ds.Scale
+	b.prologue(ds)
+	// The library's long tail of small loops runs first (so short trace
+	// prefixes still see every site), then the matmul kernels.
+	b.f("\tbr m3_filler")
+	b.at("m3_kernels")
+
+	// Fill A and B with small random floats.
+	for _, mat := range []string{"m3_a", "m3_b"} {
+		b.f("\tla r6, %s", mat)
+		b.countedLoop("r16", n*n, func() {
+			b.rand("r3")
+			b.f("\tandi r3, r3, 255")
+			b.f("\tcvtif r3, r3, r0")
+			b.f("\tsw r3, 0(r6)")
+			b.f("\taddi r6, r6, 4")
+		})
+	}
+
+	// matmul emits C = A*B as a classic ijk triple nest (3 sites).
+	matmul := func(cdst string) {
+		li, lj, lk := b.label("mi"), b.label("mj"), b.label("mk")
+		b.f("\tla r24, m3_a")
+		b.f("\tla r25, m3_b")
+		b.f("\tla r26, %s", cdst)
+		b.f("\tmv r27, r24") // A row pointer
+		b.f("\tmv r28, r26") // C row pointer
+		b.f("\tli r16, %d", n)
+		b.at(li)
+		b.f("\tli r17, %d", n)
+		b.f("\tmv r8, r25") // B column base
+		b.at(lj)
+		b.f("\tmv r5, r0") // accumulator 0.0
+		b.f("\tmv r6, r27")
+		b.f("\tmv r7, r8")
+		b.f("\tli r18, %d", n)
+		b.at(lk)
+		b.f("\tlw r2, 0(r6)")
+		b.f("\tlw r3, 0(r7)")
+		b.f("\tfmul r2, r2, r3")
+		b.f("\tfadd r5, r5, r2")
+		b.f("\taddi r6, r6, 4")
+		b.f("\taddi r7, r7, %d", 4*n)
+		b.f("\taddi r18, r18, -1")
+		b.bcnd("ne0", "r18", lk)
+		b.f("\tsw r5, 0(r28)")
+		b.f("\taddi r28, r28, 4")
+		b.f("\taddi r8, r8, 4")
+		b.f("\taddi r17, r17, -1")
+		b.bcnd("ne0", "r17", lj)
+		b.f("\taddi r27, r27, %d", 4*n)
+		b.f("\taddi r16, r16, -1")
+		b.bcnd("ne0", "r16", li)
+	}
+	matmul("m3_c")
+
+	// Transpose C in place of D (2 sites: nested loops).
+	ti, tj := b.label("ti"), b.label("tj")
+	b.f("\tla r24, m3_c")
+	b.f("\tla r25, m3_d")
+	b.f("\tli r16, %d", n)
+	b.f("\tmv r27, r24")
+	b.at(ti)
+	b.f("\tli r17, %d", n)
+	b.f("\tmv r6, r27")
+	// column pointer into D: d + (n - r16) * 4
+	b.f("\tli r7, %d", n)
+	b.f("\tsub r7, r7, r16")
+	b.f("\tslli r7, r7, 2")
+	b.f("\tadd r7, r7, r25")
+	b.at(tj)
+	b.f("\tlw r2, 0(r6)")
+	b.f("\tsw r2, 0(r7)")
+	b.f("\taddi r6, r6, 4")
+	b.f("\taddi r7, r7, %d", 4*n)
+	b.f("\taddi r17, r17, -1")
+	b.bcnd("ne0", "r17", tj)
+	b.f("\taddi r27, r27, %d", 4*n)
+	b.f("\taddi r16, r16, -1")
+	b.bcnd("ne0", "r16", ti)
+
+	// BLAS-1 library routines called once per row (call/return traffic).
+	// dot: r6,r7 = vectors, r18 = len; result in r5. 1 site.
+	// saxpy: r6 += a*r7 elementwise. 1 site. scal: r6 *= a. 1 site.
+	b.f("\tbr m3_main") // skip over the library bodies
+	b.at("m3_dot")
+	b.f("\tmv r5, r0")
+	b.countedLoopReg("r18", func() {
+		b.f("\tlw r2, 0(r6)")
+		b.f("\tlw r3, 0(r7)")
+		b.f("\tfmul r2, r2, r3")
+		b.f("\tfadd r5, r5, r2")
+		b.f("\taddi r6, r6, 4")
+		b.f("\taddi r7, r7, 4")
+	})
+	b.f("\trts")
+	b.at("m3_saxpy")
+	b.countedLoopReg("r18", func() {
+		b.f("\tlw r2, 0(r6)")
+		b.f("\tlw r3, 0(r7)")
+		b.f("\tfmul r3, r3, r4")
+		b.f("\tfadd r2, r2, r3")
+		b.f("\tsw r2, 0(r6)")
+		b.f("\taddi r6, r6, 4")
+		b.f("\taddi r7, r7, 4")
+	})
+	b.f("\trts")
+	b.at("m3_scal")
+	b.countedLoopReg("r18", func() {
+		b.f("\tlw r2, 0(r6)")
+		b.f("\tfmul r2, r2, r4")
+		b.f("\tsw r2, 0(r6)")
+		b.f("\taddi r6, r6, 4")
+	})
+	b.f("\trts")
+
+	b.at("m3_main")
+	// Row sweep calling the library: per row, dot(c[i], d[i]) then
+	// saxpy and scal (1 loop site + 3 calls).
+	b.f("\tla r24, m3_c")
+	b.f("\tla r25, m3_d")
+	b.countedLoop("r19", n, func() {
+		b.f("\tmv r6, r24")
+		b.f("\tmv r7, r25")
+		b.f("\tli r18, %d", n)
+		b.f("\tbsr m3_dot")
+		b.f("\tmv r4, r5")
+		b.f("\tmv r6, r24")
+		b.f("\tmv r7, r25")
+		b.f("\tli r18, %d", n)
+		b.f("\tbsr m3_saxpy")
+		b.f("\tmv r6, r24")
+		b.f("\tli r18, %d", n)
+		b.f("\tbsr m3_scal")
+		b.f("\taddi r24, r24, %d", 4*n)
+		b.f("\taddi r25, r25, %d", 4*n)
+	})
+
+	// The remaining Table 1 sites: the small library loops the real
+	// binary carries (unrolled setup, error norms, printing helpers).
+	b.f("\thalt")
+	b.at("m3_filler")
+	fill := matrix300Target - b.Conds()
+	if fill < 0 {
+		panic(fmt.Sprintf("matrix300: kernel already has %d sites", b.Conds()))
+	}
+	b.regularFiller(fill, true)
+	b.f("\tbr m3_kernels")
+
+	for _, mat := range []string{"m3_a", "m3_b", "m3_c", "m3_d"} {
+		data.space(mat, 4*n*n)
+	}
+	return b.String() + data.sb.String()
+}

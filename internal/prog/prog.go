@@ -1,0 +1,125 @@
+// Package prog generates the nine benchmark programs used in the paper's
+// evaluation (§4.1): eqntott, espresso, gcc, li (xlisp), doduc, fpppp,
+// matrix300, spice2g6 and tomcatv.
+//
+// The original SPEC'89 binaries and their Motorola 88100 traces are not
+// available, so each benchmark is regenerated as a program in this
+// repository's ISA that reproduces the properties branch predictors are
+// sensitive to (see DESIGN.md §1):
+//
+//   - the static conditional branch count of Table 1 (BHT pressure),
+//   - the behaviour class — regular loop-dominated floating-point codes
+//     (fpppp, matrix300, tomcatv) versus irregular data-dependent integer
+//     codes (eqntott, espresso, gcc, li) and the mixed doduc/spice2g6,
+//   - the call/return/unconditional mix of Figure 4, and
+//   - trap frequency (gcc traps heavily; §5.1.4).
+//
+// Every benchmark has a training and a testing data set mirroring
+// Table 2; data is synthesised in-program from a seeded xorshift32
+// generator, and the restart counter maintained by cpu.Source perturbs
+// each rerun so looped traces do not repeat verbatim.
+package prog
+
+import (
+	"fmt"
+
+	"twolevel/internal/asm"
+	"twolevel/internal/cpu"
+	"twolevel/internal/trace"
+)
+
+// DataSet identifies one input configuration of a benchmark (Table 2).
+type DataSet struct {
+	// Name is the data set label from Table 2 (e.g. "bca", "cps").
+	Name string
+	// Seed parameterises the in-program data generator.
+	Seed uint32
+	// Scale is the benchmark's size parameter (matrix order, queens
+	// board size, hanoi height, token count per run, ...).
+	Scale int
+}
+
+// Benchmark is one generatable benchmark program.
+type Benchmark struct {
+	// Name is the SPEC benchmark name.
+	Name string
+	// FP marks the floating-point benchmarks.
+	FP bool
+	// Description summarises what the generated program computes.
+	Description string
+	// TargetStaticCond is the paper's Table 1 static conditional branch
+	// count, which the generator aims to match.
+	TargetStaticCond int
+	// Training and Testing are the Table 2 data sets.
+	Training DataSet
+	Testing  DataSet
+
+	build func(ds DataSet) string
+}
+
+// Source returns the assembly source for the benchmark with data set ds.
+func (b *Benchmark) Source(ds DataSet) string { return b.build(ds) }
+
+// Build assembles the benchmark with data set ds.
+func (b *Benchmark) Build(ds DataSet) (*asm.Program, error) {
+	p, err := asm.Assemble(b.build(ds))
+	if err != nil {
+		return nil, fmt.Errorf("prog: %s/%s: %w", b.Name, ds.Name, err)
+	}
+	return p, nil
+}
+
+// NewSource builds the benchmark and returns a looping trace source over
+// a fresh CPU: the program restarts with a bumped run counter whenever it
+// finishes, so the source never runs dry.
+func (b *Benchmark) NewSource(ds DataSet) (trace.Source, error) {
+	p, err := b.Build(ds)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cpu.New(p, 0)
+	if err != nil {
+		return nil, fmt.Errorf("prog: %s/%s: %w", b.Name, ds.Name, err)
+	}
+	return cpu.NewSource(c, true), nil
+}
+
+// All lists the nine benchmarks in the paper's order: integer benchmarks
+// first, then floating point (as in Table 1).
+var All = []*Benchmark{
+	eqntott,
+	espresso,
+	gcc,
+	li,
+	doduc,
+	fpppp,
+	matrix300,
+	spice2g6,
+	tomcatv,
+}
+
+// Integer returns the integer benchmarks.
+func Integer() []*Benchmark { return filter(false) }
+
+// FloatingPoint returns the floating-point benchmarks.
+func FloatingPoint() []*Benchmark { return filter(true) }
+
+func filter(fp bool) []*Benchmark {
+	var out []*Benchmark
+	for _, b := range All {
+		if b.FP == fp {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByName finds a benchmark by its SPEC name.
+func ByName(name string) (*Benchmark, error) {
+	for _, b := range All {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("prog: unknown benchmark %q", name)
+}

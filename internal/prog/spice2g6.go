@@ -1,0 +1,72 @@
+package prog
+
+import "fmt"
+
+// spice2g6Target is the Table 1 static conditional branch count.
+const spice2g6Target = 606
+
+// spice2g6: analog circuit simulation. Its branch profile is dominated by
+// the transient-analysis time loop, a Newton-Raphson convergence loop
+// whose trip count varies with the circuit state, and per-device model
+// evaluation code full of region checks (cutoff/linear/saturation). The
+// generated program reproduces that: a timestep loop, an inner iteration
+// loop with a data-dependent trip count, and device-evaluation decision
+// blocks with strong regional biases.
+var spice2g6 = &Benchmark{
+	Name:             "spice2g6",
+	FP:               true,
+	Description:      "timestep + Newton convergence loops over device models",
+	TargetStaticCond: spice2g6Target,
+	Training:         DataSet{Name: "short greycode.in", Seed: 0x591CE001, Scale: 6},
+	Testing:          DataSet{Name: "greycode.in", Seed: 0x591CE102, Scale: 9},
+	build:            buildSpice2g6,
+}
+
+func buildSpice2g6(ds DataSet) string {
+	b := newBuilder(606)
+	data := &dataSegment{}
+	b.prologue(ds)
+	b.f("\tli r5, 7")
+	b.f("\tcvtif r5, r5, r0")
+	b.f("\tli r6, 2")
+	b.f("\tcvtif r6, r6, r0")
+
+	// Timestep loop (Scale steps per pass).
+	b.countedLoop("r19", ds.Scale, func() {
+		// Newton-Raphson: trip count 2 + (rand & 3) — data dependent
+		// but narrowly distributed, like convergence behaviour.
+		newton := b.label("newton")
+		b.rand("r4")
+		b.f("\tandi r20, r4, 3")
+		b.f("\taddi r20, r20, 2")
+		b.at(newton)
+		// Device evaluation: regional decision blocks. Region checks
+		// are nearly deterministic for a given device (cutoff vs
+		// saturation rarely changes between Newton iterations).
+		b.mixBlocks(data, "sp", 120, 0.25, 0.6, []int{0, 14, 15, 16})
+		b.flops(8)
+		b.f("\taddi r20, r20, -1")
+		b.bcnd("ne0", "r20", newton)
+		// LU solve sweep: regular nested loops (2 sites).
+		b.countedLoop("r16", 6, func() {
+			b.countedLoop("r17", 6, func() {
+				b.flops(2)
+			})
+		})
+		// Timestep acceptance: accepted most of the time.
+		b.biasedBranch(14)
+	})
+
+	// Output/rawfile interaction once in a while.
+	b.trapEvery("sp_trap_ctr", 7)
+
+	fill := spice2g6Target - b.Conds()
+	if fill < 0 {
+		panic(fmt.Sprintf("spice2g6: kernel already has %d sites", b.Conds()))
+	}
+	loopShare := fill / 10
+	b.rotatingBlocks(data, "spf", fill-loopShare, 12, 0.25, 0.6, []int{0, 14, 15, 16})
+	b.regularFiller(loopShare, true)
+	b.f("\thalt")
+	return b.String() + data.sb.String()
+}

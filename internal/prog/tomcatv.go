@@ -1,0 +1,146 @@
+package prog
+
+import "fmt"
+
+// tomcatvTarget is the Table 1 static conditional branch count.
+const tomcatvTarget = 370
+
+// tomcatv: vectorised 2-D mesh generation. The generated program performs
+// Jacobi-style relaxation sweeps over an NxN grid with boundary handling
+// and a residual check — long regular loop nests with a handful of very
+// biased data-dependent guards, the behaviour class the paper's FP
+// benchmarks share.
+var tomcatv = &Benchmark{
+	Name:             "tomcatv",
+	FP:               true,
+	Description:      "2-D mesh relaxation sweeps with residual checks",
+	TargetStaticCond: tomcatvTarget,
+	Training:         DataSet{Name: "built-in (reduced)", Seed: 0x70CA7B01, Scale: 48},
+	Testing:          DataSet{Name: "built-in", Seed: 0x70CA7A02, Scale: 64},
+	build:            buildTomcatv,
+}
+
+func buildTomcatv(ds DataSet) string {
+	b := newBuilder(370)
+	data := &dataSegment{}
+	n := ds.Scale
+	b.prologue(ds)
+	// Library-tail loops first, then the relaxation kernels.
+	b.f("\tbr tc_filler")
+	b.at("tc_kernels")
+
+	// Initialise the grid with small random floats.
+	b.f("\tla r6, tc_grid")
+	b.countedLoop("r16", n*n, func() {
+		b.rand("r3")
+		b.f("\tandi r3, r3, 63")
+		b.f("\tcvtif r3, r3, r0")
+		b.f("\tsw r3, 0(r6)")
+		b.f("\taddi r6, r6, 4")
+	})
+
+	// Hoist the float constants: r29 = 0.25f, r23 = 64.0f (epsilon).
+	b.f("\tla r2, tc_quarter")
+	b.f("\tlw r29, 0(r2)")
+	b.f("\tla r2, tc_eps")
+	b.f("\tlw r23, 0(r2)")
+
+	// Relaxation sweeps: for each interior point average the four
+	// neighbours into the next grid; track a residual and take a
+	// rare correction path when it is large (biased guard).
+	sweeps := 4
+	b.countedLoop("r19", sweeps, func() {
+		si, sj := b.label("si"), b.label("sj")
+		big := b.label("res_big")
+		done := b.label("res_done")
+		b.f("\tla r24, tc_grid")
+		b.f("\tla r25, tc_next")
+		// Start at row 1, col handling via inner bounds (n-2 iters).
+		b.f("\taddi r27, r24, %d", 4*n) // source row base (row 1)
+		b.f("\taddi r28, r25, %d", 4*n)
+		b.f("\tli r16, %d", n-2)
+		b.at(si)
+		b.f("\taddi r6, r27, 4") // first interior column
+		b.f("\taddi r7, r28, 4")
+		b.f("\tli r17, %d", n-2)
+		b.at(sj)
+		b.f("\tlw r2, -4(r6)") // west
+		b.f("\tlw r3, 4(r6)")  // east
+		b.f("\tfadd r2, r2, r3")
+		b.f("\tlw r3, %d(r6)", -4*n) // north
+		b.f("\tfadd r2, r2, r3")
+		b.f("\tlw r3, %d(r6)", 4*n) // south
+		b.f("\tfadd r2, r2, r3")
+		b.f("\tfmul r2, r2, r29") // * 0.25
+		b.f("\tlw r3, 0(r6)")
+		b.f("\tfsub r3, r2, r3") // residual at this point
+		b.f("\tsw r2, 0(r7)")
+		// Rare correction path: residual magnitude >= 64.0.
+		b.f("\tfcmp r5, r3, r23")
+		b.bcnd("gt0", "r5", big)
+		b.f("\tbr %s", done)
+		b.at(big)
+		b.f("\taddi r11, r11, 1") // count of clamped points
+		b.at(done)
+		b.f("\taddi r6, r6, 4")
+		b.f("\taddi r7, r7, 4")
+		b.f("\taddi r17, r17, -1")
+		b.bcnd("ne0", "r17", sj)
+		b.f("\taddi r27, r27, %d", 4*n)
+		b.f("\taddi r28, r28, %d", 4*n)
+		b.f("\taddi r16, r16, -1")
+		b.bcnd("ne0", "r16", si)
+
+		// Copy next back into grid (1 site).
+		b.f("\tla r6, tc_grid")
+		b.f("\tla r7, tc_next")
+		b.countedLoop("r16", n*n, func() {
+			b.f("\tlw r2, 0(r7)")
+			b.f("\tsw r2, 0(r6)")
+			b.f("\taddi r6, r6, 4")
+			b.f("\taddi r7, r7, 4")
+		})
+
+		// Boundary passes: four separate edge loops (4 sites).
+		for edge := 0; edge < 4; edge++ {
+			b.f("\tla r6, tc_grid")
+			switch edge {
+			case 1:
+				b.f("\taddi r6, r6, %d", 4*n*(n-1))
+			case 2:
+				// west column: stride n words
+			case 3:
+				b.f("\taddi r6, r6, %d", 4*(n-1))
+			}
+			stride := 4
+			if edge >= 2 {
+				stride = 4 * n
+			}
+			b.countedLoop("r17", n, func() {
+				b.f("\tlw r2, 0(r6)")
+				b.f("\tfadd r2, r2, r2")
+				b.f("\tsw r2, 0(r6)")
+				b.f("\taddi r6, r6, %d", stride)
+			})
+		}
+	})
+
+	// Periodic "converged early" check once per pass (a pattern branch).
+	data.word("tc_conv_ctr", 0)
+	b.periodicBranch("tc_conv_ctr", 3)
+
+	b.f("\thalt")
+	b.at("tc_filler")
+	fill := tomcatvTarget - b.Conds()
+	if fill < 0 {
+		panic(fmt.Sprintf("tomcatv: kernel already has %d sites", b.Conds()))
+	}
+	b.regularFiller(fill, true)
+	b.f("\tbr tc_kernels")
+
+	data.space("tc_grid", 4*n*n)
+	data.space("tc_next", 4*n*n)
+	data.word("tc_quarter", 0x3E800000) // 0.25f
+	data.word("tc_eps", 0x42800000)     // 64.0f
+	return b.String() + data.sb.String()
+}

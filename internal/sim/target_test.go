@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"testing"
+
+	"twolevel/internal/automaton"
+	"twolevel/internal/predictor"
+	"twolevel/internal/trace"
+)
+
+func TestTargetCachingMeasured(t *testing.T) {
+	// A single always-taken branch with a fixed target: after the first
+	// resolution the cached target is always right.
+	tr := &trace.Trace{}
+	for i := 0; i < 200; i++ {
+		tr.Append(trace.Event{Instrs: 1, Branch: trace.Branch{
+			PC: 0x100, Target: 0x80, Class: trace.Cond, Taken: true,
+		}})
+	}
+	res, err := Run(pagA2(6), tr.Reader(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TargetPredictions == 0 {
+		t.Fatal("no target predictions counted")
+	}
+	// The only miss window is before the first update.
+	if res.TargetRate() < 0.99 {
+		t.Fatalf("stable target should be ~100%% cached: %.3f", res.TargetRate())
+	}
+}
+
+func TestTargetCachingAlternatingTargets(t *testing.T) {
+	// The branch alternates between two targets: the cached target is
+	// stale half the time — the §3.2 bubble a changing target causes.
+	tr := &trace.Trace{}
+	for i := 0; i < 400; i++ {
+		target := uint32(0x80)
+		if i%2 == 1 {
+			target = 0x60
+		}
+		tr.Append(trace.Event{Instrs: 1, Branch: trace.Branch{
+			PC: 0x100, Target: target, Class: trace.Cond, Taken: true,
+		}})
+	}
+	res, err := Run(pagA2(6), tr.Reader(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TargetRate() > 0.2 {
+		t.Fatalf("alternating target should mostly miss the cache: %.3f", res.TargetRate())
+	}
+}
+
+func TestTargetCountingOnlyOnPredictedTakenTaken(t *testing.T) {
+	// Not-taken branches contribute no target measurements.
+	tr := &trace.Trace{}
+	for i := 0; i < 100; i++ {
+		tr.Append(trace.Event{Instrs: 1, Branch: trace.Branch{
+			PC: 0x200, Target: 0x100, Class: trace.Cond, Taken: false,
+		}})
+	}
+	res, err := Run(pagA2(6), tr.Reader(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TargetPredictions != 0 {
+		t.Fatalf("not-taken branches produced %d target predictions", res.TargetPredictions)
+	}
+}
+
+func TestTargetNotMeasuredForSchemesWithoutCache(t *testing.T) {
+	tr := alternatingTrace(0x100, 100)
+	res, err := Run(predictor.AlwaysTaken{}, tr.Reader(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TargetPredictions != 0 {
+		t.Fatal("AlwaysTaken cannot cache targets")
+	}
+	// GAg keeps no per-branch state either.
+	g := predictor.MustTwoLevel(predictor.TwoLevelConfig{
+		Variation: predictor.GAg, HistoryBits: 6, Automaton: automaton.A2,
+	})
+	res, err = Run(g, alternatingTrace(0x100, 100).Reader(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TargetPredictions != 0 {
+		t.Fatal("GAg should not produce target predictions")
+	}
+}
+
+func TestBTBTargetCaching(t *testing.T) {
+	tr := &trace.Trace{}
+	for i := 0; i < 200; i++ {
+		tr.Append(trace.Event{Instrs: 1, Branch: trace.Branch{
+			PC: 0x300, Target: 0x200, Class: trace.Cond, Taken: true,
+		}})
+	}
+	p := predictor.MustBTB(predictor.BTBConfig{Entries: 512, Assoc: 4, Automaton: automaton.A2})
+	res, err := Run(p, tr.Reader(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TargetRate() < 0.99 {
+		t.Fatalf("BTB target rate %.3f", res.TargetRate())
+	}
+}
+
+func TestTargetRateEmpty(t *testing.T) {
+	var r Result
+	if r.TargetRate() != 0 {
+		t.Fatal("empty TargetRate should be 0")
+	}
+}

@@ -1,0 +1,84 @@
+package spec
+
+import (
+	"testing"
+
+	"twolevel/internal/rng"
+)
+
+// Robustness: the parser must never panic, whatever the input — it is
+// fed directly from command-line flags.
+
+func randomSpecString(r *rng.RNG) string {
+	alphabet := []byte("GAPSBTbpgs(),^x0123456789-srinfHRLc ")
+	n := r.Intn(60)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return string(out)
+}
+
+func TestParseNeverPanicsOnRandomInput(t *testing.T) {
+	r := rng.New(20260705)
+	for i := 0; i < 20000; i++ {
+		s := randomSpecString(r)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Parse(%q) panicked: %v", s, p)
+				}
+			}()
+			sp, err := Parse(s)
+			if err == nil {
+				// Anything accepted must round-trip through its own
+				// canonical form.
+				again, err2 := Parse(sp.String())
+				if err2 != nil {
+					t.Fatalf("canonical form %q of %q does not re-parse: %v", sp.String(), s, err2)
+				}
+				if again.String() != sp.String() {
+					t.Fatalf("canonical form not a fixed point: %q -> %q", sp.String(), again.String())
+				}
+			}
+		}()
+	}
+}
+
+func TestParseNeverPanicsOnMutatedValidSpecs(t *testing.T) {
+	// Mutations of valid specs exercise deeper parser paths than pure
+	// noise does.
+	r := rng.New(42)
+	valid := []string{
+		"PAg(BHT(512,4,12-sr),1xPHT(2^12,A2),c)",
+		"GAp(HR(1,,8-sr),512xPHT(2^8,A2))",
+		"BTB(BHT(512,4,LT),)",
+		"PSg(BHT(512,4,12-sr),1xPHT(2^12,PB))",
+	}
+	for i := 0; i < 20000; i++ {
+		s := []byte(valid[r.Intn(len(valid))])
+		// Flip, delete or insert a couple of characters.
+		for m := 0; m < 1+r.Intn(3); m++ {
+			if len(s) == 0 {
+				break
+			}
+			pos := r.Intn(len(s))
+			switch r.Intn(3) {
+			case 0:
+				s[pos] = byte(32 + r.Intn(95))
+			case 1:
+				s = append(s[:pos], s[pos+1:]...)
+			default:
+				s = append(s[:pos], append([]byte{byte(32 + r.Intn(95))}, s[pos:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Parse(%q) panicked: %v", s, p)
+				}
+			}()
+			_, _ = Parse(string(s))
+		}()
+	}
+}

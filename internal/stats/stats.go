@@ -1,0 +1,107 @@
+// Package stats provides the accuracy accounting and aggregate statistics
+// used by the experiment harness: per-predictor accuracy counters and the
+// geometric means ("Int GMean", "FP GMean", "Tot GMean") reported in the
+// paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accuracy counts predictions and correct predictions.
+type Accuracy struct {
+	Predictions uint64
+	Correct     uint64
+}
+
+// Add records one prediction.
+func (a *Accuracy) Add(correct bool) {
+	a.Predictions++
+	if correct {
+		a.Correct++
+	}
+}
+
+// Merge folds another accumulator into a.
+func (a *Accuracy) Merge(b Accuracy) {
+	a.Predictions += b.Predictions
+	a.Correct += b.Correct
+}
+
+// Rate returns the fraction of correct predictions, or 0 when empty.
+func (a Accuracy) Rate() float64 {
+	if a.Predictions == 0 {
+		return 0
+	}
+	return float64(a.Correct) / float64(a.Predictions)
+}
+
+// MissRate returns 1 - Rate for a non-empty accumulator, else 0.
+func (a Accuracy) MissRate() float64 {
+	if a.Predictions == 0 {
+		return 0
+	}
+	return 1 - a.Rate()
+}
+
+// String renders the accuracy as a percentage.
+func (a Accuracy) String() string {
+	return fmt.Sprintf("%.2f%% (%d/%d)", 100*a.Rate(), a.Correct, a.Predictions)
+}
+
+// GeoMean returns the geometric mean of vals. Values must be positive;
+// non-positive values and empty input yield NaN, making misuse loud.
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// Mean returns the arithmetic mean of vals, or NaN for empty input.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// Min returns the smallest value, or NaN for empty input.
+func Min(vals []float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest value, or NaN for empty input.
+func Max(vals []float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccuracyBasics(t *testing.T) {
+	var a Accuracy
+	if a.Rate() != 0 || a.MissRate() != 0 {
+		t.Fatal("empty accumulator should report 0")
+	}
+	for i := 0; i < 10; i++ {
+		a.Add(i < 9)
+	}
+	if a.Predictions != 10 || a.Correct != 9 {
+		t.Fatalf("counts wrong: %+v", a)
+	}
+	if a.Rate() != 0.9 {
+		t.Fatalf("Rate = %v", a.Rate())
+	}
+	if math.Abs(a.MissRate()-0.1) > 1e-12 {
+		t.Fatalf("MissRate = %v", a.MissRate())
+	}
+	if !strings.Contains(a.String(), "90.00%") {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestAccuracyMerge(t *testing.T) {
+	a := Accuracy{Predictions: 10, Correct: 9}
+	b := Accuracy{Predictions: 30, Correct: 15}
+	a.Merge(b)
+	if a.Predictions != 40 || a.Correct != 24 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+}
+
+func TestGeoMeanKnownValues(t *testing.T) {
+	if g := GeoMean([]float64{4, 9}); math.Abs(g-6) > 1e-9 {
+		t.Fatalf("GeoMean(4,9) = %v, want 6", g)
+	}
+	if g := GeoMean([]float64{7}); math.Abs(g-7) > 1e-9 {
+		t.Fatalf("GeoMean(7) = %v", g)
+	}
+	if g := GeoMean([]float64{1, 1, 1}); math.Abs(g-1) > 1e-12 {
+		t.Fatalf("GeoMean(1,1,1) = %v", g)
+	}
+}
+
+func TestGeoMeanEdgeCases(t *testing.T) {
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("empty GeoMean should be NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, 0, 2})) {
+		t.Error("GeoMean with zero should be NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{-1})) {
+		t.Error("GeoMean with negative should be NaN")
+	}
+}
+
+func TestGeoMeanBetweenMinAndMax(t *testing.T) {
+	if err := quick.Check(func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r)/65536*0.5 + 0.5 // (0.5, 1)
+		}
+		g := GeoMean(vals)
+		return g >= Min(vals)-1e-12 && g <= Max(vals)+1e-12
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoMeanLeqArithmeticMean(t *testing.T) {
+	if err := quick.Check(func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r) + 1
+		}
+		return GeoMean(vals) <= Mean(vals)+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	if Mean(vals) != 2 || Min(vals) != 1 || Max(vals) != 3 {
+		t.Fatal("Mean/Min/Max wrong")
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("empty inputs should be NaN")
+	}
+}

@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Binary trace format
+//
+// A trace file starts with the 8-byte magic "TLBPTRC1" followed by a
+// sequence of varint-encoded event records:
+//
+//	header  uvarint  bit0: trap flag
+//	                 bit1: taken flag        (branch events only)
+//	                 bits2-4: class          (branch events only)
+//	                 bits5+: instrs          (instructions since last event)
+//	pc      uvarint  zig-zag delta from previous event PC (branch only)
+//	target  uvarint  zig-zag delta from PC (branch only)
+//
+// Delta coding keeps typical records at 4-7 bytes.
+
+var magic = [8]byte{'T', 'L', 'B', 'P', 'T', 'R', 'C', '1'}
+
+// Writer encodes events to an io.Writer in the binary trace format.
+type Writer struct {
+	w      *bufio.Writer
+	lastPC uint32
+	wrote  bool
+	buf    []byte
+}
+
+// NewWriter creates a Writer and emits the file header.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, buf: make([]byte, 0, 3*binary.MaxVarintLen64)}, nil
+}
+
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Write encodes one event.
+func (w *Writer) Write(e Event) error {
+	w.buf = w.buf[:0]
+	var header uint64
+	if e.Trap {
+		header = 1
+	} else {
+		if !e.Branch.Class.Valid() {
+			return fmt.Errorf("trace: invalid class %d", e.Branch.Class)
+		}
+		if e.Branch.Taken {
+			header |= 2
+		}
+		header |= uint64(e.Branch.Class) << 2
+	}
+	header |= uint64(e.Instrs) << 5
+	w.buf = binary.AppendUvarint(w.buf, header)
+	if !e.Trap {
+		w.buf = binary.AppendUvarint(w.buf, zigzag(int64(e.Branch.PC)-int64(w.lastPC)))
+		w.buf = binary.AppendUvarint(w.buf, zigzag(int64(e.Branch.Target)-int64(e.Branch.PC)))
+		w.lastPC = e.Branch.PC
+	}
+	w.wrote = true
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
+// Flush flushes buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// WriteAll encodes an entire source and flushes.
+func (w *Writer) WriteAll(src Source) error {
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return w.Flush()
+		}
+		if err != nil {
+			return err
+		}
+		if err := w.Write(e); err != nil {
+			return err
+		}
+	}
+}
+
+// FileReader decodes the binary trace format. It implements Source.
+type FileReader struct {
+	r      *bufio.Reader
+	lastPC uint32
+}
+
+// NewFileReader validates the header and returns a decoder.
+func NewFileReader(r io.Reader) (*FileReader, error) {
+	br := bufio.NewReader(r)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing header: %v", ErrCorrupt, err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, got[:])
+	}
+	return &FileReader{r: br}, nil
+}
+
+// Next implements Source.
+func (fr *FileReader) Next() (Event, error) {
+	header, err := binary.ReadUvarint(fr.r)
+	if err == io.EOF {
+		return Event{}, io.EOF
+	}
+	if err != nil {
+		return Event{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	e := Event{Instrs: uint32(header >> 5)}
+	if header&1 != 0 {
+		e.Trap = true
+		return e, nil
+	}
+	e.Branch.Taken = header&2 != 0
+	e.Branch.Class = Class(header >> 2 & 7)
+	if !e.Branch.Class.Valid() {
+		return Event{}, fmt.Errorf("%w: class %d", ErrCorrupt, e.Branch.Class)
+	}
+	dpc, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		return Event{}, fmt.Errorf("%w: truncated pc: %v", ErrCorrupt, err)
+	}
+	dtg, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		return Event{}, fmt.Errorf("%w: truncated target: %v", ErrCorrupt, err)
+	}
+	pc := uint32(int64(fr.lastPC) + unzigzag(dpc))
+	e.Branch.PC = pc
+	e.Branch.Target = uint32(int64(pc) + unzigzag(dtg))
+	fr.lastPC = pc
+	return e, nil
+}
+
+// Text trace format
+//
+// One event per line, suitable for inspection and diffing:
+//
+//	B <pc-hex> <target-hex> <class> <T|N> <instrs>
+//	T <instrs>
+//
+// Lines beginning with '#' and blank lines are ignored on read.
+
+// WriteText encodes src as the line-oriented text format.
+func WriteText(w io.Writer, src Source) error {
+	bw := bufio.NewWriter(w)
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return bw.Flush()
+		}
+		if err != nil {
+			return err
+		}
+		if e.Trap {
+			fmt.Fprintf(bw, "T %d\n", e.Instrs)
+			continue
+		}
+		tk := byte('N')
+		if e.Branch.Taken {
+			tk = 'T'
+		}
+		fmt.Fprintf(bw, "B %08x %08x %d %c %d\n",
+			e.Branch.PC, e.Branch.Target, e.Branch.Class, tk, e.Instrs)
+	}
+}
+
+// TextReader decodes the text trace format. It implements Source.
+type TextReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewTextReader wraps r in a text-format decoder.
+func NewTextReader(r io.Reader) *TextReader {
+	return &TextReader{sc: bufio.NewScanner(r)}
+}
+
+// Next implements Source.
+func (tr *TextReader) Next() (Event, error) {
+	for tr.sc.Scan() {
+		tr.line++
+		line := strings.TrimSpace(tr.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "T":
+			if len(fields) != 2 {
+				return Event{}, fmt.Errorf("%w: line %d: trap wants 1 field", ErrCorrupt, tr.line)
+			}
+			n, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return Event{}, fmt.Errorf("%w: line %d: %v", ErrCorrupt, tr.line, err)
+			}
+			return Event{Trap: true, Instrs: uint32(n)}, nil
+		case "B":
+			if len(fields) != 6 {
+				return Event{}, fmt.Errorf("%w: line %d: branch wants 5 fields", ErrCorrupt, tr.line)
+			}
+			pc, err := strconv.ParseUint(fields[1], 16, 32)
+			if err != nil {
+				return Event{}, fmt.Errorf("%w: line %d: pc: %v", ErrCorrupt, tr.line, err)
+			}
+			tg, err := strconv.ParseUint(fields[2], 16, 32)
+			if err != nil {
+				return Event{}, fmt.Errorf("%w: line %d: target: %v", ErrCorrupt, tr.line, err)
+			}
+			cl, err := strconv.ParseUint(fields[3], 10, 8)
+			if err != nil || !Class(cl).Valid() {
+				return Event{}, fmt.Errorf("%w: line %d: class %q", ErrCorrupt, tr.line, fields[3])
+			}
+			var taken bool
+			switch fields[4] {
+			case "T":
+				taken = true
+			case "N":
+				taken = false
+			default:
+				return Event{}, fmt.Errorf("%w: line %d: taken flag %q", ErrCorrupt, tr.line, fields[4])
+			}
+			in, err := strconv.ParseUint(fields[5], 10, 32)
+			if err != nil {
+				return Event{}, fmt.Errorf("%w: line %d: instrs: %v", ErrCorrupt, tr.line, err)
+			}
+			return Event{
+				Instrs: uint32(in),
+				Branch: Branch{PC: uint32(pc), Target: uint32(tg), Class: Class(cl), Taken: taken},
+			}, nil
+		default:
+			return Event{}, fmt.Errorf("%w: line %d: unknown record %q", ErrCorrupt, tr.line, fields[0])
+		}
+	}
+	if err := tr.sc.Err(); err != nil {
+		return Event{}, err
+	}
+	return Event{}, io.EOF
+}

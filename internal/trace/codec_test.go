@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTripBinary(t *testing.T, tr *Trace) *Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteAll(tr.Reader()); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewFileReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func sameTrace(a, b *Trace) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := randomTrace(1, 5000)
+	got := roundTripBinary(t, tr)
+	if !sameTrace(tr, got) {
+		t.Fatal("binary round trip altered the trace")
+	}
+}
+
+func TestBinaryRoundTripEmpty(t *testing.T) {
+	got := roundTripBinary(t, &Trace{})
+	if got.Len() != 0 {
+		t.Fatalf("empty trace round-tripped to %d events", got.Len())
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n16 uint16) bool {
+		tr := randomTrace(seed, int(n16%512))
+		return sameTrace(tr, roundTripBinary(t, tr))
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	_, err := NewFileReader(strings.NewReader("NOTATRACEFILE"))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestBinaryRejectsTruncation(t *testing.T) {
+	tr := randomTrace(7, 50)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.WriteAll(tr.Reader()); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the last byte: the final record must fail, not silently EOF
+	// mid-record or return garbage.
+	data := buf.Bytes()[:buf.Len()-1]
+	r, err := NewFileReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawErr bool
+	for i := 0; i < tr.Len(); i++ {
+		if _, err := r.Next(); err != nil {
+			if err == io.EOF {
+				t.Fatal("truncated stream reported clean EOF")
+			}
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("truncated stream decoded all records")
+	}
+}
+
+func TestBinaryRejectsInvalidClassOnWrite(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	err := w.Write(Event{Branch: Branch{Class: Class(200)}})
+	if err == nil {
+		t.Fatal("Write accepted an invalid class")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := randomTrace(3, 500)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr.Reader()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(NewTextReader(&buf), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTrace(tr, got) {
+		t.Fatal("text round trip altered the trace")
+	}
+}
+
+func TestTextReaderSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\nB 00000004 00000008 0 T 3\n  \nT 7\n"
+	got, err := Collect(NewTextReader(strings.NewReader(in)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("want 2 events, got %d", got.Len())
+	}
+	if !got.Events[1].Trap || got.Events[1].Instrs != 7 {
+		t.Fatalf("trap event mangled: %+v", got.Events[1])
+	}
+}
+
+func TestTextReaderErrors(t *testing.T) {
+	bad := []string{
+		"B 0000zzzz 00000008 0 T 3",
+		"B 00000004 00000008 9 T 3",
+		"B 00000004 00000008 0 X 3",
+		"B 00000004 00000008 0 T",
+		"T",
+		"Q 1 2 3",
+	}
+	for _, line := range bad {
+		_, err := NewTextReader(strings.NewReader(line)).Next()
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("line %q: want ErrCorrupt, got %v", line, err)
+		}
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, 1 << 31, -(1 << 31), 123456789, -987654321} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("zigzag round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestBinaryCompactness(t *testing.T) {
+	// Sequential same-page branches should encode to a handful of bytes
+	// per record thanks to the delta coding.
+	tr := &Trace{}
+	for i := 0; i < 1000; i++ {
+		tr.Append(Event{
+			Instrs: 5,
+			Branch: Branch{PC: 0x1000 + uint32(i%64)*4, Target: 0x1000, Class: Cond, Taken: true},
+		})
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.WriteAll(tr.Reader()); err != nil {
+		t.Fatal(err)
+	}
+	perRecord := float64(buf.Len()-8) / 1000
+	if perRecord > 8 {
+		t.Fatalf("binary format too fat: %.1f bytes/record", perRecord)
+	}
+}
+
+func BenchmarkBinaryEncode(b *testing.B) {
+	tr := randomTrace(11, 10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		if err := w.WriteAll(tr.Reader()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryDecode(b *testing.B) {
+	tr := randomTrace(11, 10000)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.WriteAll(tr.Reader()); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewFileReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := r.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"twolevel/internal/rng"
+)
+
+// Robustness: the codecs must return errors, never panic or loop, on
+// corrupt input — trace files come from disk.
+
+func TestBinaryDecoderNeverPanicsOnRandomBytes(t *testing.T) {
+	r := rng.New(0xDEC0DE)
+	for i := 0; i < 5000; i++ {
+		n := r.Intn(200)
+		data := make([]byte, 8+n)
+		copy(data, magic[:]) // valid header so the record decoder runs
+		for j := 8; j < len(data); j++ {
+			data[j] = byte(r.Uint32())
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("decode of %d random bytes panicked: %v", n, p)
+				}
+			}()
+			fr, err := NewFileReader(bytes.NewReader(data))
+			if err != nil {
+				return
+			}
+			for k := 0; k < 1000; k++ { // bounded: corrupt input must terminate
+				if _, err := fr.Next(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+func TestBinaryDecoderRandomBytesEventuallyEnds(t *testing.T) {
+	// A corrupt stream of N bytes can hold at most N records; the
+	// decoder must hit EOF or a corruption error, never hang.
+	r := rng.New(7)
+	data := make([]byte, 8+512)
+	copy(data, magic[:])
+	for j := 8; j < len(data); j++ {
+		data[j] = byte(r.Uint32())
+	}
+	fr, err := NewFileReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 1024; k++ {
+		if _, err := fr.Next(); err != nil {
+			if err == io.EOF {
+				return
+			}
+			return // corruption error also fine
+		}
+	}
+	t.Fatal("decoder produced more records than bytes")
+}
+
+func TestTextDecoderNeverPanicsOnRandomLines(t *testing.T) {
+	r := rng.New(0x7E57)
+	pieces := []string{"B", "T", "#", "deadbeef", "00000004", "9", "0", "T", "N", "-1", "zz", ""}
+	for i := 0; i < 5000; i++ {
+		var sb bytes.Buffer
+		for l := 0; l < r.Intn(5); l++ {
+			for w := 0; w < r.Intn(8); w++ {
+				sb.WriteString(pieces[r.Intn(len(pieces))])
+				sb.WriteByte(' ')
+			}
+			sb.WriteByte('\n')
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("text decode panicked on %q: %v", sb.String(), p)
+				}
+			}()
+			tr := NewTextReader(bytes.NewReader(sb.Bytes()))
+			for k := 0; k < 100; k++ {
+				if _, err := tr.Next(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}

@@ -1,0 +1,247 @@
+// Package trace defines the branch event vocabulary shared by the CPU
+// simulator, the prediction simulator and the trace codecs.
+//
+// A trace is a stream of Events. Every event carries the number of
+// instructions retired since the previous event, which lets the prediction
+// simulator reconstruct instruction counts (needed for the paper's
+// 500,000-instruction context-switch quantum) without materialising one
+// event per instruction.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Class identifies the control-flow class of a branch instruction,
+// mirroring the classification in Figure 4 of the paper.
+type Class uint8
+
+const (
+	// Cond is a conditional branch; the only class that is predicted
+	// taken/not-taken by the schemes in the paper.
+	Cond Class = iota
+	// Uncond is a direct unconditional branch.
+	Uncond
+	// Call is a subroutine call (BSR/JSR).
+	Call
+	// Return is a subroutine return (RTS).
+	Return
+	// Indirect is a computed jump that is not a call or return.
+	Indirect
+
+	numClasses
+)
+
+// NumClasses is the number of distinct branch classes.
+const NumClasses = int(numClasses)
+
+// String returns the human-readable class name.
+func (c Class) String() string {
+	switch c {
+	case Cond:
+		return "conditional"
+	case Uncond:
+		return "unconditional"
+	case Call:
+		return "call"
+	case Return:
+		return "return"
+	case Indirect:
+		return "indirect"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Valid reports whether c is one of the defined classes.
+func (c Class) Valid() bool { return c < numClasses }
+
+// Branch describes one dynamic branch instruction.
+type Branch struct {
+	// PC is the address of the branch instruction.
+	PC uint32
+	// Target is the address control transfers to when the branch is
+	// taken. For a not-taken conditional branch it still records the
+	// would-be target.
+	Target uint32
+	// Class is the branch class.
+	Class Class
+	// Taken reports whether the branch was taken. Unconditional
+	// branches, calls and returns are always taken.
+	Taken bool
+}
+
+// Backward reports whether the branch targets a lower address than the
+// branch itself, the property used by the BTFN static scheme.
+func (b Branch) Backward() bool { return b.Target < b.PC }
+
+// Event is one element of a trace stream: either a dynamic branch or a
+// trap marker (traps trigger context switches in the paper's model).
+type Event struct {
+	// Instrs is the number of instructions retired since the previous
+	// event, inclusive of the instruction generating this event.
+	Instrs uint32
+	// Trap marks an operating-system trap. Trap events carry no branch.
+	Trap bool
+	// Branch is the dynamic branch; valid only when Trap is false.
+	Branch Branch
+}
+
+// Source is a stream of trace events. Next returns io.EOF after the last
+// event. Implementations need not be safe for concurrent use.
+type Source interface {
+	Next() (Event, error)
+}
+
+// ErrCorrupt is returned by codecs when an encoded trace is malformed.
+var ErrCorrupt = errors.New("trace: corrupt stream")
+
+// Trace is an in-memory event sequence implementing Source via Reader.
+type Trace struct {
+	Events []Event
+}
+
+// Append adds an event to the trace.
+func (t *Trace) Append(e Event) { t.Events = append(t.Events, e) }
+
+// Len returns the number of events.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Reader returns a Source that replays the trace from the beginning.
+func (t *Trace) Reader() *Reader { return &Reader{trace: t} }
+
+// Reader replays an in-memory Trace.
+type Reader struct {
+	trace *Trace
+	pos   int
+}
+
+// Next implements Source.
+func (r *Reader) Next() (Event, error) {
+	if r.pos >= len(r.trace.Events) {
+		return Event{}, io.EOF
+	}
+	e := r.trace.Events[r.pos]
+	r.pos++
+	return e, nil
+}
+
+// Reset rewinds the reader to the start of the trace.
+func (r *Reader) Reset() { r.pos = 0 }
+
+// Collect drains src into an in-memory trace, stopping after max events
+// (max <= 0 means unbounded).
+func Collect(src Source, max int) (*Trace, error) {
+	t := &Trace{}
+	for max <= 0 || t.Len() < max {
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return t, err
+		}
+		t.Append(e)
+	}
+	return t, nil
+}
+
+// Stats summarises a trace: dynamic counts per branch class, trap count,
+// instruction count and the set of static conditional branch sites.
+type Stats struct {
+	ByClass      [NumClasses]uint64
+	Traps        uint64
+	Instructions uint64
+	TakenCond    uint64
+	staticCond   map[uint32]struct{}
+}
+
+// NewStats returns an empty Stats accumulator.
+func NewStats() *Stats {
+	return &Stats{staticCond: make(map[uint32]struct{})}
+}
+
+// Add folds one event into the statistics.
+func (s *Stats) Add(e Event) {
+	s.Instructions += uint64(e.Instrs)
+	if e.Trap {
+		s.Traps++
+		return
+	}
+	b := e.Branch
+	if int(b.Class) < NumClasses {
+		s.ByClass[b.Class]++
+	}
+	if b.Class == Cond {
+		if s.staticCond == nil {
+			s.staticCond = make(map[uint32]struct{})
+		}
+		s.staticCond[b.PC] = struct{}{}
+		if b.Taken {
+			s.TakenCond++
+		}
+	}
+}
+
+// Branches returns the total dynamic branch count across all classes.
+func (s *Stats) Branches() uint64 {
+	var n uint64
+	for _, c := range s.ByClass {
+		n += c
+	}
+	return n
+}
+
+// StaticCond returns the number of distinct static conditional branch
+// sites observed (Table 1 of the paper).
+func (s *Stats) StaticCond() int { return len(s.staticCond) }
+
+// CondTakenRate returns the fraction of dynamic conditional branches that
+// were taken, or 0 if none were seen.
+func (s *Stats) CondTakenRate() float64 {
+	if s.ByClass[Cond] == 0 {
+		return 0
+	}
+	return float64(s.TakenCond) / float64(s.ByClass[Cond])
+}
+
+// Summarize drains src through a Stats accumulator.
+func Summarize(src Source) (*Stats, error) {
+	s := NewStats()
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return s, nil
+		}
+		if err != nil {
+			return s, err
+		}
+		s.Add(e)
+	}
+}
+
+// LimitSource wraps a Source and stops (returns io.EOF) after the
+// underlying stream has yielded n conditional branches. Non-conditional
+// events within the window pass through unchanged.
+type LimitSource struct {
+	Src  Source
+	N    uint64
+	seen uint64
+}
+
+// Next implements Source.
+func (l *LimitSource) Next() (Event, error) {
+	if l.seen >= l.N {
+		return Event{}, io.EOF
+	}
+	e, err := l.Src.Next()
+	if err != nil {
+		return Event{}, err
+	}
+	if !e.Trap && e.Branch.Class == Cond {
+		l.seen++
+	}
+	return e, nil
+}

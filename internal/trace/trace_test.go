@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"io"
+	"testing"
+
+	"twolevel/internal/rng"
+)
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		Cond:      "conditional",
+		Uncond:    "unconditional",
+		Call:      "call",
+		Return:    "return",
+		Indirect:  "indirect",
+		Class(99): "Class(99)",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestClassValid(t *testing.T) {
+	for c := Class(0); c < Class(NumClasses); c++ {
+		if !c.Valid() {
+			t.Errorf("class %d should be valid", c)
+		}
+	}
+	if Class(NumClasses).Valid() {
+		t.Error("class NumClasses should be invalid")
+	}
+}
+
+func TestBranchBackward(t *testing.T) {
+	if !(Branch{PC: 100, Target: 40}).Backward() {
+		t.Error("target < pc should be backward")
+	}
+	if (Branch{PC: 100, Target: 140}).Backward() {
+		t.Error("target > pc should be forward")
+	}
+	if (Branch{PC: 100, Target: 100}).Backward() {
+		t.Error("self-target is not backward")
+	}
+}
+
+func TestTraceReaderReplaysInOrder(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 10; i++ {
+		tr.Append(Event{Instrs: uint32(i), Branch: Branch{PC: uint32(4 * i), Taken: i%2 == 0}})
+	}
+	r := tr.Reader()
+	for i := 0; i < 10; i++ {
+		e, err := r.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if e.Instrs != uint32(i) || e.Branch.PC != uint32(4*i) {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+	r.Reset()
+	if e, err := r.Next(); err != nil || e.Instrs != 0 {
+		t.Fatalf("Reset did not rewind: %+v %v", e, err)
+	}
+}
+
+func TestCollectBounded(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 100; i++ {
+		tr.Append(Event{Branch: Branch{PC: uint32(i)}})
+	}
+	got, err := Collect(tr.Reader(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 7 {
+		t.Fatalf("Collect(max=7) returned %d events", got.Len())
+	}
+	all, err := Collect(tr.Reader(), 0)
+	if err != nil || all.Len() != 100 {
+		t.Fatalf("Collect(max=0) = %d events, err %v", all.Len(), err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewStats()
+	s.Add(Event{Instrs: 10, Branch: Branch{PC: 4, Class: Cond, Taken: true}})
+	s.Add(Event{Instrs: 5, Branch: Branch{PC: 4, Class: Cond, Taken: false}})
+	s.Add(Event{Instrs: 5, Branch: Branch{PC: 8, Class: Cond, Taken: true}})
+	s.Add(Event{Instrs: 2, Branch: Branch{PC: 12, Class: Call, Taken: true}})
+	s.Add(Event{Instrs: 3, Trap: true})
+
+	if s.Instructions != 25 {
+		t.Errorf("Instructions = %d, want 25", s.Instructions)
+	}
+	if s.Traps != 1 {
+		t.Errorf("Traps = %d, want 1", s.Traps)
+	}
+	if s.ByClass[Cond] != 3 || s.ByClass[Call] != 1 {
+		t.Errorf("ByClass wrong: %+v", s.ByClass)
+	}
+	if s.Branches() != 4 {
+		t.Errorf("Branches = %d, want 4", s.Branches())
+	}
+	if s.StaticCond() != 2 {
+		t.Errorf("StaticCond = %d, want 2", s.StaticCond())
+	}
+	if got := s.CondTakenRate(); got != 2.0/3.0 {
+		t.Errorf("CondTakenRate = %v, want 2/3", got)
+	}
+}
+
+func TestStatsZeroValueUsable(t *testing.T) {
+	var s Stats
+	s.Add(Event{Branch: Branch{PC: 4, Class: Cond, Taken: true}})
+	if s.StaticCond() != 1 {
+		t.Fatalf("zero-value Stats should lazily allocate static set")
+	}
+	var empty Stats
+	if empty.CondTakenRate() != 0 {
+		t.Fatal("empty CondTakenRate should be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 50; i++ {
+		tr.Append(Event{Instrs: 1, Branch: Branch{PC: uint32(i % 5 * 4), Class: Cond, Taken: true}})
+	}
+	s, err := Summarize(tr.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StaticCond() != 5 || s.ByClass[Cond] != 50 {
+		t.Fatalf("unexpected summary: static=%d dyn=%d", s.StaticCond(), s.ByClass[Cond])
+	}
+}
+
+func TestLimitSourceCountsOnlyConditionals(t *testing.T) {
+	tr := &Trace{}
+	// Interleave: cond, call, cond, call, ...
+	for i := 0; i < 20; i++ {
+		cl := Cond
+		if i%2 == 1 {
+			cl = Call
+		}
+		tr.Append(Event{Branch: Branch{PC: uint32(i), Class: cl, Taken: true}})
+	}
+	lim := &LimitSource{Src: tr.Reader(), N: 5}
+	var conds, total int
+	for {
+		e, err := lim.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if e.Branch.Class == Cond {
+			conds++
+		}
+	}
+	if conds != 5 {
+		t.Fatalf("LimitSource passed %d conditionals, want 5", conds)
+	}
+	if total != 9 { // events 0..8: conds at 0,2,4,6,8
+		t.Fatalf("LimitSource passed %d events, want 9", total)
+	}
+}
+
+// randomTrace builds a pseudo-random but valid trace for codec round-trips.
+func randomTrace(seed uint64, n int) *Trace {
+	r := rng.New(seed)
+	tr := &Trace{}
+	for i := 0; i < n; i++ {
+		if r.Bool(0.02) {
+			tr.Append(Event{Trap: true, Instrs: uint32(r.Intn(100))})
+			continue
+		}
+		tr.Append(Event{
+			Instrs: uint32(r.Intn(1000)),
+			Branch: Branch{
+				PC:     r.Uint32() &^ 3,
+				Target: r.Uint32() &^ 3,
+				Class:  Class(r.Intn(NumClasses)),
+				Taken:  r.Bool(0.6),
+			},
+		})
+	}
+	return tr
+}

@@ -1,0 +1,338 @@
+package twolevel_test
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"twolevel"
+)
+
+func TestNewPredictorSchemes(t *testing.T) {
+	for _, s := range []string{
+		"GAg(HR(1,,8-sr),1xPHT(2^8,A2))",
+		"PAg(BHT(512,4,10-sr),1xPHT(2^10,A3))",
+		"PAp(BHT(256,4,6-sr),256xPHT(2^6,A2))",
+		"BTB(BHT(512,4,LT),)",
+		"AlwaysTaken",
+		"BTFN",
+	} {
+		p, err := twolevel.NewPredictor(s)
+		if err != nil {
+			t.Errorf("NewPredictor(%q): %v", s, err)
+			continue
+		}
+		b := twolevel.Branch{PC: 0x1000, Target: 0x800, Class: twolevel.Cond, Taken: true}
+		pred := p.Predict(b)
+		p.Update(b, pred)
+	}
+	// Training schemes are redirected.
+	if _, err := twolevel.NewPredictor("Profiling"); err == nil ||
+		!strings.Contains(err.Error(), "NewTrainedPredictor") {
+		t.Errorf("Profiling should point at NewTrainedPredictor: %v", err)
+	}
+	if _, err := twolevel.NewPredictor("garbage("); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestTrainedPredictorEndToEnd(t *testing.T) {
+	for _, s := range []string{
+		"PSg(BHT(512,4,8-sr),1xPHT(2^8,PB))",
+		"GSg(HR(1,,8-sr),1xPHT(2^8,PB))",
+		"Profiling",
+	} {
+		train, err := twolevel.NewBenchmarkSource("espresso", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := twolevel.NewTrainedPredictor(s, twolevel.LimitConditional(train, 5000))
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		test, err := twolevel.NewBenchmarkSource("espresso", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := twolevel.Simulate(p, test, twolevel.SimOptions{MaxCondBranches: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accuracy.Rate() < 0.7 {
+			t.Errorf("%s: accuracy %.2f unexpectedly low", s, res.Accuracy.Rate())
+		}
+	}
+	// Non-training schemes are redirected.
+	src, _ := twolevel.NewBenchmarkSource("espresso", true)
+	if _, err := twolevel.NewTrainedPredictor("BTFN", src); err == nil {
+		t.Error("BTFN should not accept training")
+	}
+}
+
+func TestBenchmarkRegistry(t *testing.T) {
+	if len(twolevel.Benchmarks()) != 9 {
+		t.Fatal("expected nine benchmarks")
+	}
+	if _, err := twolevel.BenchmarkByName("gcc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := twolevel.BenchmarkByName("nasa7"); err == nil {
+		t.Fatal("nasa7 must not resolve")
+	}
+	if _, err := twolevel.NewBenchmarkSource("nope", false); err == nil {
+		t.Fatal("unknown benchmark source accepted")
+	}
+}
+
+func TestSimulateAccuracyReasonable(t *testing.T) {
+	p, err := twolevel.NewPredictor("PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := twolevel.NewBenchmarkSource("eqntott", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := twolevel.Simulate(p, src, twolevel.SimOptions{MaxCondBranches: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy.Predictions != 20_000 {
+		t.Fatalf("predictions = %d", res.Accuracy.Predictions)
+	}
+	if res.Accuracy.Rate() < 0.95 {
+		t.Fatalf("two-level on eqntott should be ~99%%: %.4f", res.Accuracy.Rate())
+	}
+}
+
+func TestTraceRoundTripThroughFacade(t *testing.T) {
+	src, err := twolevel.NewBenchmarkSource("matrix300", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := twolevel.WriteTrace(&buf, twolevel.LimitConditional(src, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := twolevel.OpenTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := twolevel.SummarizeTrace(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ByClass[twolevel.Cond] < 2000 {
+		t.Fatalf("trace lost conditionals: %d", stats.ByClass[twolevel.Cond])
+	}
+
+	// Text round trip.
+	src2, _ := twolevel.NewBenchmarkSource("matrix300", false)
+	var txt bytes.Buffer
+	if err := twolevel.WriteTraceText(&txt, twolevel.LimitConditional(src2, 100)); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	tr := twolevel.OpenTraceText(&txt)
+	for {
+		if _, err := tr.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("text trace empty")
+	}
+}
+
+func TestEstimateCostFacade(t *testing.T) {
+	bd, err := twolevel.EstimateCost("PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Total() <= 0 || bd.Total() != bd.BHT()+bd.PHT() {
+		t.Fatalf("cost breakdown inconsistent: %+v", bd)
+	}
+	if _, err := twolevel.EstimateCost("BTFN"); err == nil {
+		t.Fatal("static scheme should have no cost model")
+	}
+	custom, err := twolevel.EstimateCostWith(twolevel.CostParams{
+		AddressBits: 30, BHTEntries: 1, HistoryBits: 8, PatternBits: 2, PHTSets: 1, Global: true,
+	}, twolevel.DefaultCostConstants)
+	if err != nil || custom.Total() <= 0 {
+		t.Fatalf("EstimateCostWith: %v %v", custom, err)
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	ids := twolevel.ExperimentIDs()
+	if len(ids) != 14 {
+		t.Fatalf("experiment ids: %v", ids)
+	}
+	r, err := twolevel.RunExperiment("table2", twolevel.ExperimentOptions{CondBranches: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "eight queens") {
+		t.Fatal("table2 should list the li data sets")
+	}
+}
+
+func TestProgrammaticTwoLevel(t *testing.T) {
+	p, err := twolevel.NewTwoLevel(twolevel.TwoLevelConfig{
+		Variation:          twolevel.PAg,
+		HistoryBits:        8,
+		Automaton:          twolevel.A2,
+		Entries:            512,
+		Assoc:              4,
+		SpeculativeHistory: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := twolevel.NewBenchmarkSource("tomcatv", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := twolevel.Simulate(p, src, twolevel.SimOptions{MaxCondBranches: 10_000, PipelineDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy.Rate() < 0.9 {
+		t.Fatalf("speculative pipelined tomcatv: %.4f", res.Accuracy.Rate())
+	}
+}
+
+func TestAssembleAndRunOwnProgram(t *testing.T) {
+	prog, err := twolevel.AssembleProgram(`
+		li r1, 500
+	loop:
+		addi r1, r1, -1
+		bcnd ne0, r1, loop
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing strings.Builder
+	if err := twolevel.DisassembleProgram(prog, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(listing.String(), "bcnd ne0, r1, loop") {
+		t.Fatalf("listing missing branch:\n%s", listing.String())
+	}
+	src, err := twolevel.NewProgramSource(prog, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := twolevel.NewPredictor("GAg(HR(1,,8-sr),1xPHT(2^8,A2))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := twolevel.Simulate(p, src, twolevel.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy.Predictions != 500 {
+		t.Fatalf("predictions = %d, want 500", res.Accuracy.Predictions)
+	}
+	if res.Accuracy.Rate() < 0.99 {
+		t.Fatalf("loop accuracy %.4f", res.Accuracy.Rate())
+	}
+}
+
+func TestMultiplexSourceFacade(t *testing.T) {
+	a, err := twolevel.NewBenchmarkSource("espresso", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := twolevel.NewBenchmarkSource("eqntott", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux, err := twolevel.NewMultiplexSource([]twolevel.Source{a, b}, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := twolevel.SummarizeTrace(twolevel.LimitConditional(mux, 10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both processes' (tagged) sites appear: more static conditionals
+	// than either benchmark alone would show in this window.
+	if stats.StaticCond() < 300 {
+		t.Fatalf("multiplexed static sites = %d", stats.StaticCond())
+	}
+	if stats.Traps == 0 {
+		t.Fatal("no switch traps in the multiplexed stream")
+	}
+	if _, err := twolevel.NewMultiplexSource([]twolevel.Source{a}, 0); err == nil {
+		t.Fatal("single-source multiplex accepted")
+	}
+}
+
+func TestGApThroughFacade(t *testing.T) {
+	p, err := twolevel.NewPredictor("GAp(HR(1,,8-sr),512xPHT(2^8,A2))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := twolevel.NewBenchmarkSource("doduc", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := twolevel.Simulate(p, src, twolevel.SimOptions{MaxCondBranches: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy.Rate() < 0.6 {
+		t.Fatalf("GAp accuracy %.4f", res.Accuracy.Rate())
+	}
+}
+
+func TestProfileProgramFacade(t *testing.T) {
+	prog, err := twolevel.AssembleProgram(`
+		li r1, 50
+	loop:
+		addi r1, r1, -1
+		bcnd ne0, r1, loop
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := twolevel.ProfileProgram(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) == 0 || mix[0].Count == 0 {
+		t.Fatalf("empty mix: %+v", mix)
+	}
+	var share float64
+	for _, e := range mix {
+		share += e.Share
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Fatalf("shares sum to %v", share)
+	}
+	// Budgeted profiling loops the program.
+	mix2, err := twolevel.ProfileProgram(prog, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bcnd uint64
+	for _, e := range mix2 {
+		if e.Op == "bcnd" {
+			bcnd = e.Count
+		}
+	}
+	if bcnd < 200 {
+		t.Fatalf("budgeted profile saw %d bcnd, want >= 200", bcnd)
+	}
+}
