@@ -219,6 +219,39 @@ func BenchmarkPredictPAp(b *testing.B) {
 }
 func BenchmarkPredictBTB(b *testing.B) { benchPredictor(b, "BTB(BHT(512,4,A2),)") }
 
+// BenchmarkSimObserverOverhead measures the telemetry hook cost in the
+// simulator loop over a prerecorded trace: the nil-observer arm is the
+// baseline the hooks must not slow down (and must not allocate); the
+// runstats arm carries a full RunStats observer.
+func BenchmarkSimObserverOverhead(b *testing.B) {
+	src, err := twolevel.NewBenchmarkSource("espresso", false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := &twolevel.Trace{}
+	if err := tr.AppendAll(twolevel.LimitConditional(src, 50_000)); err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, obs twolevel.Observer) {
+		p, err := twolevel.NewPredictor("PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rd := tr.Reader()
+		opts := twolevel.SimOptions{Observer: obs}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rd.Reset()
+			if _, err := twolevel.Simulate(p, rd, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("nil", func(b *testing.B) { run(b, nil) })
+	b.Run("runstats", func(b *testing.B) { run(b, twolevel.NewRunStats()) })
+}
+
 // BenchmarkTraceGeneration measures the CPU-simulator substrate: events
 // generated per second from the gcc program.
 func BenchmarkTraceGeneration(b *testing.B) {

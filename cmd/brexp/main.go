@@ -7,19 +7,32 @@
 //	brexp -exp all                   # every table and figure
 //	brexp -exp fig5 -branches 500000 # higher-fidelity run
 //	brexp -exp fig9 -bench gcc,li    # restrict the benchmark set
+//	brexp -exp fig11 -json           # machine-readable reports
+//	brexp -exp table1 -metrics out.json   # per-run telemetry document
+//	brexp -exp fig5 -cpuprofile cpu.pprof # profile the run
 //	brexp -list                      # show experiment IDs
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"twolevel"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "brexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		exp      = flag.String("exp", "all", "experiment ID (table1..table3, fig4..fig11) or 'all'")
 		branches = flag.Uint64("branches", 0, "conditional branches per benchmark (0 = default)")
@@ -27,6 +40,12 @@ func main() {
 		benchCSV = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		markdown = flag.Bool("md", false, "emit GitHub-flavoured markdown tables")
+		jsonOut  = flag.Bool("json", false, "emit reports as a JSON array instead of text")
+		metrics  = flag.String("metrics", "", "write a per-run telemetry document (metrics.json) to this file")
+		hotK     = flag.Int("hot", 10, "top-K hot branches per run in the metrics document")
+		interval = flag.Uint64("interval", 0, "accuracy sampling interval in the metrics document (0 = budget/20)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
@@ -34,7 +53,19 @@ func main() {
 		for _, id := range twolevel.ExperimentIDs() {
 			fmt.Println(id)
 		}
-		return
+		return nil
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	opts := twolevel.ExperimentOptions{
@@ -45,32 +76,85 @@ func main() {
 		for _, name := range strings.Split(*benchCSV, ",") {
 			b, err := twolevel.BenchmarkByName(strings.TrimSpace(name))
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			opts.Benchmarks = append(opts.Benchmarks, b)
 		}
+	}
+	if *metrics != "" {
+		iv := *interval
+		if iv == 0 {
+			budget := *branches
+			if budget == 0 {
+				budget = twolevel.DefaultExperimentBranches
+			}
+			if iv = budget / 20; iv == 0 {
+				iv = 1
+			}
+		}
+		opts.Telemetry = &twolevel.ExperimentTelemetry{HotK: *hotK, Interval: iv}
 	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = twolevel.ExperimentIDs()
 	}
+	var reports []*twolevel.Report
 	for _, id := range ids {
 		r, err := twolevel.RunExperiment(id, opts)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		write := r.WriteText
-		if *markdown {
-			write = r.WriteMarkdown
+		reports = append(reports, r)
+	}
+
+	switch {
+	case *jsonOut:
+		docs := make([]*twolevel.ReportJSON, len(reports))
+		for i, r := range reports {
+			docs[i] = r.JSON()
 		}
-		if err := write(os.Stdout); err != nil {
-			fatal(err)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(docs); err != nil {
+			return err
+		}
+	default:
+		for _, r := range reports {
+			write := r.WriteText
+			if *markdown {
+				write = r.WriteMarkdown
+			}
+			if err := write(os.Stdout); err != nil {
+				return err
+			}
 		}
 	}
-}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "brexp:", err)
-	os.Exit(1)
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			return err
+		}
+		if err := opts.Telemetry.Document(reports...).Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -58,6 +59,116 @@ func TestBenchmarkSubsetAndBudget(t *testing.T) {
 	}
 	if !strings.Contains(s, "GAg(18-bit)") {
 		t.Errorf("fig7 rows missing:\n%s", s)
+	}
+}
+
+func TestJSONReports(t *testing.T) {
+	out, err := exec.Command(binary,
+		"-exp", "fig7", "-bench", "eqntott", "-branches", "2000", "-json").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	var reports []struct {
+		ID     string                        `json:"id"`
+		Series map[string]map[string]float64 `json:"series"`
+	}
+	if err := json.Unmarshal(out, &reports); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(reports) != 1 || reports[0].ID != "fig7" {
+		t.Fatalf("reports = %+v, want one fig7 report", reports)
+	}
+	row, ok := reports[0].Series["GAg(18-bit)"]
+	if !ok {
+		t.Fatalf("fig7 series missing GAg(18-bit): %+v", reports[0].Series)
+	}
+	if v := row["eqntott"]; v <= 0 || v > 1 {
+		t.Errorf("GAg(18-bit)/eqntott accuracy = %v, want a fraction", v)
+	}
+}
+
+func TestMetricsDocument(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.json")
+	out, err := exec.Command(binary,
+		"-exp", "table1", "-bench", "eqntott,espresso", "-branches", "2000",
+		"-hot", "3", "-metrics", path).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiments []struct {
+			ID               string  `json:"id"`
+			WallClockSeconds float64 `json:"wall_clock_seconds"`
+			Runs             int     `json:"runs"`
+		} `json:"experiments"`
+		Runs []struct {
+			Experiment string `json:"experiment"`
+			Benchmark  string `json:"benchmark"`
+			Stats      struct {
+				WallClockSeconds float64 `json:"wall_clock_seconds"`
+				EventsPerSec     float64 `json:"events_per_sec"`
+			} `json:"stats"`
+			HotBranches []struct {
+				Mispredicts uint64 `json:"mispredicts"`
+			} `json:"hot_branches"`
+			Intervals []struct {
+				Accuracy float64 `json:"accuracy"`
+			} `json:"intervals"`
+		} `json:"runs"`
+		Reports []struct {
+			ID string `json:"id"`
+		} `json:"reports"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(doc.Experiments) != 1 || doc.Experiments[0].ID != "table1" {
+		t.Fatalf("experiments = %+v, want one table1 entry", doc.Experiments)
+	}
+	// table1 performs no predictor runs itself; the reference
+	// configuration is stamped on each benchmark instead.
+	if len(doc.Runs) != 2 || doc.Experiments[0].Runs != 2 {
+		t.Fatalf("got %d runs (experiment says %d), want 2", len(doc.Runs), doc.Experiments[0].Runs)
+	}
+	for _, r := range doc.Runs {
+		if r.Experiment != "table1" {
+			t.Errorf("run experiment = %q, want table1", r.Experiment)
+		}
+		if r.Stats.WallClockSeconds <= 0 || r.Stats.EventsPerSec <= 0 {
+			t.Errorf("%s: timing/throughput missing: %+v", r.Benchmark, r.Stats)
+		}
+		if len(r.HotBranches) == 0 || len(r.HotBranches) > 3 {
+			t.Errorf("%s: hot branches = %d, want 1..3", r.Benchmark, len(r.HotBranches))
+		}
+		if len(r.Intervals) == 0 {
+			t.Errorf("%s: interval series empty", r.Benchmark)
+		}
+	}
+	if len(doc.Reports) != 1 || doc.Reports[0].ID != "table1" {
+		t.Errorf("reports = %+v, want the table1 report attached", doc.Reports)
+	}
+}
+
+func TestCPUProfileWritten(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cpu.pprof")
+	out, err := exec.Command(binary,
+		"-exp", "fig7", "-bench", "eqntott", "-branches", "2000",
+		"-cpuprofile", path).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Error("profile is empty")
 	}
 }
 

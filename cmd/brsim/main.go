@@ -8,12 +8,16 @@
 //	brsim -scheme Profiling -bench li            # trains on li's training set
 //	brsim -scheme 'PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))' -pipeline 8
 //	brsim -scheme AlwaysTaken -trace trace.bin   # simulate from a trace file
+//	brsim -bench gcc -hot 10                     # worst-predicted branches
+//	brsim -bench gcc -metrics run.json -interval 5000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
 
@@ -21,6 +25,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "brsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		scheme    = flag.String("scheme", "PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))", "predictor specification")
 		benchCSV  = flag.String("bench", "", "comma-separated benchmarks (default: all nine)")
@@ -28,12 +39,17 @@ func main() {
 		trainN    = flag.Uint64("train", 0, "training branches for GSg/PSg/Profiling (0 = same as -branches)")
 		pipeline  = flag.Int("pipeline", 0, "pipeline depth (0 = resolve immediately)")
 		traceFile = flag.String("trace", "", "simulate a binary trace file instead of benchmarks")
+		hotK      = flag.Int("hot", 0, "print the top-K static branches by mispredictions per run")
+		interval  = flag.Uint64("interval", 0, "sample accuracy every N resolved branches (metrics file only)")
+		metrics   = flag.String("metrics", "", "write per-run telemetry as JSON to this file")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
 	sp, err := twolevel.ParseSpec(*scheme)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *trainN == 0 {
 		*trainN = *branches
@@ -44,29 +60,91 @@ func main() {
 		PipelineDepth:   *pipeline,
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// instrument attaches the requested observers for one run; done
+	// harvests them into the metrics document and prints the hot table.
+	var doc twolevel.MetricsDocument
+	instrument := func() (*twolevel.RunStats, *twolevel.HotBranches, *twolevel.IntervalSeries, twolevel.SimOptions) {
+		o := simOpts
+		var (
+			rs  *twolevel.RunStats
+			hot *twolevel.HotBranches
+			iv  *twolevel.IntervalSeries
+			obs []twolevel.Observer
+		)
+		if *metrics != "" {
+			rs = twolevel.NewRunStats()
+			obs = append(obs, rs)
+		}
+		if *hotK > 0 {
+			hot = twolevel.NewHotBranches(*hotK)
+			obs = append(obs, hot)
+		}
+		if *interval > 0 {
+			iv = twolevel.NewIntervalSeries(*interval)
+			obs = append(obs, iv)
+		}
+		o.Observer = twolevel.MultiObserver(obs...)
+		return rs, hot, iv, o
+	}
+	done := func(name string, res twolevel.SimResult, rs *twolevel.RunStats, hot *twolevel.HotBranches, iv *twolevel.IntervalSeries) {
+		if rs != nil {
+			rm := twolevel.ExperimentRunMetrics{
+				Spec:      sp.String(),
+				Benchmark: name,
+				Accuracy:  res.Accuracy.Rate(),
+				Stats:     rs.Metrics(),
+			}
+			if hot != nil {
+				rm.HotBranches = hot.Report()
+			}
+			if iv != nil {
+				rm.Intervals = iv.Samples()
+				rm.Switches = iv.Switches()
+			}
+			doc.Runs = append(doc.Runs, rm)
+		}
+		if hot != nil {
+			printHot(name, hot)
+		}
+	}
+
 	if *traceFile != "" {
 		if sp.NeedsTraining() {
-			fatal(fmt.Errorf("training-based schemes need benchmark training data, not a raw trace"))
+			return fmt.Errorf("training-based schemes need benchmark training data, not a raw trace")
 		}
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		src, err := twolevel.OpenTrace(f)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		p, err := twolevel.NewPredictor(*scheme)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		res, err := twolevel.Simulate(p, src, simOpts)
+		rs, hot, iv, o := instrument()
+		res, err := twolevel.Simulate(p, src, o)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("%s on %s: %s\n", p.Name(), *traceFile, res.Accuracy)
-		return
+		done(*traceFile, res, rs, hot, iv)
+		return finish(*metrics, *memProf, &doc)
 	}
 
 	benchmarks := twolevel.Benchmarks()
@@ -75,7 +153,7 @@ func main() {
 		for _, name := range strings.Split(*benchCSV, ",") {
 			b, err := twolevel.BenchmarkByName(strings.TrimSpace(name))
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			benchmarks = append(benchmarks, b)
 		}
@@ -88,37 +166,81 @@ func main() {
 		if sp.NeedsTraining() {
 			train, err := b.NewSource(b.Training)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			p, err = twolevel.NewTrainedPredictor(*scheme, twolevel.LimitConditional(train, *trainN))
 			if err != nil {
-				fatal(err)
+				return err
 			}
 		} else {
 			p, err = twolevel.NewPredictor(*scheme)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 		}
 		src, err := b.NewSource(b.Testing)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		res, err := twolevel.Simulate(p, src, simOpts)
+		rs, hot, iv, o := instrument()
+		res, err := twolevel.Simulate(p, src, o)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintf(tw, "%s\t%.2f%%\t%d\t%d\t%d\n",
 			b.Name, 100*res.Accuracy.Rate(),
 			res.Accuracy.Predictions-res.Accuracy.Correct,
 			res.Instructions, res.ContextSwitches)
+		done(b.Name, res, rs, hot, iv)
 	}
 	if err := tw.Flush(); err != nil {
-		fatal(err)
+		return err
 	}
+	return finish(*metrics, *memProf, &doc)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "brsim:", err)
-	os.Exit(1)
+// printHot renders one run's hot-branch table.
+func printHot(name string, hot *twolevel.HotBranches) {
+	rep := hot.Report()
+	if len(rep) == 0 {
+		return
+	}
+	fmt.Printf("hot branches: %s (%d mispredictions over %d static branches)\n",
+		name, hot.TotalMispredicts(), hot.StaticBranches())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  pc\tmispredicts\texecutions\ttaken-rate\tmiss-share\n")
+	for _, h := range rep {
+		fmt.Fprintf(tw, "  %#08x\t%d\t%d\t%.2f%%\t%.2f%%\n",
+			h.PC, h.Mispredicts, h.Executions, 100*h.TakenRate, 100*h.MissShare)
+	}
+	tw.Flush()
+}
+
+// finish writes the metrics document and heap profile, if requested.
+func finish(metrics, memProf string, doc *twolevel.MetricsDocument) error {
+	if metrics != "" {
+		f, err := os.Create(metrics)
+		if err != nil {
+			return err
+		}
+		if err := doc.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if memProf != "" {
+		f, err := os.Create(memProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }

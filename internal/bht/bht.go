@@ -30,6 +30,7 @@ import (
 // owned by the predictor using the table.
 type Entry struct {
 	valid bool
+	ever  bool   // slot has been allocated at least once (occupancy telemetry)
 	pc    uint32 // full address of the owning branch
 	stamp uint64 // LRU timestamp
 
@@ -72,6 +73,14 @@ type Store interface {
 	Flush()
 	// Entries returns the table capacity (0 means unbounded).
 	Entries() int
+	// Touched returns the number of distinct entry slots ever allocated
+	// since construction — table occupancy telemetry. Flush does not
+	// reset the count.
+	Touched() int
+	// Range calls f for every slot ever allocated, including entries
+	// invalidated by Flush (their payload — notably a PAp pattern table —
+	// survives the flush). Iteration order is unspecified.
+	Range(f func(e *Entry))
 }
 
 // Cache is the practical set-associative branch history table.
@@ -82,6 +91,7 @@ type Cache struct {
 	idxBits  int
 	clock    uint64
 	capacity int
+	touched  int // slots ever allocated
 }
 
 // NewCache returns a table with the given number of entries and
@@ -150,10 +160,26 @@ func (c *Cache) Allocate(pc uint32) (*Entry, bool) {
 	}
 	recycled := victim.valid && victim.pc != pc
 	c.clock++
+	if !victim.ever {
+		victim.ever = true
+		c.touched++
+	}
 	victim.valid = true
 	victim.pc = pc
 	victim.stamp = c.clock
 	return victim, recycled
+}
+
+// Touched implements Store.
+func (c *Cache) Touched() int { return c.touched }
+
+// Range implements Store.
+func (c *Cache) Range(f func(e *Entry)) {
+	for i := range c.entries {
+		if c.entries[i].ever {
+			f(&c.entries[i])
+		}
+	}
 }
 
 // Flush implements Store.
@@ -197,7 +223,7 @@ func (t *Ideal) Allocate(pc uint32) (*Entry, bool) {
 		e.valid = true
 		return e, false
 	}
-	e := &Entry{valid: true, pc: pc}
+	e := &Entry{valid: true, ever: true, pc: pc}
 	t.entries[pc] = e
 	return e, false
 }
@@ -206,5 +232,15 @@ func (t *Ideal) Allocate(pc uint32) (*Entry, bool) {
 func (t *Ideal) Flush() {
 	for _, e := range t.entries {
 		e.valid = false
+	}
+}
+
+// Touched implements Store: every static branch seen has its own entry.
+func (t *Ideal) Touched() int { return len(t.entries) }
+
+// Range implements Store.
+func (t *Ideal) Range(f func(e *Entry)) {
+	for _, e := range t.entries {
+		f(e)
 	}
 }

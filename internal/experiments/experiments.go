@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -38,6 +39,10 @@ type Options struct {
 	TrainBranches uint64
 	// Benchmarks restricts the benchmark set (default: all nine).
 	Benchmarks []*prog.Benchmark
+	// Telemetry, when non-nil, attaches observers to every measured
+	// predictor run and accumulates per-run metrics (timing, throughput,
+	// hot branches, interval accuracy) for a metrics.json document.
+	Telemetry *Telemetry
 }
 
 // DefaultCondBranches is the default per-benchmark conditional branch
@@ -206,12 +211,23 @@ func trainingData(sp spec.Spec, b *prog.Benchmark, budget uint64) (*spec.Trainin
 }
 
 // RunSpec measures one predictor specification on one benchmark's testing
-// data set and returns the full simulation result.
+// data set and returns the full simulation result. Every error is wrapped
+// with the spec and benchmark it belongs to, so failures surfacing from
+// the experiment fan-out stay attributable. When o.Telemetry is set the
+// run carries its observers and is recorded in the collector.
 func RunSpec(sp spec.Spec, b *prog.Benchmark, o Options) (sim.Result, error) {
 	o = o.withDefaults()
+	res, err := runSpec(sp, b, o)
+	if err != nil {
+		return res, fmt.Errorf("%s/%s: %w", sp, b.Name, err)
+	}
+	return res, nil
+}
+
+func runSpec(sp spec.Spec, b *prog.Benchmark, o Options) (sim.Result, error) {
 	td, err := trainingData(sp, b, o.TrainBranches)
 	if err != nil {
-		return sim.Result{}, fmt.Errorf("experiments: training %s on %s: %w", sp, b.Name, err)
+		return sim.Result{}, fmt.Errorf("training: %w", err)
 	}
 	p, err := spec.Build(sp, td)
 	if err != nil {
@@ -221,10 +237,36 @@ func RunSpec(sp spec.Spec, b *prog.Benchmark, o Options) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, err
 	}
-	return sim.Run(p, src, sim.Options{
+	simOpts := sim.Options{
 		ContextSwitches: sp.ContextSwitch,
 		MaxCondBranches: o.CondBranches,
-	})
+	}
+	var record func(spec.Spec, *prog.Benchmark, sim.Result)
+	if o.Telemetry != nil {
+		simOpts.Observer, record = o.Telemetry.instrument()
+	}
+	res, err := sim.Run(p, src, simOpts)
+	if err == nil && record != nil {
+		record(sp, b, res)
+	}
+	return res, err
+}
+
+// joinRunErrors collapses per-benchmark errors into one error carrying
+// every failure (nil when none failed). The per-run errors already carry
+// their "spec/benchmark:" attribution from RunSpec, so a failed fan-out
+// names every run that broke instead of silently dropping all but one.
+func joinRunErrors(errs []error) error {
+	var failed []error
+	for _, err := range errs {
+		if err != nil {
+			failed = append(failed, err)
+		}
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+	return fmt.Errorf("experiments: %w", errors.Join(failed...))
 }
 
 // Accuracy measures prediction accuracy of sp on b.
@@ -262,11 +304,13 @@ func accuracyRow(label string, sp spec.Spec, o Options) (Series, error) {
 		}(i, b)
 	}
 	wg.Wait()
+	// Report every failed benchmark, not just the first: the errors are
+	// already attributed ("spec/benchmark:") by RunSpec.
+	if err := joinRunErrors(errs); err != nil {
+		return Series{}, err
+	}
 	var intAcc, fpAcc []float64
 	for i, b := range o.Benchmarks {
-		if errs[i] != nil {
-			return Series{}, fmt.Errorf("experiments: %s on %s: %w", sp, b.Name, errs[i])
-		}
 		if b.FP {
 			fpAcc = append(fpAcc, values[i])
 		} else {
@@ -352,11 +396,29 @@ func IDs() []string {
 	return ids
 }
 
-// Run executes the experiment with the given ID.
+// Run executes the experiment with the given ID. When o.Telemetry is set
+// the experiment is timed and its instrumented runs are stamped with the
+// experiment ID; experiments that perform no predictor runs (the trace
+// summaries: table1-3, fig4) additionally record the reference
+// configuration on every benchmark so the metrics document always carries
+// per-benchmark telemetry.
 func Run(id string, o Options) (*Report, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
 	}
-	return r(o)
+	t := o.Telemetry
+	if t == nil {
+		return r(o)
+	}
+	start := t.beginExperiment(id)
+	rep, err := r(o)
+	if err == nil && t.runsSinceBegin() == 0 {
+		err = stampReference(o)
+	}
+	t.endExperiment(id, start)
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
 }

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// ReportJSON is the machine-readable form of a Report: the same encoder
+// backs brexp's -json report output and the reports section of
+// metrics.json, so downstream tooling reads one schema instead of
+// scraping tabwriter output. Cells that render as "-" in the text table
+// (NaN / infinite) are omitted from the maps.
+type ReportJSON struct {
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	Columns []string `json:"columns"`
+	// Percent marks values as fractions meant to render as percentages.
+	Percent bool     `json:"percent"`
+	Notes   []string `json:"notes,omitempty"`
+	// Series maps series label -> column (benchmark) -> value.
+	Series map[string]map[string]float64 `json:"series"`
+}
+
+// JSON converts the report to its machine-readable form.
+func (r *Report) JSON() *ReportJSON {
+	out := &ReportJSON{
+		ID:      r.ID,
+		Title:   r.Title,
+		Columns: r.Columns,
+		Percent: r.Percent,
+		Notes:   r.Notes,
+		Series:  make(map[string]map[string]float64, len(r.Series)),
+	}
+	for _, s := range r.Series {
+		row := make(map[string]float64, len(s.Values))
+		for i, v := range s.Values {
+			if i >= len(r.Columns) || math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			row[r.Columns[i]] = v
+		}
+		out.Series[s.Label] = row
+	}
+	return out
+}
+
+// WriteJSON renders the report as an indented JSON document.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.JSON())
+}
+
+// MetricsDocument is the top-level schema of metrics.json: per-experiment
+// summaries, per-run telemetry, and optionally the reports themselves.
+type MetricsDocument struct {
+	Experiments []ExperimentMetrics `json:"experiments"`
+	Runs        []RunMetrics        `json:"runs"`
+	Reports     []*ReportJSON       `json:"reports,omitempty"`
+}
+
+// Document assembles the metrics document from everything the collector
+// recorded, attaching the given reports.
+func (t *Telemetry) Document(reports ...*Report) *MetricsDocument {
+	doc := &MetricsDocument{
+		Experiments: t.Experiments(),
+		Runs:        t.Runs(),
+	}
+	for _, r := range reports {
+		doc.Reports = append(doc.Reports, r.JSON())
+	}
+	return doc
+}
+
+// Write renders the document as indented JSON.
+func (d *MetricsDocument) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

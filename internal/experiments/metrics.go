@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+
+	"twolevel/internal/prog"
+	"twolevel/internal/sim"
+	"twolevel/internal/spec"
+	"twolevel/internal/telemetry"
+)
+
+// RunMetrics is the per-run unit of the metrics document: one predictor
+// measured on one benchmark, with the telemetry the attached observers
+// collected.
+type RunMetrics struct {
+	// Experiment is the experiment ID the run belongs to (empty for
+	// direct RunSpec calls outside an experiment).
+	Experiment string `json:"experiment,omitempty"`
+	// Spec is the predictor configuration in the paper's naming
+	// convention.
+	Spec string `json:"spec"`
+	// Benchmark is the benchmark name.
+	Benchmark string `json:"benchmark"`
+	// Accuracy is the run's prediction accuracy (fraction).
+	Accuracy float64 `json:"accuracy"`
+	// Stats carries wall-clock, throughput, allocation and occupancy.
+	Stats telemetry.RunMetrics `json:"stats"`
+	// HotBranches is the top-K static branches by mispredictions
+	// (present when Telemetry.HotK > 0).
+	HotBranches []telemetry.HotBranch `json:"hot_branches,omitempty"`
+	// Intervals is the accuracy time series (present when
+	// Telemetry.Interval > 0).
+	Intervals []telemetry.Sample `json:"intervals,omitempty"`
+	// Switches marks the resolved-branch index of each context switch,
+	// for aligning recovery curves against Intervals.
+	Switches []uint64 `json:"switches,omitempty"`
+}
+
+// ExperimentMetrics summarises one experiment's execution.
+type ExperimentMetrics struct {
+	// ID is the experiment identifier.
+	ID string `json:"id"`
+	// WallClockSeconds is the experiment's total duration, including
+	// training passes and trace generation.
+	WallClockSeconds float64 `json:"wall_clock_seconds"`
+	// Runs is the number of instrumented simulation runs recorded.
+	Runs int `json:"runs"`
+}
+
+// Telemetry configures and accumulates per-run telemetry across
+// experiments. Attach one to Options.Telemetry; every measured predictor
+// run then carries a RunStats observer (plus HotBranches and
+// IntervalSeries when requested) and lands in Runs. The collector is
+// goroutine-safe: experiments fan runs out across benchmarks.
+type Telemetry struct {
+	// HotK, when positive, collects the top-K static branches by
+	// mispredictions for every run.
+	HotK int
+	// Interval, when positive, samples accuracy every Interval resolved
+	// conditional branches for every run.
+	Interval uint64
+
+	mu          sync.Mutex
+	current     string // experiment ID runs are stamped with
+	runsAtBegin int
+	runs        []RunMetrics
+	experiments []ExperimentMetrics
+}
+
+// instrument returns the observer for one simulation run and the record
+// function to call once the run completed. The record function is nil-safe
+// on the result side but must only be called once.
+func (t *Telemetry) instrument() (telemetry.Observer, func(sp spec.Spec, b *prog.Benchmark, res sim.Result)) {
+	rs := telemetry.NewRunStats()
+	var hot *telemetry.HotBranches
+	var iv *telemetry.IntervalSeries
+	obs := []telemetry.Observer{rs}
+	if t.HotK > 0 {
+		hot = telemetry.NewHotBranches(t.HotK)
+		obs = append(obs, hot)
+	}
+	if t.Interval > 0 {
+		iv = telemetry.NewIntervalSeries(t.Interval)
+		obs = append(obs, iv)
+	}
+	record := func(sp spec.Spec, b *prog.Benchmark, res sim.Result) {
+		rm := RunMetrics{
+			Spec:      sp.String(),
+			Benchmark: b.Name,
+			Accuracy:  res.Accuracy.Rate(),
+			Stats:     rs.Metrics(),
+		}
+		if hot != nil {
+			rm.HotBranches = hot.Report()
+		}
+		if iv != nil {
+			rm.Intervals = iv.Samples()
+			rm.Switches = iv.Switches()
+		}
+		t.mu.Lock()
+		rm.Experiment = t.current
+		t.runs = append(t.runs, rm)
+		t.mu.Unlock()
+	}
+	return telemetry.Multi(obs...), record
+}
+
+// beginExperiment stamps subsequent runs with the experiment ID and
+// returns the wall-clock start.
+func (t *Telemetry) beginExperiment(id string) time.Time {
+	t.mu.Lock()
+	t.current = id
+	t.runsAtBegin = len(t.runs)
+	t.mu.Unlock()
+	return time.Now()
+}
+
+// runsSinceBegin reports how many runs the current experiment recorded.
+func (t *Telemetry) runsSinceBegin() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.runs) - t.runsAtBegin
+}
+
+// endExperiment closes the experiment's metrics entry.
+func (t *Telemetry) endExperiment(id string, start time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.experiments = append(t.experiments, ExperimentMetrics{
+		ID:               id,
+		WallClockSeconds: time.Since(start).Seconds(),
+		Runs:             len(t.runs) - t.runsAtBegin,
+	})
+	t.current = ""
+}
+
+// Runs returns a copy of the recorded per-run metrics.
+func (t *Telemetry) Runs() []RunMetrics {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]RunMetrics(nil), t.runs...)
+}
+
+// Experiments returns a copy of the per-experiment summaries.
+func (t *Telemetry) Experiments() []ExperimentMetrics {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]ExperimentMetrics(nil), t.experiments...)
+}
+
+// referenceSpec is the run stamped for experiments that only summarise
+// traces (table1-3, fig4): the paper's preferred configuration, so a
+// metrics document always carries per-benchmark timing, throughput,
+// hot-branch and interval data no matter which experiment produced it.
+var referenceSpec = "PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))"
+
+// stampReference measures the reference configuration on every benchmark
+// of o, recording runs under the current experiment label.
+func stampReference(o Options) error {
+	o = o.withDefaults()
+	sp, err := spec.Parse(referenceSpec)
+	if err != nil {
+		return err
+	}
+	errs := make([]error, len(o.Benchmarks))
+	var wg sync.WaitGroup
+	for i, b := range o.Benchmarks {
+		wg.Add(1)
+		go func(i int, b *prog.Benchmark) {
+			defer wg.Done()
+			_, errs[i] = RunSpec(sp, b, o)
+		}(i, b)
+	}
+	wg.Wait()
+	return joinRunErrors(errs)
+}

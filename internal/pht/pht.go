@@ -13,6 +13,7 @@ package pht
 
 import (
 	"fmt"
+	"math/bits"
 
 	"twolevel/internal/automaton"
 )
@@ -24,6 +25,11 @@ type Table struct {
 	mask    uint32
 	init    automaton.State
 	entries []automaton.State
+	// touched is a bitset of entries that have received at least one
+	// Update — the "distinct patterns seen" occupancy telemetry. The
+	// hot-path cost is a single unconditional OR store per Update; the
+	// population count is computed lazily by Touched.
+	touched []uint64
 }
 
 // New returns a 2^k-entry table of machine m entries, each initialised to
@@ -43,15 +49,23 @@ func NewInit(k int, m *automaton.Machine, init automaton.State) *Table {
 	if int(init) >= m.States() {
 		panic(fmt.Sprintf("pht: initial state %d out of range for %s", init, m))
 	}
-	t := &Table{m: m, k: k, mask: uint32(1)<<k - 1, init: init, entries: make([]automaton.State, 1<<k)}
+	t := &Table{
+		m: m, k: k, mask: uint32(1)<<k - 1, init: init,
+		entries: make([]automaton.State, 1<<k),
+		touched: make([]uint64, (1<<k+63)/64),
+	}
 	t.Reset()
 	return t
 }
 
-// Reset restores every entry to the table's initial state.
+// Reset restores every entry to the table's initial state and clears the
+// touched-pattern telemetry.
 func (t *Table) Reset() {
 	for i := range t.entries {
 		t.entries[i] = t.init
+	}
+	for i := range t.touched {
+		t.touched[i] = 0
 	}
 }
 
@@ -73,6 +87,18 @@ func (t *Table) Predict(pattern uint32) bool {
 func (t *Table) Update(pattern uint32, taken bool) {
 	i := pattern & t.mask
 	t.entries[i] = t.m.Next(t.entries[i], taken)
+	t.touched[i>>6] |= 1 << (i & 63)
+}
+
+// Touched returns the number of distinct patterns that have received at
+// least one Update since construction or the last Reset — pattern table
+// occupancy telemetry.
+func (t *Table) Touched() int {
+	n := 0
+	for _, w := range t.touched {
+		n += bits.OnesCount64(w)
+	}
+	return n
 }
 
 // State returns the raw pattern history bits for pattern (for inspection

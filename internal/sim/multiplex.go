@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"twolevel/internal/telemetry"
 	"twolevel/internal/trace"
 )
 
@@ -27,6 +28,13 @@ type Multiplex struct {
 	used    uint64
 	// Switches counts the quantum expirations so far.
 	Switches uint64
+	// Observer, when non-nil, is notified (OnContextSwitch) at every
+	// quantum expiration — the multiplexer's switches are genuine
+	// context switches even though the simulator's flush model is
+	// usually disabled for multiplexed runs. Attach the same observer
+	// via sim.Options to get run-scoped Start/Finish; the multiplexer
+	// itself never calls them.
+	Observer telemetry.Observer
 }
 
 // NewMultiplex interleaves sources round-robin every quantum instructions
@@ -70,6 +78,9 @@ func (m *Multiplex) Next() (trace.Event, error) {
 		m.used = 0
 		m.current = (m.current + 1) % len(m.sources)
 		m.Switches++
+		if m.Observer != nil {
+			m.Observer.OnContextSwitch()
+		}
 		return trace.Event{Trap: true, Instrs: 0}, nil
 	}
 	m.used += uint64(e.Instrs)

@@ -15,6 +15,7 @@ import (
 
 	"twolevel/internal/predictor"
 	"twolevel/internal/stats"
+	"twolevel/internal/telemetry"
 	"twolevel/internal/trace"
 )
 
@@ -38,6 +39,11 @@ type Options struct {
 	// refetched pipeline would. Depth 0 resolves every branch before
 	// the next prediction (the paper's base model).
 	PipelineDepth int
+	// Observer, when non-nil, receives telemetry callbacks for every
+	// prediction, resolution, trap and context switch, bracketed by
+	// Start/Finish. A nil observer adds no allocations and no
+	// measurable work to the hot loop.
+	Observer telemetry.Observer
 }
 
 // Result aggregates a simulation run.
@@ -88,10 +94,21 @@ func measureTarget(res *Result, tp predictor.TargetPredictor, b trace.Branch, pr
 
 // Run simulates p over src.
 func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) {
+	if obs := opts.Observer; obs != nil {
+		obs.Start(telemetry.RunInfo{Predictor: p})
+		defer obs.Finish()
+	}
 	if opts.PipelineDepth > 0 {
 		return runPipelined(p, src, opts)
 	}
+	return runSerial(p, src, opts)
+}
+
+// runSerial is the paper's base model: every branch resolves before the
+// next prediction.
+func runSerial(p predictor.Predictor, src trace.Source, opts Options) (Result, error) {
 	var res Result
+	obs := opts.Observer
 	tp, _ := p.(predictor.TargetPredictor)
 	if tp != nil && !tp.CachesTargets() {
 		tp = nil
@@ -116,10 +133,16 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) 
 		sinceCS += uint64(e.Instrs)
 		if e.Trap {
 			res.Traps++
+			if obs != nil {
+				obs.OnTrap()
+			}
 			if opts.ContextSwitches {
 				p.ContextSwitch()
 				res.ContextSwitches++
 				sinceCS = 0
+				if obs != nil {
+					obs.OnContextSwitch()
+				}
 			}
 			continue
 		}
@@ -127,6 +150,9 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) 
 			p.ContextSwitch()
 			res.ContextSwitches++
 			sinceCS = 0
+			if obs != nil {
+				obs.OnContextSwitch()
+			}
 		}
 		b := e.Branch
 		res.ByClass[b.Class]++
@@ -139,10 +165,16 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) 
 		outcome := b.Taken
 		b.Taken = false // the predictor must not see the outcome
 		pred := p.Predict(b)
+		if obs != nil {
+			obs.OnPredict(b, pred)
+		}
 		b.Taken = outcome
 		res.Accuracy.Add(pred == outcome)
 		measureTarget(&res, tp, b, pred)
 		p.Update(b, pred)
+		if obs != nil {
+			obs.OnResolve(b, pred, pred == outcome)
+		}
 	}
 }
 
@@ -160,6 +192,7 @@ type inflight struct {
 // path).
 func runPipelined(p predictor.Predictor, src trace.Source, opts Options) (Result, error) {
 	var res Result
+	obs := opts.Observer
 	interval := opts.CSInterval
 	if interval == 0 {
 		interval = DefaultCSInterval
@@ -171,6 +204,9 @@ func runPipelined(p predictor.Predictor, src trace.Source, opts Options) (Result
 		outcome := b.Taken
 		b.Taken = false
 		pred := p.Predict(b)
+		if obs != nil {
+			obs.OnPredict(b, pred)
+		}
 		b.Taken = outcome
 		return pred
 	}
@@ -181,6 +217,9 @@ func runPipelined(p predictor.Predictor, src trace.Source, opts Options) (Result
 		correct := f.pred == f.branch.Taken
 		res.Accuracy.Add(correct)
 		p.Update(f.branch, f.pred)
+		if obs != nil {
+			obs.OnResolve(f.branch, f.pred, correct)
+		}
 		if !correct {
 			// Squash: younger in-flight branches are refetched and
 			// re-predicted with the repaired predictor state.
@@ -211,11 +250,17 @@ func runPipelined(p predictor.Predictor, src trace.Source, opts Options) (Result
 		sinceCS += uint64(e.Instrs)
 		if e.Trap {
 			res.Traps++
+			if obs != nil {
+				obs.OnTrap()
+			}
 			if opts.ContextSwitches {
 				drain()
 				p.ContextSwitch()
 				res.ContextSwitches++
 				sinceCS = 0
+				if obs != nil {
+					obs.OnContextSwitch()
+				}
 			}
 			continue
 		}
@@ -224,6 +269,9 @@ func runPipelined(p predictor.Predictor, src trace.Source, opts Options) (Result
 			p.ContextSwitch()
 			res.ContextSwitches++
 			sinceCS = 0
+			if obs != nil {
+				obs.OnContextSwitch()
+			}
 		}
 		b := e.Branch
 		res.ByClass[b.Class]++

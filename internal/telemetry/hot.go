@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"sort"
+
+	"twolevel/internal/trace"
+)
+
+// HotBranch is one row of a hot-branch report: a static conditional branch
+// and its contribution to the run's mispredictions.
+type HotBranch struct {
+	// PC is the branch address.
+	PC uint32 `json:"pc"`
+	// Mispredicts counts wrong predictions for this branch.
+	Mispredicts uint64 `json:"mispredicts"`
+	// Executions counts resolved dynamic instances of this branch.
+	Executions uint64 `json:"executions"`
+	// TakenRate is the fraction of executions that were taken.
+	TakenRate float64 `json:"taken_rate"`
+	// MissShare is this branch's share of all mispredictions in the run.
+	MissShare float64 `json:"miss_share"`
+}
+
+// HotBranches is an Observer accumulating a per-PC misprediction table —
+// the "which few static branches dominate the misses" view that makes
+// predictor studies actionable (a handful of hard-to-predict branches
+// typically carry most of the MPKI).
+type HotBranches struct {
+	NopObserver
+	k      int
+	counts map[uint32]*hotCount
+	misses uint64 // total mispredictions in the run
+}
+
+type hotCount struct {
+	executions  uint64
+	taken       uint64
+	mispredicts uint64
+}
+
+// NewHotBranches returns an observer that reports the top k static
+// branches by misprediction count. k must be positive.
+func NewHotBranches(k int) *HotBranches {
+	if k < 1 {
+		k = 1
+	}
+	return &HotBranches{k: k, counts: make(map[uint32]*hotCount)}
+}
+
+// OnResolve implements Observer.
+func (h *HotBranches) OnResolve(b trace.Branch, predicted, correct bool) {
+	c := h.counts[b.PC]
+	if c == nil {
+		c = &hotCount{}
+		h.counts[b.PC] = c
+	}
+	c.executions++
+	if b.Taken {
+		c.taken++
+	}
+	if !correct {
+		c.mispredicts++
+		h.misses++
+	}
+}
+
+// TotalMispredicts returns the run's total misprediction count.
+func (h *HotBranches) TotalMispredicts() uint64 { return h.misses }
+
+// StaticBranches returns the number of distinct conditional branch sites
+// observed.
+func (h *HotBranches) StaticBranches() int { return len(h.counts) }
+
+// Report returns the top-K branches ordered by mispredictions descending;
+// ties break by execution count descending, then by PC ascending, so the
+// ordering is deterministic.
+func (h *HotBranches) Report() []HotBranch {
+	all := make([]HotBranch, 0, len(h.counts))
+	for pc, c := range h.counts {
+		hb := HotBranch{
+			PC:          pc,
+			Mispredicts: c.mispredicts,
+			Executions:  c.executions,
+		}
+		if c.executions > 0 {
+			hb.TakenRate = float64(c.taken) / float64(c.executions)
+		}
+		if h.misses > 0 {
+			hb.MissShare = float64(c.mispredicts) / float64(h.misses)
+		}
+		all = append(all, hb)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Mispredicts != b.Mispredicts {
+			return a.Mispredicts > b.Mispredicts
+		}
+		if a.Executions != b.Executions {
+			return a.Executions > b.Executions
+		}
+		return a.PC < b.PC
+	})
+	if len(all) > h.k {
+		all = all[:h.k]
+	}
+	return all
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+
+	"twolevel/internal/predictor"
+	"twolevel/internal/trace"
+)
+
+// RunMetrics is the machine-readable summary RunStats produces: the
+// wall-clock, throughput, allocation and table-occupancy facts of one
+// simulation run. It is the per-run unit of the metrics.json schema.
+type RunMetrics struct {
+	// WallClockSeconds is the duration between Start and Finish.
+	WallClockSeconds float64 `json:"wall_clock_seconds"`
+	// Events is the total number of observer callbacks delivered
+	// (predictions + resolutions + traps + context switches).
+	Events uint64 `json:"events"`
+	// EventsPerSec is Events over WallClockSeconds.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Predictions counts OnPredict callbacks (squashed re-predictions
+	// in the pipelined model included).
+	Predictions uint64 `json:"predictions"`
+	// Resolutions counts OnResolve callbacks.
+	Resolutions uint64 `json:"resolutions"`
+	// Mispredictions counts incorrect resolutions.
+	Mispredictions uint64 `json:"mispredictions"`
+	// Traps counts trap events.
+	Traps uint64 `json:"traps"`
+	// ContextSwitches counts predictor flushes.
+	ContextSwitches uint64 `json:"context_switches"`
+	// AllocBytes and Mallocs are runtime.MemStats deltas
+	// (TotalAlloc, Mallocs) across the run. They are process-wide:
+	// concurrent runs in the same process contaminate each other's
+	// deltas, so treat them as an upper bound under parallelism.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	Mallocs    uint64 `json:"mallocs"`
+	// Occupancy is the predictor's table occupancy at Finish, when the
+	// predictor implements predictor.Inspector; nil otherwise.
+	Occupancy *predictor.Occupancy `json:"occupancy,omitempty"`
+}
+
+// RunStats is an Observer measuring what a run cost: wall-clock duration,
+// events/sec throughput, allocation deltas and — for predictors
+// implementing predictor.Inspector — table occupancy.
+type RunStats struct {
+	info     RunInfo
+	start    time.Time
+	startMem runtime.MemStats
+	m        RunMetrics
+	finished bool
+}
+
+// NewRunStats returns an empty RunStats observer.
+func NewRunStats() *RunStats { return &RunStats{} }
+
+// Start implements Observer.
+func (r *RunStats) Start(info RunInfo) {
+	r.info = info
+	r.finished = false
+	runtime.ReadMemStats(&r.startMem)
+	r.start = time.Now()
+}
+
+// OnPredict implements Observer.
+func (r *RunStats) OnPredict(b trace.Branch, predicted bool) {
+	r.m.Predictions++
+}
+
+// OnResolve implements Observer.
+func (r *RunStats) OnResolve(b trace.Branch, predicted, correct bool) {
+	r.m.Resolutions++
+	if !correct {
+		r.m.Mispredictions++
+	}
+}
+
+// OnContextSwitch implements Observer.
+func (r *RunStats) OnContextSwitch() { r.m.ContextSwitches++ }
+
+// OnTrap implements Observer.
+func (r *RunStats) OnTrap() { r.m.Traps++ }
+
+// Finish implements Observer.
+func (r *RunStats) Finish() {
+	elapsed := time.Since(r.start)
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	r.m.WallClockSeconds = elapsed.Seconds()
+	r.m.AllocBytes = end.TotalAlloc - r.startMem.TotalAlloc
+	r.m.Mallocs = end.Mallocs - r.startMem.Mallocs
+	r.m.Events = r.m.Predictions + r.m.Resolutions + r.m.Traps + r.m.ContextSwitches
+	if r.m.WallClockSeconds > 0 {
+		r.m.EventsPerSec = float64(r.m.Events) / r.m.WallClockSeconds
+	}
+	if insp, ok := r.info.Predictor.(predictor.Inspector); ok {
+		occ := insp.Inspect()
+		r.m.Occupancy = &occ
+	}
+	r.finished = true
+}
+
+// Metrics returns the collected metrics. Before Finish the duration,
+// throughput, allocation and occupancy fields are zero.
+func (r *RunStats) Metrics() RunMetrics { return r.m }

@@ -1,0 +1,120 @@
+// Package telemetry is the observability layer of the simulator: observer
+// hooks threaded through the prediction hot loop, plus concrete observers
+// for the dynamics the end-of-run accuracy numbers hide — which static
+// branches dominate mispredictions (HotBranches), how accuracy evolves
+// through warm-up and context-switch recovery (IntervalSeries), and what a
+// run cost in wall-clock, allocations and table occupancy (RunStats).
+//
+// Observers attach to a run via sim.Options.Observer. A nil observer adds
+// no allocations and no measurable work to the hot loop; the simulator
+// guards every callback behind a nil check, and the guarantee is enforced
+// by an allocation test in package sim and the BenchmarkSimObserverOverhead
+// pair at the repository root.
+package telemetry
+
+import (
+	"twolevel/internal/predictor"
+	"twolevel/internal/trace"
+)
+
+// RunInfo describes the simulation run an observer is attached to.
+type RunInfo struct {
+	// Predictor is the predictor under measurement. Observers that
+	// report table occupancy keep it and query it — via the optional
+	// predictor.Inspector interface — at Finish time.
+	Predictor predictor.Predictor
+}
+
+// Observer receives the simulator's lifecycle callbacks. Implementations
+// need not be safe for concurrent use: the simulator delivers callbacks
+// from a single goroutine, and each run gets its own observers.
+type Observer interface {
+	// Start begins a run. It is called once, before the first event.
+	Start(info RunInfo)
+	// OnPredict is called after each conditional branch prediction,
+	// before the outcome is known — b.Taken is cleared, exactly as the
+	// predictor saw it. Squashed-and-repredicted branches in the
+	// pipelined model are reported again.
+	OnPredict(b trace.Branch, predicted bool)
+	// OnResolve is called when a conditional branch resolves and the
+	// predictor has been updated; b.Taken carries the real outcome.
+	OnResolve(b trace.Branch, predicted, correct bool)
+	// OnContextSwitch is called when per-branch predictor state is
+	// flushed for a process switch (or, for sim.Multiplex, when the
+	// quantum expires and another process is scheduled).
+	OnContextSwitch()
+	// OnTrap is called for every trap event in the trace.
+	OnTrap()
+	// Finish ends the run. It is called once, after the last event,
+	// on both normal and error returns.
+	Finish()
+}
+
+// multi fans callbacks out to several observers in order.
+type multi []Observer
+
+// Multi combines observers into one. Nil elements are dropped; with zero
+// survivors it returns nil (the simulator's fast path), and with one it
+// returns that observer unwrapped.
+func Multi(obs ...Observer) Observer {
+	var m multi
+	for _, o := range obs {
+		if o != nil {
+			m = append(m, o)
+		}
+	}
+	switch len(m) {
+	case 0:
+		return nil
+	case 1:
+		return m[0]
+	}
+	return m
+}
+
+func (m multi) Start(info RunInfo) {
+	for _, o := range m {
+		o.Start(info)
+	}
+}
+
+func (m multi) OnPredict(b trace.Branch, predicted bool) {
+	for _, o := range m {
+		o.OnPredict(b, predicted)
+	}
+}
+
+func (m multi) OnResolve(b trace.Branch, predicted, correct bool) {
+	for _, o := range m {
+		o.OnResolve(b, predicted, correct)
+	}
+}
+
+func (m multi) OnContextSwitch() {
+	for _, o := range m {
+		o.OnContextSwitch()
+	}
+}
+
+func (m multi) OnTrap() {
+	for _, o := range m {
+		o.OnTrap()
+	}
+}
+
+func (m multi) Finish() {
+	for _, o := range m {
+		o.Finish()
+	}
+}
+
+// NopObserver implements Observer with no-ops; embed it to implement only
+// the callbacks an observer cares about.
+type NopObserver struct{}
+
+func (NopObserver) Start(RunInfo)                      {}
+func (NopObserver) OnPredict(trace.Branch, bool)       {}
+func (NopObserver) OnResolve(trace.Branch, bool, bool) {}
+func (NopObserver) OnContextSwitch()                   {}
+func (NopObserver) OnTrap()                            {}
+func (NopObserver) Finish()                            {}

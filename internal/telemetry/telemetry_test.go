@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+
+	"twolevel/internal/trace"
+)
+
+// resolve feeds n resolutions of branch pc, miss of them incorrect and
+// takenN of them taken, into obs.
+func resolve(obs Observer, pc uint32, n, miss, takenN int) {
+	for i := 0; i < n; i++ {
+		b := trace.Branch{PC: pc, Class: trace.Cond, Taken: i < takenN}
+		obs.OnResolve(b, true, i >= miss)
+	}
+}
+
+func TestHotBranchesTopKOrdering(t *testing.T) {
+	h := NewHotBranches(3)
+	h.Start(RunInfo{})
+	resolve(h, 0x100, 10, 5, 10) // 5 misses
+	resolve(h, 0x200, 10, 9, 0)  // 9 misses
+	resolve(h, 0x300, 10, 1, 5)  // 1 miss
+	resolve(h, 0x400, 10, 7, 10) // 7 misses
+	h.Finish()
+
+	rep := h.Report()
+	if len(rep) != 3 {
+		t.Fatalf("top-3 of 4 branches: got %d rows", len(rep))
+	}
+	wantPCs := []uint32{0x200, 0x400, 0x100}
+	for i, want := range wantPCs {
+		if rep[i].PC != want {
+			t.Errorf("rank %d: PC %#x, want %#x", i, rep[i].PC, want)
+		}
+	}
+	if rep[0].Mispredicts != 9 || rep[0].Executions != 10 {
+		t.Errorf("rank 0 counts: %+v", rep[0])
+	}
+	if rep[0].TakenRate != 0 {
+		t.Errorf("0x200 taken rate = %v, want 0", rep[0].TakenRate)
+	}
+	if rep[2].TakenRate != 1 {
+		t.Errorf("0x100 taken rate = %v, want 1", rep[2].TakenRate)
+	}
+	total := h.TotalMispredicts()
+	if total != 22 {
+		t.Fatalf("total mispredicts = %d, want 22", total)
+	}
+	if got, want := rep[0].MissShare, 9.0/22.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("miss share = %v, want %v", got, want)
+	}
+	if h.StaticBranches() != 4 {
+		t.Errorf("static branches = %d, want 4", h.StaticBranches())
+	}
+}
+
+func TestHotBranchesTieBreaking(t *testing.T) {
+	h := NewHotBranches(4)
+	// Equal mispredicts, different executions: more executions first.
+	resolve(h, 0x30, 20, 5, 0)
+	resolve(h, 0x20, 10, 5, 0)
+	// Equal mispredicts AND executions: lower PC first.
+	resolve(h, 0x50, 10, 5, 0)
+	rep := h.Report()
+	want := []uint32{0x30, 0x20, 0x50}
+	if len(rep) != 3 {
+		t.Fatalf("rows = %d", len(rep))
+	}
+	for i, pc := range want {
+		if rep[i].PC != pc {
+			t.Errorf("rank %d: PC %#x, want %#x (ties must break by executions desc, then PC asc)", i, rep[i].PC, pc)
+		}
+	}
+}
+
+func TestHotBranchesKSmallerThanSites(t *testing.T) {
+	h := NewHotBranches(1)
+	resolve(h, 1, 4, 2, 2)
+	resolve(h, 2, 4, 3, 2)
+	rep := h.Report()
+	if len(rep) != 1 || rep[0].PC != 2 {
+		t.Fatalf("top-1 = %+v", rep)
+	}
+}
+
+func TestIntervalSeriesExactMultiple(t *testing.T) {
+	s := NewIntervalSeries(100)
+	s.Start(RunInfo{})
+	resolve(s, 1, 200, 40, 100) // first 40 of each PC stream are misses
+	s.Finish()
+	samples := s.Samples()
+	if len(samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(samples))
+	}
+	if samples[0].Branches != 100 || samples[1].Branches != 200 {
+		t.Errorf("cumulative branch marks: %+v", samples)
+	}
+	if samples[0].Predictions != 100 || samples[1].Predictions != 100 {
+		t.Errorf("interval widths: %+v", samples)
+	}
+	// Misses land in the first interval: 40 wrong of 100, then all right.
+	if samples[0].Accuracy != 0.6 || samples[1].Accuracy != 1.0 {
+		t.Errorf("accuracies: %v, %v", samples[0].Accuracy, samples[1].Accuracy)
+	}
+}
+
+func TestIntervalSeriesPartialFinalInterval(t *testing.T) {
+	s := NewIntervalSeries(100)
+	s.Start(RunInfo{})
+	resolve(s, 1, 250, 0, 0) // budget not divisible by interval
+	s.Finish()
+	samples := s.Samples()
+	if len(samples) != 3 {
+		t.Fatalf("samples = %d, want 3 (two full + one partial)", len(samples))
+	}
+	last := samples[2]
+	if last.Predictions != 50 || last.Branches != 250 {
+		t.Errorf("partial sample = %+v", last)
+	}
+	if last.Accuracy != 1.0 {
+		t.Errorf("partial accuracy = %v", last.Accuracy)
+	}
+	// Finish again must not emit an empty duplicate.
+	s.Finish()
+	if len(s.Samples()) != 3 {
+		t.Errorf("double Finish added samples: %d", len(s.Samples()))
+	}
+}
+
+func TestIntervalSeriesSwitchMarks(t *testing.T) {
+	s := NewIntervalSeries(10)
+	resolve(s, 1, 25, 0, 0)
+	s.OnContextSwitch()
+	resolve(s, 1, 5, 0, 0)
+	s.OnContextSwitch()
+	s.Finish()
+	sw := s.Switches()
+	if len(sw) != 2 || sw[0] != 25 || sw[1] != 30 {
+		t.Fatalf("switch marks = %v, want [25 30]", sw)
+	}
+}
+
+func TestIntervalSeriesZeroClamped(t *testing.T) {
+	s := NewIntervalSeries(0)
+	if s.Interval() != 1 {
+		t.Fatalf("interval = %d, want clamp to 1", s.Interval())
+	}
+}
+
+func TestMultiCombinesAndFiltersNil(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("empty Multi should be nil")
+	}
+	h := NewHotBranches(1)
+	if Multi(nil, h) != Observer(h) {
+		t.Fatal("single survivor should be returned unwrapped")
+	}
+	s := NewIntervalSeries(10)
+	m := Multi(h, s)
+	m.Start(RunInfo{})
+	resolve(m, 7, 12, 3, 6)
+	m.OnContextSwitch()
+	m.OnTrap()
+	m.Finish()
+	if h.TotalMispredicts() != 3 {
+		t.Errorf("hot observer missed callbacks: %d", h.TotalMispredicts())
+	}
+	if len(s.Samples()) != 2 || len(s.Switches()) != 1 {
+		t.Errorf("interval observer missed callbacks: %d samples, %d switches",
+			len(s.Samples()), len(s.Switches()))
+	}
+}
+
+func TestRunStatsCountsAndThroughput(t *testing.T) {
+	rs := NewRunStats()
+	rs.Start(RunInfo{})
+	b := trace.Branch{PC: 4, Class: trace.Cond}
+	for i := 0; i < 50; i++ {
+		rs.OnPredict(b, true)
+		rs.OnResolve(b, true, i%2 == 0)
+	}
+	rs.OnTrap()
+	rs.OnContextSwitch()
+	rs.Finish()
+	m := rs.Metrics()
+	if m.Predictions != 50 || m.Resolutions != 50 || m.Mispredictions != 25 {
+		t.Errorf("counts: %+v", m)
+	}
+	if m.Traps != 1 || m.ContextSwitches != 1 {
+		t.Errorf("trap/switch counts: %+v", m)
+	}
+	if m.Events != 102 {
+		t.Errorf("events = %d, want 102", m.Events)
+	}
+	if m.WallClockSeconds <= 0 || m.EventsPerSec <= 0 {
+		t.Errorf("timing not recorded: %+v", m)
+	}
+	if m.Occupancy != nil {
+		t.Errorf("no predictor attached, occupancy should be nil")
+	}
+}

@@ -109,6 +109,20 @@ func (t *Trace) Append(e Event) { t.Events = append(t.Events, e) }
 // Len returns the number of events.
 func (t *Trace) Len() int { return len(t.Events) }
 
+// AppendAll drains src into the trace.
+func (t *Trace) AppendAll(src Source) error {
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		t.Append(e)
+	}
+}
+
 // Reader returns a Source that replays the trace from the beginning.
 func (t *Trace) Reader() *Reader { return &Reader{trace: t} }
 

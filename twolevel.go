@@ -19,6 +19,10 @@
 //   - Estimate hardware cost with the §3.4 model (EstimateCost).
 //   - Regenerate every table and figure of the paper's evaluation
 //     (RunExperiment, ExperimentIDs).
+//   - Attach telemetry observers to any run (SimOptions.Observer):
+//     hot-branch tables, interval accuracy series and run statistics
+//     (NewHotBranches, NewIntervalSeries, NewRunStats), or collect a
+//     metrics document across experiments (ExperimentTelemetry).
 //
 // A minimal use:
 //
@@ -44,6 +48,7 @@ import (
 	"twolevel/internal/prog"
 	"twolevel/internal/sim"
 	"twolevel/internal/spec"
+	"twolevel/internal/telemetry"
 	"twolevel/internal/trace"
 )
 
@@ -309,6 +314,73 @@ const (
 func NewTwoLevel(cfg TwoLevelConfig) (*predictor.TwoLevel, error) {
 	return predictor.NewTwoLevel(cfg)
 }
+
+// Telemetry vocabulary: observers hook the simulator's event loop
+// (SimOptions.Observer) and collect per-run metrics without touching the
+// nil-observer hot path.
+type (
+	// Observer receives simulator callbacks for one run: Start/Finish
+	// around the run, OnPredict/OnResolve per conditional branch,
+	// OnTrap/OnContextSwitch for the rarer events.
+	Observer = telemetry.Observer
+	// ObserverRunInfo describes the run an observer is attached to.
+	ObserverRunInfo = telemetry.RunInfo
+	// HotBranches is an Observer ranking static branches by
+	// mispredictions.
+	HotBranches = telemetry.HotBranches
+	// HotBranch is one row of a HotBranches report.
+	HotBranch = telemetry.HotBranch
+	// IntervalSeries is an Observer sampling accuracy every N resolved
+	// conditional branches (warm-up and context-switch recovery curves).
+	IntervalSeries = telemetry.IntervalSeries
+	// IntervalSample is one point of an IntervalSeries.
+	IntervalSample = telemetry.Sample
+	// RunStats is an Observer measuring wall-clock, throughput,
+	// allocation deltas and predictor table occupancy.
+	RunStats = telemetry.RunStats
+	// RunMetrics is the summary a RunStats observer produces.
+	RunMetrics = telemetry.RunMetrics
+	// PredictorOccupancy reports how much of a predictor's tables a run
+	// actually touched.
+	PredictorOccupancy = predictor.Occupancy
+	// PredictorInspector is implemented by predictors that can report
+	// table occupancy (TwoLevel and BTB do).
+	PredictorInspector = predictor.Inspector
+
+	// ExperimentTelemetry collects per-run metrics across experiment
+	// runs; attach one to ExperimentOptions.Telemetry.
+	ExperimentTelemetry = experiments.Telemetry
+	// ExperimentRunMetrics is one instrumented run in a metrics
+	// document.
+	ExperimentRunMetrics = experiments.RunMetrics
+	// MetricsDocument is the metrics.json schema: experiments, runs and
+	// optionally the reports themselves.
+	MetricsDocument = experiments.MetricsDocument
+	// ReportJSON is the machine-readable form of a Report.
+	ReportJSON = experiments.ReportJSON
+)
+
+// DefaultExperimentBranches is the default per-benchmark conditional
+// branch budget of the experiments.
+const DefaultExperimentBranches = experiments.DefaultCondBranches
+
+// NewHotBranches returns a hot-branch observer keeping the top k static
+// branches by mispredictions.
+func NewHotBranches(k int) *HotBranches { return telemetry.NewHotBranches(k) }
+
+// NewIntervalSeries returns an observer sampling accuracy every interval
+// resolved conditional branches.
+func NewIntervalSeries(interval uint64) *IntervalSeries {
+	return telemetry.NewIntervalSeries(interval)
+}
+
+// NewRunStats returns an observer measuring run timing, throughput,
+// allocations and predictor occupancy.
+func NewRunStats() *RunStats { return telemetry.NewRunStats() }
+
+// MultiObserver fans callbacks out to several observers (nils are
+// dropped; the result is nil when none remain).
+func MultiObserver(obs ...Observer) Observer { return telemetry.Multi(obs...) }
 
 // Program is an assembled ISA program (a memory image plus labels) —
 // write your own workloads in the repository's assembly language and run
