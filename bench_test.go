@@ -180,6 +180,51 @@ func BenchmarkExtensionResidual(b *testing.B) {
 	b.ReportMetric(report.Value("gcc", "interference"), "gcc-interference-share")
 }
 
+// BenchmarkFigure6TraceCache is the capture-cache before/after
+// comparison on a multi-spec experiment (nine specs x nine benchmarks):
+//
+//	live        — trace cache disabled: every run re-executes the CPU
+//	              interpreter, as the harness did before the cache existed
+//	cached-cold — capture cache starts empty each iteration: the
+//	              interpreter runs once per (benchmark, data set) and all
+//	              specs replay the shared capture in batched passes
+//	cached-warm — captures already materialised: pure replay
+//
+// BENCH_experiments.json records the measured ratios; cached-cold is the
+// end-to-end speedup a fresh process sees.
+func BenchmarkFigure6TraceCache(b *testing.B) {
+	opts := twolevel.ExperimentOptions{CondBranches: benchBudget()}
+	b.Run("live", func(b *testing.B) {
+		o := opts
+		o.DisableTraceCache = true
+		for i := 0; i < b.N; i++ {
+			if _, err := twolevel.RunExperiment("fig6", o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			twolevel.ResetExperimentCaches()
+			if _, err := twolevel.RunExperiment("fig6", opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached-warm", func(b *testing.B) {
+		twolevel.ResetExperimentCaches()
+		if _, err := twolevel.RunExperiment("fig6", opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := twolevel.RunExperiment("fig6", opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // Throughput benchmarks: predictions per second on a live trace.
 
 func benchPredictor(b *testing.B, specStr string) {

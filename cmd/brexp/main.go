@@ -10,6 +10,9 @@
 //	brexp -exp fig11 -json           # machine-readable reports
 //	brexp -exp table1 -metrics out.json   # per-run telemetry document
 //	brexp -exp fig5 -cpuprofile cpu.pprof # profile the run
+//	brexp -exp fig9 -j 4             # bound the worker pool
+//	brexp -exp all -trace-reuse=false # force live interpreter runs
+//	brexp -benchjson BENCH.json      # suite benchmark document
 //	brexp -list                      # show experiment IDs
 package main
 
@@ -21,8 +24,10 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"twolevel"
+	"twolevel/internal/cpu"
 )
 
 func main() {
@@ -44,8 +49,11 @@ func run() error {
 		metrics  = flag.String("metrics", "", "write a per-run telemetry document (metrics.json) to this file")
 		hotK     = flag.Int("hot", 10, "top-K hot branches per run in the metrics document")
 		interval = flag.Uint64("interval", 0, "accuracy sampling interval in the metrics document (0 = budget/20)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file")
+		workersN   = flag.Int("j", 0, "worker-pool size for the experiment grid (0 = GOMAXPROCS)")
+		traceReuse = flag.Bool("trace-reuse", true, "capture each benchmark trace once and replay it (false = live interpreter per run)")
+		benchJSON  = flag.String("benchjson", "", "run the suite benchmark protocol and write its JSON document to this file")
 	)
 	flag.Parse()
 
@@ -69,8 +77,10 @@ func run() error {
 	}
 
 	opts := twolevel.ExperimentOptions{
-		CondBranches:  *branches,
-		TrainBranches: *train,
+		CondBranches:      *branches,
+		TrainBranches:     *train,
+		Workers:           *workersN,
+		DisableTraceCache: !*traceReuse,
 	}
 	if *benchCSV != "" {
 		for _, name := range strings.Split(*benchCSV, ",") {
@@ -98,6 +108,10 @@ func run() error {
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = twolevel.ExperimentIDs()
+	}
+
+	if *benchJSON != "" {
+		return runBenchJSON(*benchJSON, opts)
 	}
 	var reports []*twolevel.Report
 	for _, id := range ids {
@@ -156,5 +170,158 @@ func run() error {
 			return err
 		}
 	}
+	return nil
+}
+
+// suiteBench is the full-suite section of the benchmark document.
+type suiteBench struct {
+	// WallClockSeconds is the duration of one full experiment run
+	// (every table, figure and extension) with the trace cache cold.
+	WallClockSeconds float64 `json:"wall_clock_seconds"`
+	// LiveWallClockSeconds is the same full run with the trace cache
+	// disabled: every run re-executes the CPU interpreter, as the
+	// harness did before the cache existed.
+	LiveWallClockSeconds float64 `json:"live_wall_clock_seconds"`
+	// SpeedupLive is LiveWallClockSeconds over WallClockSeconds: the
+	// end-to-end suite speedup the capture cache delivers from cold.
+	SpeedupLive float64 `json:"speedup_live_over_cached"`
+	// Runs is the number of instrumented predictor runs.
+	Runs int `json:"runs"`
+	// Events is the total trace events replayed across those runs.
+	Events uint64 `json:"events"`
+	// EventsPerSec is Events over WallClockSeconds.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// AllocBytes is the process heap allocation delta for the suite.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// InterpreterConstructions counts CPU interpreters built — the
+	// capture-once property bounds it by benchmarks, not runs.
+	InterpreterConstructions uint64 `json:"interpreter_constructions"`
+	// CaptureCache is the packed trace footprint after the suite.
+	CaptureCache twolevel.TraceCaptureStats `json:"capture_cache"`
+}
+
+// fig6Bench compares one multi-spec experiment across cache arms.
+type fig6Bench struct {
+	LiveSeconds       float64 `json:"live_seconds"`
+	CachedColdSeconds float64 `json:"cached_cold_seconds"`
+	CachedWarmSeconds float64 `json:"cached_warm_seconds"`
+	SpeedupCold       float64 `json:"speedup_live_over_cached_cold"`
+	SpeedupWarm       float64 `json:"speedup_live_over_cached_warm"`
+}
+
+// benchDoc is the BENCH_experiments.json schema: the perf trajectory
+// baseline for the experiment harness.
+type benchDoc struct {
+	GoMaxProcs   int        `json:"go_max_procs"`
+	Workers      int        `json:"workers"`
+	CondBranches uint64     `json:"cond_branches"`
+	Suite        suiteBench `json:"suite"`
+	Fig6         fig6Bench  `json:"fig6"`
+}
+
+// runBenchJSON executes the benchmark protocol: the full suite once with
+// a cold cache, then fig6 under live / cached-cold / cached-warm
+// regimes, and writes the document to path.
+func runBenchJSON(path string, opts twolevel.ExperimentOptions) error {
+	budget := opts.CondBranches
+	if budget == 0 {
+		budget = twolevel.DefaultExperimentBranches
+		opts.CondBranches = budget
+	}
+	opts.Telemetry = &twolevel.ExperimentTelemetry{}
+	opts.DisableTraceCache = false
+
+	twolevel.ResetExperimentCaches()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	cons := cpu.Constructions()
+	start := time.Now()
+	for _, id := range twolevel.ExperimentIDs() {
+		if _, err := twolevel.RunExperiment(id, opts); err != nil {
+			return err
+		}
+	}
+	suiteSecs := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+
+	doc := benchDoc{
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Workers:      opts.Workers,
+		CondBranches: budget,
+	}
+	doc.Suite.WallClockSeconds = suiteSecs
+	doc.Suite.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	doc.Suite.InterpreterConstructions = cpu.Constructions() - cons
+	doc.Suite.CaptureCache = twolevel.ExperimentCaptureStats()
+	for _, rm := range opts.Telemetry.Runs() {
+		doc.Suite.Runs++
+		doc.Suite.Events += rm.Stats.Events
+	}
+	if suiteSecs > 0 {
+		doc.Suite.EventsPerSec = float64(doc.Suite.Events) / suiteSecs
+	}
+
+	liveSuite := opts
+	liveSuite.DisableTraceCache = true
+	liveSuite.Telemetry = &twolevel.ExperimentTelemetry{}
+	twolevel.ResetExperimentCaches()
+	start = time.Now()
+	for _, id := range twolevel.ExperimentIDs() {
+		if _, err := twolevel.RunExperiment(id, liveSuite); err != nil {
+			return err
+		}
+	}
+	doc.Suite.LiveWallClockSeconds = time.Since(start).Seconds()
+	if suiteSecs > 0 {
+		doc.Suite.SpeedupLive = doc.Suite.LiveWallClockSeconds / suiteSecs
+	}
+
+	timeFig6 := func(o twolevel.ExperimentOptions) (float64, error) {
+		start := time.Now()
+		_, err := twolevel.RunExperiment("fig6", o)
+		return time.Since(start).Seconds(), err
+	}
+	fig6Opts := opts
+	fig6Opts.Telemetry = nil
+
+	var err error
+	live := fig6Opts
+	live.DisableTraceCache = true
+	twolevel.ResetExperimentCaches()
+	if doc.Fig6.LiveSeconds, err = timeFig6(live); err != nil {
+		return err
+	}
+	twolevel.ResetExperimentCaches()
+	if doc.Fig6.CachedColdSeconds, err = timeFig6(fig6Opts); err != nil {
+		return err
+	}
+	if doc.Fig6.CachedWarmSeconds, err = timeFig6(fig6Opts); err != nil {
+		return err
+	}
+	if doc.Fig6.CachedColdSeconds > 0 {
+		doc.Fig6.SpeedupCold = doc.Fig6.LiveSeconds / doc.Fig6.CachedColdSeconds
+	}
+	if doc.Fig6.CachedWarmSeconds > 0 {
+		doc.Fig6.SpeedupWarm = doc.Fig6.LiveSeconds / doc.Fig6.CachedWarmSeconds
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("suite: %.2fs cached vs %.2fs live (%.1fx), %d runs, %.1fM events/s, %d interpreters; fig6 speedup: %.1fx cold, %.1fx warm\n",
+		doc.Suite.WallClockSeconds, doc.Suite.LiveWallClockSeconds, doc.Suite.SpeedupLive,
+		doc.Suite.Runs, doc.Suite.EventsPerSec/1e6,
+		doc.Suite.InterpreterConstructions, doc.Fig6.SpeedupCold, doc.Fig6.SpeedupWarm)
 	return nil
 }

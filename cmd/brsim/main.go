@@ -1,4 +1,4 @@
-// Command brsim runs one branch predictor configuration over one or more
+// Command brsim runs branch predictor configurations over one or more
 // benchmarks and reports accuracy.
 //
 // Usage:
@@ -7,22 +7,38 @@
 //	brsim -scheme 'GAg(HR(1,,18-sr),1xPHT(2^18,A2),c)' -bench gcc -branches 1000000
 //	brsim -scheme Profiling -bench li            # trains on li's training set
 //	brsim -scheme 'PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))' -pipeline 8
+//	brsim -scheme GAg'(HR(1,,8-sr),1xPHT(2^8,A2))' -scheme AlwaysTaken
+//	                                             # batched: one decode pass feeds both
 //	brsim -scheme AlwaysTaken -trace trace.bin   # simulate from a trace file
 //	brsim -bench gcc -hot 10                     # worst-predicted branches
 //	brsim -bench gcc -metrics run.json -interval 5000
+//	brsim -j 4                                   # run benchmarks in parallel
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"text/tabwriter"
 
 	"twolevel"
 )
+
+const defaultScheme = "PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))"
+
+// schemeList accumulates repeated -scheme flags.
+type schemeList []string
+
+func (s *schemeList) String() string { return strings.Join(*s, ",") }
+func (s *schemeList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -32,32 +48,37 @@ func main() {
 }
 
 func run() error {
+	var schemes schemeList
+	flag.Var(&schemes, "scheme", "predictor specification (repeatable: all schemes replay one shared decode pass per benchmark; default "+defaultScheme+")")
 	var (
-		scheme    = flag.String("scheme", "PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))", "predictor specification")
-		benchCSV  = flag.String("bench", "", "comma-separated benchmarks (default: all nine)")
-		branches  = flag.Uint64("branches", 100_000, "conditional branches per benchmark")
-		trainN    = flag.Uint64("train", 0, "training branches for GSg/PSg/Profiling (0 = same as -branches)")
-		pipeline  = flag.Int("pipeline", 0, "pipeline depth (0 = resolve immediately)")
-		traceFile = flag.String("trace", "", "simulate a binary trace file instead of benchmarks")
-		hotK      = flag.Int("hot", 0, "print the top-K static branches by mispredictions per run")
-		interval  = flag.Uint64("interval", 0, "sample accuracy every N resolved branches (metrics file only)")
-		metrics   = flag.String("metrics", "", "write per-run telemetry as JSON to this file")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file")
+		benchCSV   = flag.String("bench", "", "comma-separated benchmarks (default: all nine)")
+		branches   = flag.Uint64("branches", 100_000, "conditional branches per benchmark")
+		trainN     = flag.Uint64("train", 0, "training branches for GSg/PSg/Profiling (0 = same as -branches)")
+		pipeline   = flag.Int("pipeline", 0, "pipeline depth (0 = resolve immediately)")
+		traceFile  = flag.String("trace", "", "simulate a binary trace file instead of benchmarks")
+		hotK       = flag.Int("hot", 0, "print the top-K static branches by mispredictions per run")
+		interval   = flag.Uint64("interval", 0, "sample accuracy every N resolved branches (metrics file only)")
+		metrics    = flag.String("metrics", "", "write per-run telemetry as JSON to this file")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file")
+		workersN   = flag.Int("j", 0, "benchmarks simulated in parallel (0 = GOMAXPROCS)")
+		traceReuse = flag.Bool("trace-reuse", true, "capture each training trace once and replay it for every training-based scheme")
 	)
 	flag.Parse()
 
-	sp, err := twolevel.ParseSpec(*scheme)
-	if err != nil {
-		return err
+	if len(schemes) == 0 {
+		schemes = schemeList{defaultScheme}
+	}
+	sps := make([]twolevel.Spec, len(schemes))
+	for i, s := range schemes {
+		sp, err := twolevel.ParseSpec(s)
+		if err != nil {
+			return err
+		}
+		sps[i] = sp
 	}
 	if *trainN == 0 {
 		*trainN = *branches
-	}
-	simOpts := twolevel.SimOptions{
-		ContextSwitches: sp.ContextSwitch,
-		MaxCondBranches: *branches,
-		PipelineDepth:   *pipeline,
 	}
 
 	if *cpuProf != "" {
@@ -72,11 +93,8 @@ func run() error {
 		defer pprof.StopCPUProfile()
 	}
 
-	// instrument attaches the requested observers for one run; done
-	// harvests them into the metrics document and prints the hot table.
-	var doc twolevel.MetricsDocument
-	instrument := func() (*twolevel.RunStats, *twolevel.HotBranches, *twolevel.IntervalSeries, twolevel.SimOptions) {
-		o := simOpts
+	// instrument attaches the requested observers for one run.
+	instrument := func(o twolevel.SimOptions) (*twolevel.RunStats, *twolevel.HotBranches, *twolevel.IntervalSeries, twolevel.SimOptions) {
 		var (
 			rs  *twolevel.RunStats
 			hot *twolevel.HotBranches
@@ -98,32 +116,84 @@ func run() error {
 		o.Observer = twolevel.MultiObserver(obs...)
 		return rs, hot, iv, o
 	}
-	done := func(name string, res twolevel.SimResult, rs *twolevel.RunStats, hot *twolevel.HotBranches, iv *twolevel.IntervalSeries) {
-		if rs != nil {
+
+	// schemeOut is one (scheme, source) run's harvest; done folds it into
+	// the metrics document and prints the hot table.
+	type schemeOut struct {
+		res twolevel.SimResult
+		rs  *twolevel.RunStats
+		hot *twolevel.HotBranches
+		iv  *twolevel.IntervalSeries
+	}
+	var doc twolevel.MetricsDocument
+	done := func(sp twolevel.Spec, name string, out schemeOut) {
+		if out.rs != nil {
 			rm := twolevel.ExperimentRunMetrics{
 				Spec:      sp.String(),
 				Benchmark: name,
-				Accuracy:  res.Accuracy.Rate(),
-				Stats:     rs.Metrics(),
+				Accuracy:  out.res.Accuracy.Rate(),
+				Stats:     out.rs.Metrics(),
 			}
-			if hot != nil {
-				rm.HotBranches = hot.Report()
+			if len(schemes) > 1 {
+				rm.Batched = true
+				rm.BatchSize = len(schemes)
 			}
-			if iv != nil {
-				rm.Intervals = iv.Samples()
-				rm.Switches = iv.Switches()
+			if out.hot != nil {
+				rm.HotBranches = out.hot.Report()
+			}
+			if out.iv != nil {
+				rm.Intervals = out.iv.Samples()
+				rm.Switches = out.iv.Switches()
 			}
 			doc.Runs = append(doc.Runs, rm)
 		}
-		if hot != nil {
-			printHot(name, hot)
+		if out.hot != nil {
+			printHot(name, out.hot)
 		}
 	}
 
-	if *traceFile != "" {
-		if sp.NeedsTraining() {
-			return fmt.Errorf("training-based schemes need benchmark training data, not a raw trace")
+	// runBatch builds one predictor per scheme (training as needed via
+	// trainSource) and replays all of them down a single pass of src.
+	runBatch := func(src twolevel.Source, trainSource func() (twolevel.Source, error)) ([]schemeOut, error) {
+		preds := make([]twolevel.Predictor, len(schemes))
+		optsList := make([]twolevel.SimOptions, len(schemes))
+		outs := make([]schemeOut, len(schemes))
+		for i, s := range schemes {
+			var err error
+			if sps[i].NeedsTraining() {
+				if trainSource == nil {
+					return nil, fmt.Errorf("training-based schemes need benchmark training data, not a raw trace")
+				}
+				tsrc, err2 := trainSource()
+				if err2 != nil {
+					return nil, err2
+				}
+				preds[i], err = twolevel.NewTrainedPredictor(s, tsrc)
+			} else {
+				preds[i], err = twolevel.NewPredictor(s)
+			}
+			if err != nil {
+				return nil, err
+			}
+			o := twolevel.SimOptions{
+				ContextSwitches: sps[i].ContextSwitch,
+				MaxCondBranches: *branches,
+				PipelineDepth:   *pipeline,
+			}
+			outs[i].rs, outs[i].hot, outs[i].iv, o = instrument(o)
+			optsList[i] = o
 		}
+		results, err := twolevel.SimulateMany(preds, src, optsList)
+		if err != nil {
+			return nil, err
+		}
+		for i := range outs {
+			outs[i].res = results[i]
+		}
+		return outs, nil
+	}
+
+	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
 			return err
@@ -133,17 +203,14 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		p, err := twolevel.NewPredictor(*scheme)
+		outs, err := runBatch(src, nil)
 		if err != nil {
 			return err
 		}
-		rs, hot, iv, o := instrument()
-		res, err := twolevel.Simulate(p, src, o)
-		if err != nil {
-			return err
+		for i, out := range outs {
+			fmt.Printf("%s on %s: %s\n", sps[i].String(), *traceFile, out.res.Accuracy)
+			done(sps[i], *traceFile, out)
 		}
-		fmt.Printf("%s on %s: %s\n", p.Name(), *traceFile, res.Accuracy)
-		done(*traceFile, res, rs, hot, iv)
 		return finish(*metrics, *memProf, &doc)
 	}
 
@@ -159,39 +226,100 @@ func run() error {
 		}
 	}
 
+	// trainSource builds per-benchmark training streams. With -trace-reuse
+	// the training events are captured once and every training-based
+	// scheme replays the same in-memory trace; without it each scheme
+	// re-runs the interpreter.
+	trainSourceFor := func(b *twolevel.Benchmark) func() (twolevel.Source, error) {
+		var captured *twolevel.Trace
+		return func() (twolevel.Source, error) {
+			if captured != nil {
+				return captured.Reader(), nil
+			}
+			src, err := b.NewSource(b.Training)
+			if err != nil {
+				return nil, err
+			}
+			limited := twolevel.LimitConditional(src, *trainN)
+			if !*traceReuse {
+				return limited, nil
+			}
+			tr := &twolevel.Trace{}
+			for {
+				e, err := limited.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return nil, err
+				}
+				tr.Append(e)
+			}
+			captured = tr
+			return captured.Reader(), nil
+		}
+	}
+
+	// Simulate the benchmarks over a bounded worker pool, keeping the
+	// output in benchmark order.
+	type benchOut struct {
+		outs []schemeOut
+		err  error
+	}
+	results := make([]benchOut, len(benchmarks))
+	workers := *workersN
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workers = min(workers, len(benchmarks))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				b := benchmarks[i]
+				src, err := b.NewSource(b.Testing)
+				if err != nil {
+					results[i] = benchOut{err: err}
+					continue
+				}
+				outs, err := runBatch(src, trainSourceFor(b))
+				results[i] = benchOut{outs: outs, err: err}
+			}
+		}()
+	}
+	for i := range benchmarks {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "benchmark\taccuracy\tmispredicts\tinstructions\tswitches\n")
-	for _, b := range benchmarks {
-		var p twolevel.Predictor
-		if sp.NeedsTraining() {
-			train, err := b.NewSource(b.Training)
-			if err != nil {
-				return err
-			}
-			p, err = twolevel.NewTrainedPredictor(*scheme, twolevel.LimitConditional(train, *trainN))
-			if err != nil {
-				return err
-			}
-		} else {
-			p, err = twolevel.NewPredictor(*scheme)
-			if err != nil {
-				return err
-			}
+	if len(schemes) > 1 {
+		fmt.Fprintf(tw, "benchmark\tscheme\taccuracy\tmispredicts\tinstructions\tswitches\n")
+	} else {
+		fmt.Fprintf(tw, "benchmark\taccuracy\tmispredicts\tinstructions\tswitches\n")
+	}
+	for i, b := range benchmarks {
+		if results[i].err != nil {
+			return fmt.Errorf("%s: %w", b.Name, results[i].err)
 		}
-		src, err := b.NewSource(b.Testing)
-		if err != nil {
-			return err
+		for si, out := range results[i].outs {
+			if len(schemes) > 1 {
+				fmt.Fprintf(tw, "%s\t%s\t%.2f%%\t%d\t%d\t%d\n",
+					b.Name, sps[si].String(), 100*out.res.Accuracy.Rate(),
+					out.res.Accuracy.Predictions-out.res.Accuracy.Correct,
+					out.res.Instructions, out.res.ContextSwitches)
+			} else {
+				fmt.Fprintf(tw, "%s\t%.2f%%\t%d\t%d\t%d\n",
+					b.Name, 100*out.res.Accuracy.Rate(),
+					out.res.Accuracy.Predictions-out.res.Accuracy.Correct,
+					out.res.Instructions, out.res.ContextSwitches)
+			}
+			done(sps[si], b.Name, out)
 		}
-		rs, hot, iv, o := instrument()
-		res, err := twolevel.Simulate(p, src, o)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(tw, "%s\t%.2f%%\t%d\t%d\t%d\n",
-			b.Name, 100*res.Accuracy.Rate(),
-			res.Accuracy.Predictions-res.Accuracy.Correct,
-			res.Instructions, res.ContextSwitches)
-		done(b.Name, res, rs, hot, iv)
 	}
 	if err := tw.Flush(); err != nil {
 		return err

@@ -23,11 +23,21 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 
 	"twolevel/internal/asm"
 	"twolevel/internal/isa"
 	"twolevel/internal/trace"
 )
+
+// constructions counts CPU instantiations process-wide. Interpreter
+// execution is the most expensive stage of the experiment harness, so the
+// trace-capture layer is judged by how few of these it allows; tests and
+// the benchmark baseline read the counter through Constructions.
+var constructions atomic.Uint64
+
+// Constructions returns the number of CPUs constructed by this process.
+func Constructions() uint64 { return constructions.Load() }
 
 // DefaultMemSize is the default memory size (4 MiB).
 const DefaultMemSize = 1 << 22
@@ -82,6 +92,7 @@ func New(prog *asm.Program, memSize int) (*CPU, error) {
 	if end > int64(memSize) {
 		return nil, fmt.Errorf("cpu: program [%#x,%#x) exceeds memory size %#x", prog.Base, end, memSize)
 	}
+	constructions.Add(1)
 	nText := (prog.TextEnd - prog.Base) / 4
 	c := &CPU{
 		prog:      prog,

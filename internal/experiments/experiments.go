@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -43,6 +44,15 @@ type Options struct {
 	// predictor run and accumulates per-run metrics (timing, throughput,
 	// hot branches, interval accuracy) for a metrics.json document.
 	Telemetry *Telemetry
+	// Workers bounds the worker pool that executes the spec×benchmark
+	// grid (0 = GOMAXPROCS).
+	Workers int
+	// DisableTraceCache turns off the capture-once trace cache and the
+	// single-pass multi-predictor batching: every run then re-executes
+	// the CPU interpreter, as the harness did before the cache existed.
+	// Results are identical either way; this exists for benchmarking
+	// the cache itself and as an escape hatch.
+	DisableTraceCache bool
 }
 
 // DefaultCondBranches is the default per-benchmark conditional branch
@@ -145,29 +155,52 @@ func (r *Report) Value(seriesLabel, column string) float64 {
 
 // programCache memoises assembled benchmark programs; experiments reuse
 // images across predictor configurations and across the parallel
-// per-benchmark runs.
+// per-benchmark runs. Entries carry a sync.Once so concurrent first
+// requests for one benchmark build its image exactly once instead of
+// stampeding the assembler (the same per-key single-flight the capture
+// cache uses for traces).
+type programEntry struct {
+	once sync.Once
+	p    *asm.Program
+	err  error
+}
+
 var (
 	programCacheMu sync.Mutex
-	programCache   = map[string]*asm.Program{}
+	programCache   = map[string]*programEntry{}
 )
 
 func buildProgram(b *prog.Benchmark, ds prog.DataSet) (*asm.Program, error) {
 	key := b.Name + "\x00" + ds.Name
 	programCacheMu.Lock()
-	p, ok := programCache[key]
-	programCacheMu.Unlock()
-	if ok {
-		return p, nil
+	e, ok := programCache[key]
+	if !ok {
+		e = &programEntry{}
+		programCache[key] = e
 	}
-	p, err := b.Build(ds)
-	if err != nil {
-		return nil, err
-	}
-	programCacheMu.Lock()
-	programCache[key] = p
 	programCacheMu.Unlock()
-	return p, nil
+	e.once.Do(func() { e.p, e.err = b.Build(ds) })
+	return e.p, e.err
 }
+
+// captureCache holds each (benchmark, data set) event stream, captured
+// from the CPU interpreter exactly once per process and replayed by every
+// measured and training run. See trace.CaptureCache.
+var captureCache = trace.NewCaptureCache()
+
+// ResetCaches drops the memoised benchmark programs and captured traces.
+// Benchmarks and tests use it to measure cold-cache behaviour; normal
+// callers never need it.
+func ResetCaches() {
+	programCacheMu.Lock()
+	programCache = map[string]*programEntry{}
+	programCacheMu.Unlock()
+	captureCache.Reset()
+}
+
+// CaptureCacheStats reports the capture cache's footprint (entries,
+// events, approximate bytes).
+func CaptureCacheStats() trace.CaptureStats { return captureCache.Stats() }
 
 // newSource returns a fresh looping trace source for (benchmark, data set).
 func newSource(b *prog.Benchmark, ds prog.DataSet) (trace.Source, error) {
@@ -182,13 +215,40 @@ func newSource(b *prog.Benchmark, ds prog.DataSet) (trace.Source, error) {
 	return cpu.NewSource(c, true), nil
 }
 
+// source returns an event source over (b, ds) good for at least n
+// conditional branches: a replay cursor over the shared capture normally,
+// or a live interpreter when the cache is disabled. Replayed and live
+// streams carry identical events — the interpreter is deterministic — so
+// every consumer downstream produces identical results either way.
+func (o Options) source(b *prog.Benchmark, ds prog.DataSet, n uint64) (trace.Source, error) {
+	if o.DisableTraceCache {
+		return newSource(b, ds)
+	}
+	snap, err := captureCache.Capture(b.Name+"\x00"+ds.Name, n, func() (trace.Source, error) {
+		return newSource(b, ds)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return snap.Reader(), nil
+}
+
+// workers resolves the worker-pool size.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // trainingData runs the training pass sp requires over b's training data
 // set. It returns nil when sp needs no training.
-func trainingData(sp spec.Spec, b *prog.Benchmark, budget uint64) (*spec.TrainingData, error) {
+func trainingData(sp spec.Spec, b *prog.Benchmark, o Options) (*spec.TrainingData, error) {
 	if !sp.NeedsTraining() {
 		return nil, nil
 	}
-	src, err := newSource(b, b.Training)
+	budget := o.TrainBranches
+	src, err := o.source(b, b.Training, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +285,7 @@ func RunSpec(sp spec.Spec, b *prog.Benchmark, o Options) (sim.Result, error) {
 }
 
 func runSpec(sp spec.Spec, b *prog.Benchmark, o Options) (sim.Result, error) {
-	td, err := trainingData(sp, b, o.TrainBranches)
+	td, err := trainingData(sp, b, o)
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("training: %w", err)
 	}
@@ -233,7 +293,7 @@ func runSpec(sp spec.Spec, b *prog.Benchmark, o Options) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, err
 	}
-	src, err := newSource(b, b.Testing)
+	src, err := o.source(b, b.Testing, o.CondBranches)
 	if err != nil {
 		return sim.Result{}, err
 	}
@@ -241,13 +301,13 @@ func runSpec(sp spec.Spec, b *prog.Benchmark, o Options) (sim.Result, error) {
 		ContextSwitches: sp.ContextSwitch,
 		MaxCondBranches: o.CondBranches,
 	}
-	var record func(spec.Spec, *prog.Benchmark, sim.Result)
+	var record recordFunc
 	if o.Telemetry != nil {
 		simOpts.Observer, record = o.Telemetry.instrument()
 	}
 	res, err := sim.Run(p, src, simOpts)
 	if err == nil && record != nil {
-		record(sp, b, res)
+		record(sp, b, res, 1)
 	}
 	return res, err
 }
@@ -288,50 +348,33 @@ func benchColumns(benchmarks []*prog.Benchmark) []string {
 	return append(cols, "Int GMean", "FP GMean", "Tot GMean")
 }
 
-// accuracyRow runs sp over every benchmark — concurrently, since each
-// run builds its own predictor and CPU — and appends the geometric means,
-// mirroring the figures' x-axes.
-func accuracyRow(label string, sp spec.Spec, o Options) (Series, error) {
-	o = o.withDefaults()
-	values := make([]float64, len(o.Benchmarks))
-	errs := make([]error, len(o.Benchmarks))
-	var wg sync.WaitGroup
-	for i, b := range o.Benchmarks {
-		wg.Add(1)
-		go func(i int, b *prog.Benchmark) {
-			defer wg.Done()
-			values[i], errs[i] = Accuracy(sp, b, o)
-		}(i, b)
-	}
-	wg.Wait()
-	// Report every failed benchmark, not just the first: the errors are
-	// already attributed ("spec/benchmark:") by RunSpec.
-	if err := joinRunErrors(errs); err != nil {
-		return Series{}, err
-	}
-	var intAcc, fpAcc []float64
-	for i, b := range o.Benchmarks {
-		if b.FP {
-			fpAcc = append(fpAcc, values[i])
-		} else {
-			intAcc = append(intAcc, values[i])
-		}
-	}
-	values = append(values, stats.GeoMean(intAcc), stats.GeoMean(fpAcc),
-		stats.GeoMean(append(append([]float64{}, intAcc...), fpAcc...)))
-	return Series{Label: label, Values: values}, nil
-}
-
-// accuracyReport runs a list of (label, spec) rows.
+// accuracyReport measures every (row, benchmark) cell of the report over
+// the grid scheduler — same-benchmark rows batched into single replay
+// passes, tasks spread over the worker pool — and appends per-row
+// geometric means, mirroring the figures' x-axes.
 func accuracyReport(id, title string, rows []labeledSpec, o Options) (*Report, error) {
 	o = o.withDefaults()
+	grid, err := runGrid(rows, o)
+	if err != nil {
+		return nil, err
+	}
 	r := &Report{ID: id, Title: title, Columns: benchColumns(o.Benchmarks), Percent: true}
-	for _, row := range rows {
-		s, err := accuracyRow(row.label, row.sp, o)
-		if err != nil {
-			return nil, err
+	for ri, row := range rows {
+		values := make([]float64, len(o.Benchmarks))
+		for bi := range o.Benchmarks {
+			values[bi] = grid[ri][bi].Accuracy.Rate()
 		}
-		r.Series = append(r.Series, s)
+		var intAcc, fpAcc []float64
+		for bi, b := range o.Benchmarks {
+			if b.FP {
+				fpAcc = append(fpAcc, values[bi])
+			} else {
+				intAcc = append(intAcc, values[bi])
+			}
+		}
+		values = append(values, stats.GeoMean(intAcc), stats.GeoMean(fpAcc),
+			stats.GeoMean(append(append([]float64{}, intAcc...), fpAcc...)))
+		r.Series = append(r.Series, Series{Label: row.label, Values: values})
 	}
 	return r, nil
 }

@@ -85,7 +85,7 @@ func ExtInterleave(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		src, err := newSource(b, b.Testing)
+		src, err := o.source(b, b.Testing, o.CondBranches)
 		if err != nil {
 			return nil, err
 		}
@@ -100,7 +100,7 @@ func ExtInterleave(o Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		src, err = newSource(b, b.Testing)
+		src, err = o.source(b, b.Testing, o.CondBranches)
 		if err != nil {
 			return nil, err
 		}
@@ -115,7 +115,10 @@ func ExtInterleave(o Options) (*Report, error) {
 		addRow(name+" flush-model", res)
 	}
 
-	// Real interleaving of the two processes.
+	// Real interleaving of the two processes. The multiplexed run stays on
+	// live interpreter sources: its per-process consumption depends on the
+	// interleaving, so no cond-branch budget bounds how far each stream is
+	// read, and a capture sized up front could come up short.
 	var sources []trace.Source
 	for _, name := range pair {
 		b, err := prog.ByName(name)
@@ -164,7 +167,7 @@ func ExtResidual(o Options) (*Report, error) {
 		},
 	}
 	for _, b := range o.Benchmarks {
-		src, err := newSource(b, b.Testing)
+		src, err := o.source(b, b.Testing, o.CondBranches)
 		if err != nil {
 			return nil, err
 		}

@@ -26,6 +26,16 @@ type RunMetrics struct {
 	Accuracy float64 `json:"accuracy"`
 	// Stats carries wall-clock, throughput, allocation and occupancy.
 	Stats telemetry.RunMetrics `json:"stats"`
+	// Batched marks runs that were replayed in a single-pass
+	// multi-predictor batch (sim.RunMany); BatchSize is the number of
+	// predictors sharing that pass. Wall-clock and allocation figures for
+	// batched runs measure the shared pass, not the run alone — consumers
+	// comparing per-run cost should divide by BatchSize or filter on
+	// Batched.
+	Batched bool `json:"batched,omitempty"`
+	// BatchSize is the predictor count of the shared pass (0 for serial
+	// runs).
+	BatchSize int `json:"batch_size,omitempty"`
 	// HotBranches is the top-K static branches by mispredictions
 	// (present when Telemetry.HotK > 0).
 	HotBranches []telemetry.HotBranch `json:"hot_branches,omitempty"`
@@ -68,10 +78,15 @@ type Telemetry struct {
 	experiments []ExperimentMetrics
 }
 
+// recordFunc lands one completed run in the collector. batch is the
+// number of predictors that shared the simulation pass (1 for a serial
+// run); batched runs are stamped so per-run timing can be interpreted.
+type recordFunc func(sp spec.Spec, b *prog.Benchmark, res sim.Result, batch int)
+
 // instrument returns the observer for one simulation run and the record
 // function to call once the run completed. The record function is nil-safe
 // on the result side but must only be called once.
-func (t *Telemetry) instrument() (telemetry.Observer, func(sp spec.Spec, b *prog.Benchmark, res sim.Result)) {
+func (t *Telemetry) instrument() (telemetry.Observer, recordFunc) {
 	rs := telemetry.NewRunStats()
 	var hot *telemetry.HotBranches
 	var iv *telemetry.IntervalSeries
@@ -84,12 +99,16 @@ func (t *Telemetry) instrument() (telemetry.Observer, func(sp spec.Spec, b *prog
 		iv = telemetry.NewIntervalSeries(t.Interval)
 		obs = append(obs, iv)
 	}
-	record := func(sp spec.Spec, b *prog.Benchmark, res sim.Result) {
+	record := func(sp spec.Spec, b *prog.Benchmark, res sim.Result, batch int) {
 		rm := RunMetrics{
 			Spec:      sp.String(),
 			Benchmark: b.Name,
 			Accuracy:  res.Accuracy.Rate(),
 			Stats:     rs.Metrics(),
+		}
+		if batch > 1 {
+			rm.Batched = true
+			rm.BatchSize = batch
 		}
 		if hot != nil {
 			rm.HotBranches = hot.Report()
@@ -156,22 +175,14 @@ func (t *Telemetry) Experiments() []ExperimentMetrics {
 var referenceSpec = "PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))"
 
 // stampReference measures the reference configuration on every benchmark
-// of o, recording runs under the current experiment label.
+// of o, recording runs under the current experiment label. It rides the
+// same grid scheduler as the accuracy experiments.
 func stampReference(o Options) error {
 	o = o.withDefaults()
 	sp, err := spec.Parse(referenceSpec)
 	if err != nil {
 		return err
 	}
-	errs := make([]error, len(o.Benchmarks))
-	var wg sync.WaitGroup
-	for i, b := range o.Benchmarks {
-		wg.Add(1)
-		go func(i int, b *prog.Benchmark) {
-			defer wg.Done()
-			_, errs[i] = RunSpec(sp, b, o)
-		}(i, b)
-	}
-	wg.Wait()
-	return joinRunErrors(errs)
+	_, err = runGrid([]labeledSpec{{label: referenceSpec, sp: sp}}, o)
+	return err
 }

@@ -1,0 +1,121 @@
+// Grid scheduler: experiments measure a rows×benchmarks grid of
+// simulation runs. runGrid executes the grid over a bounded worker pool,
+// batching same-benchmark rows into single-pass multi-predictor replays
+// (sim.RunMany) over the shared capture so the CPU interpreter's event
+// stream is decoded once per pass instead of once per cell.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"twolevel/internal/predictor"
+	"twolevel/internal/prog"
+	"twolevel/internal/sim"
+	"twolevel/internal/spec"
+)
+
+// gridTask is one unit of pool work: a contiguous chunk of rows measured
+// on one benchmark.
+type gridTask struct {
+	bi     int // benchmark index
+	lo, hi int // row range [lo, hi)
+}
+
+// runGrid measures every (row, benchmark) cell and returns
+// grid[row][benchmark]. Rows sharing a benchmark are split into at most
+// ceil(workers/len(benchmarks)) chunks — enough tasks to occupy the pool
+// without fragmenting the replay batches.
+func runGrid(rows []labeledSpec, o Options) ([][]sim.Result, error) {
+	grid := make([][]sim.Result, len(rows))
+	for i := range grid {
+		grid[i] = make([]sim.Result, len(o.Benchmarks))
+	}
+	if len(rows) == 0 || len(o.Benchmarks) == 0 {
+		return grid, nil
+	}
+	workers := o.workers()
+	chunks := (workers + len(o.Benchmarks) - 1) / len(o.Benchmarks)
+	chunks = max(1, min(chunks, len(rows)))
+	size := (len(rows) + chunks - 1) / chunks
+	var tasks []gridTask
+	for bi := range o.Benchmarks {
+		for lo := 0; lo < len(rows); lo += size {
+			tasks = append(tasks, gridTask{bi: bi, lo: lo, hi: min(lo+size, len(rows))})
+		}
+	}
+	errs := make([]error, len(tasks))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < min(workers, len(tasks)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range work {
+				t := tasks[ti]
+				res, err := runBatch(rows[t.lo:t.hi], o.Benchmarks[t.bi], o)
+				errs[ti] = err
+				for i := range res {
+					grid[t.lo+i][t.bi] = res[i]
+				}
+			}
+		}()
+	}
+	for ti := range tasks {
+		work <- ti
+	}
+	close(work)
+	wg.Wait()
+	return grid, joinRunErrors(errs)
+}
+
+// runBatch measures a batch of specs on one benchmark. With the trace
+// cache enabled all specs replay a single pass of the shared capture;
+// with it disabled each spec runs serially over its own live interpreter,
+// exactly as the pre-cache harness did. Both paths produce bit-identical
+// results (see TestGridMatchesSerial).
+func runBatch(rows []labeledSpec, b *prog.Benchmark, o Options) ([]sim.Result, error) {
+	if o.DisableTraceCache {
+		out := make([]sim.Result, len(rows))
+		errs := make([]error, len(rows))
+		for i, row := range rows {
+			out[i], errs[i] = RunSpec(row.sp, b, o)
+		}
+		return out, joinRunErrors(errs)
+	}
+	preds := make([]predictor.Predictor, len(rows))
+	simOpts := make([]sim.Options, len(rows))
+	records := make([]recordFunc, len(rows))
+	for i, row := range rows {
+		td, err := trainingData(row.sp, b, o)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: training: %w", row.sp, b.Name, err)
+		}
+		p, err := spec.Build(row.sp, td)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", row.sp, b.Name, err)
+		}
+		preds[i] = p
+		simOpts[i] = sim.Options{
+			ContextSwitches: row.sp.ContextSwitch,
+			MaxCondBranches: o.CondBranches,
+		}
+		if o.Telemetry != nil {
+			simOpts[i].Observer, records[i] = o.Telemetry.instrument()
+		}
+	}
+	src, err := o.source(b, b.Testing, o.CondBranches)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	results, err := sim.RunMany(preds, src, simOpts)
+	if err != nil {
+		return results, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	for i, rec := range records {
+		if rec != nil {
+			rec(rows[i].sp, b, results[i], len(rows))
+		}
+	}
+	return results, nil
+}

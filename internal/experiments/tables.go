@@ -22,16 +22,16 @@ func Table1(o Options) (*Report, error) {
 		},
 	}
 	for _, b := range o.Benchmarks {
-		src, err := newSource(b, b.Testing)
-		if err != nil {
-			return nil, err
-		}
 		budget := o.CondBranches
 		switch b.Name {
 		case "gcc", "li", "eqntott":
 			// Large site sets (gcc), long passes (li's search tree) and
 			// rotated cold code (eqntott) surface sites slowly.
 			budget *= 4
+		}
+		src, err := o.source(b, b.Testing, budget)
+		if err != nil {
+			return nil, err
 		}
 		s, err := trace.Summarize(&trace.LimitSource{Src: src, N: budget})
 		if err != nil {
@@ -139,7 +139,7 @@ func Figure4(o Options) (*Report, error) {
 		Notes:   []string{"paper: ~80% of dynamic branches are conditional"},
 	}
 	for _, b := range o.Benchmarks {
-		src, err := newSource(b, b.Testing)
+		src, err := o.source(b, b.Testing, o.CondBranches/4)
 		if err != nil {
 			return nil, err
 		}

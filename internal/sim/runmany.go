@@ -1,0 +1,82 @@
+// Single-pass multi-predictor replay: RunMany drives N predictors down
+// one decode pass of a trace source, the engine behind the experiment
+// suite's same-benchmark batching.
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"twolevel/internal/predictor"
+	"twolevel/internal/telemetry"
+	"twolevel/internal/trace"
+)
+
+// RunMany simulates every predictor in preds over a single pass of src,
+// with per-predictor options: each event is decoded once and fed to all
+// still-active predictors. Results are bit-identical to running each
+// (predictor, options) pair serially with Run over its own copy of the
+// stream — budgets, context-switch modes, pipeline depths and observers
+// may all differ per predictor; a predictor whose budget is reached
+// simply stops consuming while the pass continues for the rest.
+//
+// preds must be distinct predictor instances (they are mutated). opts
+// must have one entry per predictor. On a source error the partial
+// results collected so far are returned alongside the error.
+func RunMany(preds []predictor.Predictor, src trace.Source, opts []Options) ([]Result, error) {
+	if len(opts) != len(preds) {
+		return nil, fmt.Errorf("sim: RunMany got %d predictors but %d option sets", len(preds), len(opts))
+	}
+	runners := make([]runner, len(preds))
+	for i, p := range preds {
+		runners[i] = newRunner(p, opts[i])
+		if obs := opts[i].Observer; obs != nil {
+			obs.Start(telemetry.RunInfo{Predictor: p})
+		}
+	}
+	results := func() []Result {
+		out := make([]Result, len(runners))
+		for i := range runners {
+			out[i] = runners[i].res
+		}
+		return out
+	}
+	finishObservers := func() {
+		for i := range runners {
+			if obs := opts[i].Observer; obs != nil {
+				obs.Finish()
+			}
+		}
+	}
+	for {
+		// ready must be polled on every runner each round: it performs
+		// the budget-reached drain transition.
+		active := false
+		for i := range runners {
+			if runners[i].ready() {
+				active = true
+			}
+		}
+		if !active {
+			break
+		}
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			finishObservers()
+			return results(), err
+		}
+		for i := range runners {
+			if !runners[i].done {
+				runners[i].step(e)
+			}
+		}
+	}
+	for i := range runners {
+		runners[i].finish()
+	}
+	finishObservers()
+	return results(), nil
+}

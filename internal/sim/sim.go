@@ -98,84 +98,19 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) 
 		obs.Start(telemetry.RunInfo{Predictor: p})
 		defer obs.Finish()
 	}
-	if opts.PipelineDepth > 0 {
-		return runPipelined(p, src, opts)
-	}
-	return runSerial(p, src, opts)
-}
-
-// runSerial is the paper's base model: every branch resolves before the
-// next prediction.
-func runSerial(p predictor.Predictor, src trace.Source, opts Options) (Result, error) {
-	var res Result
-	obs := opts.Observer
-	tp, _ := p.(predictor.TargetPredictor)
-	if tp != nil && !tp.CachesTargets() {
-		tp = nil
-	}
-	interval := opts.CSInterval
-	if interval == 0 {
-		interval = DefaultCSInterval
-	}
-	var sinceCS uint64
-	for {
-		if opts.MaxCondBranches > 0 && res.Accuracy.Predictions >= opts.MaxCondBranches {
-			return res, nil
-		}
+	r := newRunner(p, opts)
+	for r.ready() {
 		e, err := src.Next()
 		if err == io.EOF {
-			return res, nil
+			break
 		}
 		if err != nil {
-			return res, err
+			return r.res, err
 		}
-		res.Instructions += uint64(e.Instrs)
-		sinceCS += uint64(e.Instrs)
-		if e.Trap {
-			res.Traps++
-			if obs != nil {
-				obs.OnTrap()
-			}
-			if opts.ContextSwitches {
-				p.ContextSwitch()
-				res.ContextSwitches++
-				sinceCS = 0
-				if obs != nil {
-					obs.OnContextSwitch()
-				}
-			}
-			continue
-		}
-		if opts.ContextSwitches && sinceCS >= interval {
-			p.ContextSwitch()
-			res.ContextSwitches++
-			sinceCS = 0
-			if obs != nil {
-				obs.OnContextSwitch()
-			}
-		}
-		b := e.Branch
-		res.ByClass[b.Class]++
-		if b.Class != trace.Cond {
-			continue
-		}
-		if b.Taken {
-			res.TakenCond++
-		}
-		outcome := b.Taken
-		b.Taken = false // the predictor must not see the outcome
-		pred := p.Predict(b)
-		if obs != nil {
-			obs.OnPredict(b, pred)
-		}
-		b.Taken = outcome
-		res.Accuracy.Add(pred == outcome)
-		measureTarget(&res, tp, b, pred)
-		p.Update(b, pred)
-		if obs != nil {
-			obs.OnResolve(b, pred, pred == outcome)
-		}
+		r.step(e)
 	}
+	r.finish()
+	return r.res, nil
 }
 
 // inflight is one unresolved branch in the pipelined model.
@@ -184,108 +119,169 @@ type inflight struct {
 	pred   bool
 }
 
-// runPipelined implements the §3.1 timing model: predictions are made with
-// predictor state that has not yet seen the outcomes of the previous
-// PipelineDepth branches. Accuracy is charged at resolution time against
-// the prediction in flight; a misprediction squashes and re-predicts the
-// younger in-flight branches (they would be refetched down the correct
-// path).
-func runPipelined(p predictor.Predictor, src trace.Source, opts Options) (Result, error) {
-	var res Result
-	obs := opts.Observer
-	interval := opts.CSInterval
-	if interval == 0 {
-		interval = DefaultCSInterval
-	}
-	var sinceCS uint64
-	queue := make([]inflight, 0, opts.PipelineDepth+1)
+// runner is the per-predictor simulation state machine. Run drives one
+// down a private source; RunMany drives many down a single shared pass.
+// Both paths execute exactly this code, so a batched replay is
+// bit-identical to the serial run by construction.
+//
+// Depth 0 is the paper's base model: every branch resolves before the
+// next prediction. Depth > 0 is the §3.1 timing model: predictions are
+// made with predictor state that has not yet seen the outcomes of the
+// previous PipelineDepth branches; accuracy is charged at resolution time
+// against the prediction in flight, and a misprediction squashes and
+// re-predicts the younger in-flight branches (they would be refetched
+// down the correct path).
+type runner struct {
+	p        predictor.Predictor
+	obs      telemetry.Observer
+	tp       predictor.TargetPredictor
+	max      uint64
+	cs       bool
+	interval uint64
+	depth    int
+	sinceCS  uint64
+	queue    []inflight
+	res      Result
+	done     bool
+}
 
-	predict := func(b trace.Branch) bool {
-		outcome := b.Taken
-		b.Taken = false
-		pred := p.Predict(b)
-		if obs != nil {
-			obs.OnPredict(b, pred)
-		}
-		b.Taken = outcome
-		return pred
+// newRunner returns the runner by value so Run can keep it on the stack
+// (the nil-observer hot path must not allocate).
+func newRunner(p predictor.Predictor, opts Options) runner {
+	r := runner{
+		p:        p,
+		obs:      opts.Observer,
+		max:      opts.MaxCondBranches,
+		cs:       opts.ContextSwitches,
+		interval: opts.CSInterval,
+		depth:    opts.PipelineDepth,
 	}
-	// resolve retires the oldest in-flight branch.
-	resolve := func() {
-		f := queue[0]
-		queue = queue[1:]
-		correct := f.pred == f.branch.Taken
-		res.Accuracy.Add(correct)
-		p.Update(f.branch, f.pred)
-		if obs != nil {
-			obs.OnResolve(f.branch, f.pred, correct)
-		}
-		if !correct {
-			// Squash: younger in-flight branches are refetched and
-			// re-predicted with the repaired predictor state.
-			for i := range queue {
-				queue[i].pred = predict(queue[i].branch)
-				res.Repredictions++
-			}
+	if r.interval == 0 {
+		r.interval = DefaultCSInterval
+	}
+	if r.depth > 0 {
+		r.queue = make([]inflight, 0, r.depth+1)
+	} else {
+		// Target-address caching (§3.2) is measured in the base model
+		// only, as before the pipelined mode existed.
+		if tp, _ := p.(predictor.TargetPredictor); tp != nil && tp.CachesTargets() {
+			r.tp = tp
 		}
 	}
-	drain := func() {
-		for len(queue) > 0 {
-			resolve()
-		}
-	}
+	return r
+}
 
-	for {
-		if opts.MaxCondBranches > 0 && res.Accuracy.Predictions >= opts.MaxCondBranches {
-			break
+// ready reports whether the runner still wants events. When the branch
+// budget has been reached it retires the in-flight queue and marks the
+// runner done — the top-of-loop budget check of the serial simulator.
+func (r *runner) ready() bool {
+	if r.done {
+		return false
+	}
+	if r.max > 0 && r.res.Accuracy.Predictions >= r.max {
+		r.drain()
+		r.done = true
+		return false
+	}
+	return true
+}
+
+// step consumes one trace event.
+func (r *runner) step(e trace.Event) {
+	r.res.Instructions += uint64(e.Instrs)
+	r.sinceCS += uint64(e.Instrs)
+	if e.Trap {
+		r.res.Traps++
+		if r.obs != nil {
+			r.obs.OnTrap()
 		}
-		e, err := src.Next()
-		if err == io.EOF {
-			break
+		if r.cs {
+			r.contextSwitch()
 		}
-		if err != nil {
-			return res, err
+		return
+	}
+	if r.cs && r.sinceCS >= r.interval {
+		r.contextSwitch()
+	}
+	b := e.Branch
+	r.res.ByClass[b.Class]++
+	if b.Class != trace.Cond {
+		return
+	}
+	if b.Taken {
+		r.res.TakenCond++
+	}
+	if r.depth > 0 {
+		r.queue = append(r.queue, inflight{branch: b, pred: r.predict(b)})
+		if len(r.queue) > r.depth {
+			r.resolve()
 		}
-		res.Instructions += uint64(e.Instrs)
-		sinceCS += uint64(e.Instrs)
-		if e.Trap {
-			res.Traps++
-			if obs != nil {
-				obs.OnTrap()
-			}
-			if opts.ContextSwitches {
-				drain()
-				p.ContextSwitch()
-				res.ContextSwitches++
-				sinceCS = 0
-				if obs != nil {
-					obs.OnContextSwitch()
-				}
-			}
-			continue
-		}
-		if opts.ContextSwitches && sinceCS >= interval {
-			drain()
-			p.ContextSwitch()
-			res.ContextSwitches++
-			sinceCS = 0
-			if obs != nil {
-				obs.OnContextSwitch()
-			}
-		}
-		b := e.Branch
-		res.ByClass[b.Class]++
-		if b.Class != trace.Cond {
-			continue
-		}
-		if b.Taken {
-			res.TakenCond++
-		}
-		queue = append(queue, inflight{branch: b, pred: predict(b)})
-		if len(queue) > opts.PipelineDepth {
-			resolve()
+		return
+	}
+	outcome := b.Taken
+	pred := r.predict(b)
+	r.res.Accuracy.Add(pred == outcome)
+	measureTarget(&r.res, r.tp, b, pred)
+	r.p.Update(b, pred)
+	if r.obs != nil {
+		r.obs.OnResolve(b, pred, pred == outcome)
+	}
+}
+
+// contextSwitch drains the pipeline and flushes the predictor.
+func (r *runner) contextSwitch() {
+	if r.depth > 0 {
+		r.drain()
+	}
+	r.p.ContextSwitch()
+	r.res.ContextSwitches++
+	r.sinceCS = 0
+	if r.obs != nil {
+		r.obs.OnContextSwitch()
+	}
+}
+
+// predict asks the predictor about b with the outcome masked.
+func (r *runner) predict(b trace.Branch) bool {
+	b.Taken = false // the predictor must not see the outcome
+	pred := r.p.Predict(b)
+	if r.obs != nil {
+		r.obs.OnPredict(b, pred)
+	}
+	return pred
+}
+
+// resolve retires the oldest in-flight branch.
+func (r *runner) resolve() {
+	f := r.queue[0]
+	r.queue = r.queue[1:]
+	correct := f.pred == f.branch.Taken
+	r.res.Accuracy.Add(correct)
+	r.p.Update(f.branch, f.pred)
+	if r.obs != nil {
+		r.obs.OnResolve(f.branch, f.pred, correct)
+	}
+	if !correct {
+		// Squash: younger in-flight branches are refetched and
+		// re-predicted with the repaired predictor state.
+		for i := range r.queue {
+			r.queue[i].pred = r.predict(r.queue[i].branch)
+			r.res.Repredictions++
 		}
 	}
-	drain()
-	return res, nil
+}
+
+// drain retires every in-flight branch.
+func (r *runner) drain() {
+	for len(r.queue) > 0 {
+		r.resolve()
+	}
+}
+
+// finish retires in-flight state at end of stream.
+func (r *runner) finish() {
+	if !r.done {
+		r.drain()
+		r.done = true
+	}
 }

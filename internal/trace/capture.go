@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"io"
+	"sync"
+)
+
+// Packed is a memory-compact, append-only event store. Events are held in
+// struct-of-arrays form — three uint32 columns plus one metadata byte per
+// event (13 bytes) instead of the padded Event struct (20 bytes) — so a
+// benchmark's full capture stays resident cheaply while many replay
+// cursors walk it.
+//
+// Appending is not safe for concurrent use; snapshots taken with View are
+// immutable and may be read from any number of goroutines, including
+// while the Packed keeps growing (appends never mutate the prefix a
+// snapshot covers).
+type Packed struct {
+	instrs  []uint32
+	pcs     []uint32
+	targets []uint32
+	meta    []uint8
+	conds   int
+}
+
+// Metadata bit layout: trap flag, taken flag, branch class.
+const (
+	metaTrap  = 1 << 0
+	metaTaken = 1 << 1
+	metaClass = 2 // class occupies bits 2..4
+)
+
+// Append adds one event.
+func (p *Packed) Append(e Event) {
+	var m uint8
+	if e.Trap {
+		m |= metaTrap
+	}
+	if e.Branch.Taken {
+		m |= metaTaken
+	}
+	m |= uint8(e.Branch.Class) << metaClass
+	p.instrs = append(p.instrs, e.Instrs)
+	p.pcs = append(p.pcs, e.Branch.PC)
+	p.targets = append(p.targets, e.Branch.Target)
+	p.meta = append(p.meta, m)
+	if !e.Trap && e.Branch.Class == Cond {
+		p.conds++
+	}
+}
+
+// Len returns the number of stored events.
+func (p *Packed) Len() int { return len(p.meta) }
+
+// Conds returns the number of stored conditional branch events.
+func (p *Packed) Conds() int { return p.conds }
+
+// Bytes returns the approximate heap footprint of the stored columns.
+func (p *Packed) Bytes() int64 { return int64(cap(p.meta)) * 13 }
+
+// eventsForConds returns the prefix length that covers the first n
+// conditional branches (the index just past the nth one), or Len() when
+// the store holds fewer.
+func (p *Packed) eventsForConds(n uint64) int {
+	if n == 0 {
+		return 0
+	}
+	if uint64(p.conds) < n {
+		return p.Len()
+	}
+	var seen uint64
+	for i, m := range p.meta {
+		if m&metaTrap == 0 && Class(m>>metaClass) == Cond {
+			if seen++; seen == n {
+				return i + 1
+			}
+		}
+	}
+	return p.Len()
+}
+
+// View snapshots the first n events. The snapshot stays valid and
+// immutable across later appends.
+func (p *Packed) View(n int) Snapshot {
+	return Snapshot{
+		instrs:  p.instrs[:n:n],
+		pcs:     p.pcs[:n:n],
+		targets: p.targets[:n:n],
+		meta:    p.meta[:n:n],
+	}
+}
+
+// Snapshot is an immutable view of a Packed prefix. Any number of
+// goroutines may take Readers over the same snapshot.
+type Snapshot struct {
+	instrs  []uint32
+	pcs     []uint32
+	targets []uint32
+	meta    []uint8
+}
+
+// Len returns the number of events in the snapshot.
+func (s Snapshot) Len() int { return len(s.meta) }
+
+// At decodes event i.
+func (s Snapshot) At(i int) Event {
+	m := s.meta[i]
+	return Event{
+		Instrs: s.instrs[i],
+		Trap:   m&metaTrap != 0,
+		Branch: Branch{
+			PC:     s.pcs[i],
+			Target: s.targets[i],
+			Class:  Class(m >> metaClass),
+			Taken:  m&metaTaken != 0,
+		},
+	}
+}
+
+// Reader returns a fresh replay cursor positioned at the first event.
+func (s Snapshot) Reader() *SnapshotReader { return &SnapshotReader{s: s} }
+
+// SnapshotReader replays a Snapshot as a Source. Each reader carries its
+// own position; readers over one snapshot are independent.
+type SnapshotReader struct {
+	s   Snapshot
+	pos int
+}
+
+// Next implements Source.
+func (r *SnapshotReader) Next() (Event, error) {
+	if r.pos >= r.s.Len() {
+		return Event{}, io.EOF
+	}
+	e := r.s.At(r.pos)
+	r.pos++
+	return e, nil
+}
+
+// Reset rewinds the reader to the start of the snapshot.
+func (r *SnapshotReader) Reset() { r.pos = 0 }
+
+// CaptureCache materialises event streams exactly once and serves them to
+// any number of replaying consumers. Each key (conventionally a
+// benchmark/data-set pair) owns one generating Source, opened lazily and
+// drained incrementally: a request for n conditional branches extends the
+// stored capture only past what previous requests already paid for, so
+// the expensive generator runs at most once per key no matter how many
+// budgets or goroutines ask.
+//
+// Concurrent Capture calls on one key are single-flighted: the first
+// caller opens the source and captures while the rest block on the entry
+// lock, then reuse the stored events.
+type CaptureCache struct {
+	mu      sync.Mutex
+	entries map[string]*captureEntry
+}
+
+type captureEntry struct {
+	mu        sync.Mutex
+	opened    bool
+	src       Source
+	err       error // sticky open/generate failure
+	exhausted bool  // src returned io.EOF
+	packed    Packed
+}
+
+// NewCaptureCache returns an empty cache.
+func NewCaptureCache() *CaptureCache {
+	return &CaptureCache{entries: map[string]*captureEntry{}}
+}
+
+// Capture returns an immutable snapshot of key's event stream covering
+// the first conds conditional branches (fewer if the source ends early).
+// open is invoked at most once per key, on the first call, to create the
+// generating source. Errors from open or the source are sticky: once a
+// key fails, every later Capture on it returns the same error.
+func (c *CaptureCache) Capture(key string, conds uint64, open func() (Source, error)) (Snapshot, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &captureEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return Snapshot{}, e.err
+	}
+	if !e.opened {
+		e.src, e.err = open()
+		e.opened = true
+		if e.err != nil {
+			return Snapshot{}, e.err
+		}
+	}
+	for uint64(e.packed.Conds()) < conds && !e.exhausted {
+		ev, err := e.src.Next()
+		if err == io.EOF {
+			e.exhausted = true
+			break
+		}
+		if err != nil {
+			e.err = err
+			return Snapshot{}, err
+		}
+		e.packed.Append(ev)
+	}
+	return e.packed.View(e.packed.eventsForConds(conds)), nil
+}
+
+// CaptureStats summarises a cache's contents.
+type CaptureStats struct {
+	// Entries is the number of captured streams.
+	Entries int `json:"entries"`
+	// Events is the total number of stored events.
+	Events int `json:"events"`
+	// Conds is the total number of stored conditional branches.
+	Conds int `json:"conds"`
+	// Bytes is the approximate heap footprint of the stored columns.
+	Bytes int64 `json:"bytes"`
+}
+
+// Stats reports the cache's current footprint.
+func (c *CaptureCache) Stats() CaptureStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var s CaptureStats
+	s.Entries = len(c.entries)
+	for _, e := range c.entries {
+		e.mu.Lock()
+		s.Events += e.packed.Len()
+		s.Conds += e.packed.Conds()
+		s.Bytes += e.packed.Bytes()
+		e.mu.Unlock()
+	}
+	return s
+}
+
+// Reset drops every captured stream. In-flight snapshots remain valid;
+// subsequent Capture calls re-open their sources.
+func (c *CaptureCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*captureEntry{}
+}

@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// randomEvents builds a deterministic pseudo-random event stream with
+// traps, all branch classes and both outcomes.
+func randomEvents(n int, seed int64) []Event {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Event, n)
+	for i := range out {
+		e := Event{Instrs: uint32(rng.Intn(1000))}
+		if rng.Intn(10) == 0 {
+			e.Trap = true
+		} else {
+			e.Branch = Branch{
+				PC:     rng.Uint32(),
+				Target: rng.Uint32(),
+				Class:  Class(rng.Intn(NumClasses)),
+				Taken:  rng.Intn(2) == 0,
+			}
+		}
+		out[i] = e
+	}
+	return out
+}
+
+func TestPackedRoundTrip(t *testing.T) {
+	events := randomEvents(5000, 1)
+	var p Packed
+	conds := 0
+	for _, e := range events {
+		p.Append(e)
+		if !e.Trap && e.Branch.Class == Cond {
+			conds++
+		}
+	}
+	if p.Len() != len(events) || p.Conds() != conds {
+		t.Fatalf("Len=%d Conds=%d, want %d/%d", p.Len(), p.Conds(), len(events), conds)
+	}
+	s := p.View(p.Len())
+	for i, want := range events {
+		if got := s.At(i); got != want {
+			t.Fatalf("event %d: got %+v want %+v", i, got, want)
+		}
+	}
+	// Reader replays the same sequence and Reset rewinds.
+	r := s.Reader()
+	for pass := 0; pass < 2; pass++ {
+		for i := range events {
+			e, err := r.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e != events[i] {
+				t.Fatalf("pass %d event %d mismatch", pass, i)
+			}
+		}
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("want EOF, got %v", err)
+		}
+		r.Reset()
+	}
+}
+
+func TestPackedEventsForConds(t *testing.T) {
+	var p Packed
+	// Layout: uncond, cond, cond, trap, uncond, cond, uncond.
+	classes := []struct {
+		class Class
+		trap  bool
+	}{{Uncond, false}, {Cond, false}, {Cond, false}, {0, true}, {Uncond, false}, {Cond, false}, {Uncond, false}}
+	for _, c := range classes {
+		p.Append(Event{Trap: c.trap, Branch: Branch{Class: c.class}})
+	}
+	for _, tc := range []struct {
+		conds uint64
+		want  int
+	}{{0, 0}, {1, 2}, {2, 3}, {3, 6}, {4, 7}, {100, 7}} {
+		if got := p.eventsForConds(tc.conds); got != tc.want {
+			t.Errorf("eventsForConds(%d) = %d, want %d", tc.conds, got, tc.want)
+		}
+	}
+}
+
+func TestSnapshotStableAcrossAppends(t *testing.T) {
+	events := randomEvents(4000, 2)
+	var p Packed
+	for _, e := range events[:1000] {
+		p.Append(e)
+	}
+	s := p.View(1000)
+	for _, e := range events[1000:] {
+		p.Append(e)
+	}
+	for i := 0; i < 1000; i++ {
+		if s.At(i) != events[i] {
+			t.Fatalf("snapshot mutated at %d after later appends", i)
+		}
+	}
+}
+
+func TestCaptureCacheExtendsOneSource(t *testing.T) {
+	events := randomEvents(10_000, 3)
+	var opens atomic.Int32
+	open := func() (Source, error) {
+		opens.Add(1)
+		tr := &Trace{Events: events}
+		return tr.Reader(), nil
+	}
+	c := NewCaptureCache()
+	s1, err := c.Capture("k", 50, open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Capture("k", 200, open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := c.Capture("k", 50, open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opens.Load() != 1 {
+		t.Fatalf("source opened %d times, want 1", opens.Load())
+	}
+	if !reflect.DeepEqual(s1, s3) {
+		t.Fatal("same budget should produce the same snapshot")
+	}
+	if s2.Len() <= s1.Len() {
+		t.Fatalf("larger budget should extend: %d vs %d", s2.Len(), s1.Len())
+	}
+	// The snapshots must match a LimitSource over a fresh stream.
+	for _, tc := range []struct {
+		snap Snapshot
+		n    uint64
+	}{{s1, 50}, {s2, 200}} {
+		tr := &Trace{Events: events}
+		want, err := Collect(&LimitSource{Src: tr.Reader(), N: tc.n}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.snap.Len() != want.Len() {
+			t.Fatalf("n=%d: snapshot %d events, LimitSource %d", tc.n, tc.snap.Len(), want.Len())
+		}
+		for i := range want.Events {
+			if tc.snap.At(i) != want.Events[i] {
+				t.Fatalf("n=%d: event %d differs from LimitSource replay", tc.n, i)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Conds < 200 || st.Bytes <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	c.Reset()
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("after Reset: %+v", st)
+	}
+}
+
+// TestCaptureCacheNoStampede proves the per-key singleflight: many
+// goroutines racing on a cold key open the underlying source exactly
+// once and all see identical bytes.
+func TestCaptureCacheNoStampede(t *testing.T) {
+	events := randomEvents(20_000, 4)
+	var opens atomic.Int32
+	c := NewCaptureCache()
+	const workers = 16
+	snaps := make([]Snapshot, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			snaps[w], errs[w] = c.Capture("k", 500, func() (Source, error) {
+				opens.Add(1)
+				tr := &Trace{Events: events}
+				return tr.Reader(), nil
+			})
+		}(w)
+	}
+	wg.Wait()
+	if opens.Load() != 1 {
+		t.Fatalf("stampede: source opened %d times, want 1", opens.Load())
+	}
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatal(errs[w])
+		}
+		if !reflect.DeepEqual(snaps[w], snaps[0]) {
+			t.Fatalf("goroutine %d saw a different snapshot", w)
+		}
+	}
+}
+
+func TestCaptureCacheExhaustedSource(t *testing.T) {
+	events := randomEvents(100, 5)
+	c := NewCaptureCache()
+	s, err := c.Capture("k", 1_000_000, func() (Source, error) {
+		tr := &Trace{Events: events}
+		return tr.Reader(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != len(events) {
+		t.Fatalf("exhausted capture has %d events, want all %d", s.Len(), len(events))
+	}
+	// A second, smaller request still slices correctly.
+	s2, err := c.Capture("k", 1, nil) // open must not be called again
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() >= s.Len() && s.Len() > 5 {
+		t.Fatalf("smaller budget returned %d events", s2.Len())
+	}
+}
+
+func TestCaptureCacheStickyError(t *testing.T) {
+	boom := errors.New("boom")
+	c := NewCaptureCache()
+	calls := 0
+	open := func() (Source, error) {
+		calls++
+		return nil, boom
+	}
+	if _, err := c.Capture("k", 10, open); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := c.Capture("k", 10, open); !errors.Is(err, boom) {
+		t.Fatalf("sticky err = %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("open retried %d times; errors must be sticky", calls)
+	}
+}

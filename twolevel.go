@@ -169,6 +169,16 @@ func Simulate(p Predictor, src Source, opts SimOptions) (SimResult, error) {
 	return sim.Run(p, src, opts)
 }
 
+// SimulateMany drives several predictors down a single pass of src: each
+// event is decoded once and fed to every still-active predictor. Results
+// are bit-identical to calling Simulate once per predictor over its own
+// copy of the stream; options (budgets, context switches, pipeline depth,
+// observers) may differ per predictor. opts must have one entry per
+// predictor.
+func SimulateMany(preds []Predictor, src Source, opts []SimOptions) ([]SimResult, error) {
+	return sim.RunMany(preds, src, opts)
+}
+
 // Benchmarks returns the nine built-in benchmarks in Table 1 order.
 func Benchmarks() []*Benchmark { return prog.All }
 
@@ -244,6 +254,19 @@ func ExperimentIDs() []string { return experiments.IDs() }
 func RunExperiment(id string, opts ExperimentOptions) (*Report, error) {
 	return experiments.Run(id, opts)
 }
+
+// TraceCaptureStats summarises the experiment harness's capture cache:
+// how many (benchmark, data set) streams are materialised and their
+// packed footprint.
+type TraceCaptureStats = trace.CaptureStats
+
+// ExperimentCaptureStats reports the current capture cache footprint.
+func ExperimentCaptureStats() TraceCaptureStats { return experiments.CaptureCacheStats() }
+
+// ResetExperimentCaches drops the experiment harness's memoised benchmark
+// programs and captured traces. Benchmarks measuring cold-cache behaviour
+// use it; normal callers never need to.
+func ResetExperimentCaches() { experiments.ResetCaches() }
 
 // NewMultiplexSource interleaves several trace sources at an instruction
 // quantum with per-process address tagging and switch traps — a real
