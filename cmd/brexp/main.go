@@ -14,16 +14,31 @@
 //	brexp -exp all -trace-reuse=false # force live interpreter runs
 //	brexp -benchjson BENCH.json      # suite benchmark document
 //	brexp -list                      # show experiment IDs
+//
+// Fault tolerance (see EXPERIMENTS.md, "Failure semantics"):
+//
+//	brexp -exp all -timeout 10m       # bound the whole run
+//	brexp -exp all -keep-going        # partial tables, failed cells as "-"
+//	brexp -exp all -retries 2         # retry transient cell failures
+//	brexp -exp all -resume run.ckpt   # checkpoint cells; re-run to resume
+//
+// Ctrl-C (SIGINT) or SIGTERM cancels the run promptly; with -resume the
+// completed cells are already checkpointed and a re-run picks up where
+// the cancelled one stopped. brexp exits non-zero whenever any cell
+// failed, even when -keep-going produced partial tables.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"twolevel"
@@ -54,8 +69,21 @@ func run() error {
 		workersN   = flag.Int("j", 0, "worker-pool size for the experiment grid (0 = GOMAXPROCS)")
 		traceReuse = flag.Bool("trace-reuse", true, "capture each benchmark trace once and replay it (false = live interpreter per run)")
 		benchJSON  = flag.String("benchjson", "", "run the suite benchmark protocol and write its JSON document to this file")
+		timeout    = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+		keepGoing  = flag.Bool("keep-going", false, "on cell failure, finish the rest and print partial tables (failed cells as \"-\"); still exits non-zero")
+		retries    = flag.Int("retries", 0, "retry budget per grid cell for transient failures")
+		backoff    = flag.Duration("retry-backoff", 50*time.Millisecond, "wait before the first retry, doubled per attempt")
+		resume     = flag.String("resume", "", "checkpoint manifest path: completed cells are recorded there and restored on re-run")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *list {
 		for _, id := range twolevel.ExperimentIDs() {
@@ -81,6 +109,25 @@ func run() error {
 		TrainBranches:     *train,
 		Workers:           *workersN,
 		DisableTraceCache: !*traceReuse,
+		Context:           ctx,
+		KeepGoing:         *keepGoing,
+		Retries:           *retries,
+		RetryBackoff:      *backoff,
+	}
+	if *resume != "" {
+		ck, err := twolevel.OpenExperimentCheckpoint(*resume)
+		if err != nil {
+			return err
+		}
+		if n := ck.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "brexp: resuming from %s (%d completed cells)\n", *resume, n)
+		}
+		opts.Checkpoint = ck
+		defer func() {
+			if err := ck.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "brexp:", err)
+			}
+		}()
 	}
 	if *benchCSV != "" {
 		for _, name := range strings.Split(*benchCSV, ",") {
@@ -114,12 +161,21 @@ func run() error {
 		return runBenchJSON(*benchJSON, opts)
 	}
 	var reports []*twolevel.Report
+	var failures []error
 	for _, id := range ids {
 		r, err := twolevel.RunExperiment(id, opts)
 		if err != nil {
-			return err
+			// Under -keep-going a failed experiment still yields a
+			// partial report (failed cells render "-"); print what
+			// completed and keep the failure for the exit status.
+			if !*keepGoing || r == nil {
+				return err
+			}
+			failures = append(failures, fmt.Errorf("%s: %w", id, err))
 		}
-		reports = append(reports, r)
+		if r != nil {
+			reports = append(reports, r)
+		}
 	}
 
 	switch {
@@ -169,6 +225,13 @@ func run() error {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			return err
 		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "brexp: %d experiment(s) had failed cells (tables show \"-\"):\n", len(failures))
+		for _, err := range failures {
+			fmt.Fprintln(os.Stderr, "  ", err)
+		}
+		return fmt.Errorf("%d of %d experiments incomplete", len(failures), len(ids))
 	}
 	return nil
 }

@@ -16,14 +16,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"sync"
+	"syscall"
 	"text/tabwriter"
 
 	"twolevel"
@@ -63,8 +66,19 @@ func run() error {
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file")
 		workersN   = flag.Int("j", 0, "benchmarks simulated in parallel (0 = GOMAXPROCS)")
 		traceReuse = flag.Bool("trace-reuse", true, "capture each training trace once and replay it for every training-based scheme")
+		timeout    = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM (and -timeout) cancel every simulation promptly;
+	// the simulator polls the context off the hot path.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if len(schemes) == 0 {
 		schemes = schemeList{defaultScheme}
@@ -179,6 +193,7 @@ func run() error {
 				ContextSwitches: sps[i].ContextSwitch,
 				MaxCondBranches: *branches,
 				PipelineDepth:   *pipeline,
+				Context:         ctx,
 			}
 			outs[i].rs, outs[i].hot, outs[i].iv, o = instrument(o)
 			optsList[i] = o

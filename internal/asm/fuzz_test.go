@@ -1,0 +1,55 @@
+package asm
+
+import "testing"
+
+// FuzzAssemble feeds arbitrary source text to the assembler. Malformed
+// input must come back as an error — never a panic — and any program the
+// assembler accepts must satisfy the image invariants callers rely on.
+func FuzzAssemble(f *testing.F) {
+	f.Add(`
+; minimal loop: three iterations, one conditional branch
+	.org 0x1000
+	li   r1, 3
+loop:
+	addi r1, r1, -1
+	bcnd ne, r1, loop
+	halt
+`)
+	f.Add(`
+start:	la r2, table
+	lw r3, 4(r2)
+	jsr r2
+	rts
+table:	.word 1, 2, start
+	.space 8
+`)
+	f.Add(".org 0x2000\n.org 0x3000\n") // duplicate .org: error
+	f.Add("bcnd ne, r1, nowhere\n")     // undefined label: error
+	f.Add("lw r1, 0x10000(r2)\n")       // immediate out of range: error
+	f.Add("label: label: nop\n")        // duplicate label: error
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatal("Assemble returned nil program and nil error")
+		}
+		if len(p.Image)%4 != 0 {
+			t.Fatalf("accepted image size %d not word-aligned", len(p.Image))
+		}
+		if p.Base%4 != 0 {
+			t.Fatalf("accepted base %#x not word-aligned", p.Base)
+		}
+		end := uint64(p.Base) + uint64(len(p.Image))
+		if uint64(p.TextEnd) > end {
+			t.Fatalf("TextEnd %#x past image end %#x", p.TextEnd, end)
+		}
+		for name, addr := range p.Labels {
+			if uint64(addr) > end {
+				t.Fatalf("label %q at %#x past image end %#x", name, addr, end)
+			}
+		}
+	})
+}

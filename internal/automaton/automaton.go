@@ -57,6 +57,11 @@ const (
 // Kinds lists every automaton kind in presentation order.
 var Kinds = []Kind{LastTime, A1, A2, A3, A4, PB}
 
+// Valid reports whether k names one of the defined automata. Public
+// configuration validators use it so an out-of-range kind surfaces as an
+// error at the API boundary instead of reaching New's panic.
+func (k Kind) Valid() bool { return int(k) < int(numKinds) }
+
 // String returns the paper's abbreviation for the automaton.
 func (k Kind) String() string {
 	switch k {

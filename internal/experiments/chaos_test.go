@@ -1,0 +1,448 @@
+package experiments
+
+// Chaos suite: drives the grid scheduler through injected faults —
+// torn sources, panicking observers and sources, flaky openers,
+// truncated streams, mid-run cancellation — and asserts the pipeline's
+// fault contract: failures are attributed to exact cells, siblings
+// survive, retries recover transients, cancellation is prompt and
+// resumable, and a resumed suite is bit-identical to a cold one.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"twolevel/internal/faultinject"
+	"twolevel/internal/prog"
+	"twolevel/internal/sim"
+	"twolevel/internal/spec"
+	"twolevel/internal/telemetry"
+	"twolevel/internal/trace"
+)
+
+// chaosSource is an endless deterministic synthetic branch stream; the
+// seed makes streams differ per benchmark so cross-cell mixups would be
+// caught by the accuracy numbers.
+type chaosSource struct{ state uint64 }
+
+func newChaosSource(seed uint64) *chaosSource {
+	return &chaosSource{state: seed*0x9e3779b97f4a7c15 + 1}
+}
+
+func (s *chaosSource) Next() (trace.Event, error) {
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	x := s.state >> 33
+	e := trace.Event{Instrs: uint32(x%7) + 1}
+	if x%97 == 0 {
+		e.Trap = true
+		return e, nil
+	}
+	pc := uint32(x%64) * 4
+	e.Branch = trace.Branch{PC: pc, Target: pc + 16, Class: trace.Cond, Taken: x%3 == 0}
+	return e, nil
+}
+
+// chaosBenchmarks builds synthetic benchmark descriptors; the grid only
+// touches exported fields when the source seam is installed.
+func chaosBenchmarks(names ...string) []*prog.Benchmark {
+	out := make([]*prog.Benchmark, len(names))
+	for i, n := range names {
+		out[i] = &prog.Benchmark{
+			Name:     n,
+			Training: prog.DataSet{Name: "train"},
+			Testing:  prog.DataSet{Name: "test"},
+		}
+	}
+	return out
+}
+
+// chaosOpen returns a seam serving deterministic per-benchmark streams.
+func chaosOpen(b *prog.Benchmark, ds prog.DataSet) (trace.Source, error) {
+	seed := uint64(len(ds.Name))
+	for _, c := range b.Name + "/" + ds.Name {
+		seed = seed*131 + uint64(c)
+	}
+	return newChaosSource(seed), nil
+}
+
+var chaosRows = mustSpecs(
+	"GAg(HR(1,,6-sr),1xPHT(2^6,A2))",
+	"GAg(HR(1,,8-sr),1xPHT(2^8,A2))",
+)
+
+func chaosOptions(benchmarks []*prog.Benchmark) Options {
+	return Options{
+		CondBranches: 2000,
+		Benchmarks:   benchmarks,
+		Workers:      2,
+		openSource:   chaosOpen,
+	}.withDefaults()
+}
+
+// chaosGrid runs the grid over the seam with a clean capture cache,
+// restoring whatever the previous test left behind.
+func chaosGrid(t *testing.T, rows []labeledSpec, o Options) ([][]sim.Result, error) {
+	t.Helper()
+	ResetCaches()
+	t.Cleanup(ResetCaches)
+	return runGrid(rows, o)
+}
+
+func TestChaosFaultIsAttributedToCell(t *testing.T) {
+	benchmarks := chaosBenchmarks("alpha", "beta")
+	boom := errors.New("torn stream")
+	o := chaosOptions(benchmarks)
+	o.KeepGoing = true
+	o.openSource = func(b *prog.Benchmark, ds prog.DataSet) (trace.Source, error) {
+		src, err := chaosOpen(b, ds)
+		if b.Name == "beta" {
+			return &faultinject.ErrorAfter{Src: src, N: 500, Err: boom}, err
+		}
+		return src, err
+	}
+	grid, err := chaosGrid(t, chaosRows, o)
+	var ge *GridError
+	if !errors.As(err, &ge) {
+		t.Fatalf("err = %v, want *GridError", err)
+	}
+	if len(ge.Cells) != len(chaosRows) {
+		t.Fatalf("%d failed cells, want %d (all beta rows)", len(ge.Cells), len(chaosRows))
+	}
+	for _, ce := range ge.Cells {
+		if ce.Benchmark != "beta" {
+			t.Fatalf("failure attributed to %s/%s, want benchmark beta", ce.Spec, ce.Benchmark)
+		}
+		if !errors.Is(ce, boom) {
+			t.Fatalf("cell error %v does not unwrap to the injected fault", ce)
+		}
+	}
+	// The healthy benchmark's cells survived the sibling failure.
+	for ri := range chaosRows {
+		if grid[ri][0].Accuracy.Predictions == 0 {
+			t.Fatalf("alpha row %d has no result; sibling fault leaked", ri)
+		}
+	}
+}
+
+func TestChaosRetryRecoversTransientOpen(t *testing.T) {
+	benchmarks := chaosBenchmarks("gamma")
+	unavailable := errors.New("generator busy")
+	o := chaosOptions(benchmarks)
+	o.Retries = 2
+	// Three consecutive failures: one eaten by the batch attempt, two by
+	// the first cell's retry budget — the third attempt succeeds.
+	flaky := faultinject.FlakyOpener(func() (trace.Source, error) {
+		return chaosOpen(benchmarks[0], benchmarks[0].Testing)
+	}, 3, unavailable)
+	o.openSource = func(b *prog.Benchmark, ds prog.DataSet) (trace.Source, error) {
+		return flaky()
+	}
+	grid, err := chaosGrid(t, chaosRows, o)
+	if err != nil {
+		t.Fatalf("retry should have recovered the transient open failure: %v", err)
+	}
+	for ri := range chaosRows {
+		if grid[ri][0].Accuracy.Predictions != o.CondBranches {
+			t.Fatalf("row %d ran %d branches, want %d", ri, grid[ri][0].Accuracy.Predictions, o.CondBranches)
+		}
+	}
+}
+
+func TestChaosNoRetryBudgetFails(t *testing.T) {
+	benchmarks := chaosBenchmarks("delta")
+	unavailable := errors.New("generator busy")
+	o := chaosOptions(benchmarks)
+	// Enough consecutive failures that the batch attempt and each cell's
+	// single Retries=0 attempt all fail.
+	flaky := faultinject.FlakyOpener(func() (trace.Source, error) {
+		return chaosOpen(benchmarks[0], benchmarks[0].Testing)
+	}, 1+len(chaosRows), unavailable)
+	o.openSource = func(b *prog.Benchmark, ds prog.DataSet) (trace.Source, error) {
+		return flaky()
+	}
+	_, err := chaosGrid(t, chaosRows, o)
+	if !errors.Is(err, unavailable) {
+		t.Fatalf("with Retries=0 the transient failure must surface, got %v", err)
+	}
+}
+
+func TestChaosObserverPanicIsolated(t *testing.T) {
+	benchmarks := chaosBenchmarks("epsilon", "zeta")
+	o := chaosOptions(benchmarks)
+	o.KeepGoing = true
+	poisoned := chaosRows[1].label
+	o.cellObserver = func(sp spec.Spec, b *prog.Benchmark) telemetry.Observer {
+		if sp.String() == poisoned && b.Name == "epsilon" {
+			return &faultinject.PanicObserver{After: 100, Msg: "observer bug"}
+		}
+		return nil
+	}
+	grid, err := chaosGrid(t, chaosRows, o)
+	var ge *GridError
+	if !errors.As(err, &ge) {
+		t.Fatalf("err = %v, want *GridError", err)
+	}
+	if len(ge.Cells) != 1 || ge.Cells[0].Spec != poisoned || ge.Cells[0].Benchmark != "epsilon" {
+		t.Fatalf("failed cells = %v, want exactly %s/epsilon", ge, poisoned)
+	}
+	var pe *PanicError
+	if !errors.As(ge.Cells[0].Err, &pe) || pe.Value != "observer bug" {
+		t.Fatalf("cell error %v is not the recovered panic", ge.Cells[0].Err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("recovered panic carries no stack")
+	}
+	// Every other cell of the grid still produced a result — including
+	// the poisoned cell's replay-pass sibling.
+	for ri := range chaosRows {
+		for bi := range benchmarks {
+			if chaosRows[ri].label == poisoned && bi == 0 {
+				continue
+			}
+			if grid[ri][bi].Accuracy.Predictions == 0 {
+				t.Fatalf("cell %s/%s lost to an unrelated observer panic", chaosRows[ri].label, benchmarks[bi].Name)
+			}
+		}
+	}
+}
+
+func TestChaosPanickingSourceIsolated(t *testing.T) {
+	benchmarks := chaosBenchmarks("eta")
+	o := chaosOptions(benchmarks)
+	o.KeepGoing = true
+	o.openSource = func(b *prog.Benchmark, ds prog.DataSet) (trace.Source, error) {
+		src, _ := chaosOpen(b, ds)
+		return &faultinject.PanicSource{Src: src, N: 300, Msg: "generator crash"}, nil
+	}
+	_, err := chaosGrid(t, chaosRows, o)
+	var ge *GridError
+	if !errors.As(err, &ge) {
+		t.Fatalf("err = %v, want *GridError (panic must not escape the pool)", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "generator crash" {
+		t.Fatalf("grid error does not carry the recovered source panic: %v", err)
+	}
+}
+
+func TestChaosCancellationMidRun(t *testing.T) {
+	benchmarks := chaosBenchmarks("theta", "iota")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	o := chaosOptions(benchmarks)
+	o.Workers = 1
+	o.Context = ctx
+	o.cellObserver = func(sp spec.Spec, b *prog.Benchmark) telemetry.Observer {
+		return &faultinject.FuncObserver{Fn: func(resolved uint64) {
+			if resolved == 500 {
+				cancel()
+			}
+		}}
+	}
+	_, err := chaosGrid(t, chaosRows, o)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled through the grid error", err)
+	}
+	var ge *GridError
+	if !errors.As(err, &ge) || len(ge.Cells) == 0 {
+		t.Fatalf("cancellation did not attribute interrupted cells: %v", err)
+	}
+}
+
+func TestChaosTruncatedSourceDegradesGracefully(t *testing.T) {
+	benchmarks := chaosBenchmarks("kappa")
+	o := chaosOptions(benchmarks)
+	o.openSource = func(b *prog.Benchmark, ds prog.DataSet) (trace.Source, error) {
+		src, _ := chaosOpen(b, ds)
+		return &faultinject.Truncate{Src: src, N: 700}, nil
+	}
+	grid, err := chaosGrid(t, chaosRows, o)
+	if err != nil {
+		t.Fatalf("an early-ending source is not an error: %v", err)
+	}
+	for ri := range chaosRows {
+		got := grid[ri][0].Accuracy.Predictions
+		if got == 0 || got >= o.CondBranches {
+			t.Fatalf("row %d resolved %d branches; want partial (0 < n < %d)", ri, got, o.CondBranches)
+		}
+	}
+}
+
+func TestChaosKeepGoingPartialReport(t *testing.T) {
+	benchmarks := chaosBenchmarks("lambda", "mu")
+	boom := errors.New("broken")
+	o := chaosOptions(benchmarks)
+	o.KeepGoing = true
+	o.openSource = func(b *prog.Benchmark, ds prog.DataSet) (trace.Source, error) {
+		if b.Name == "mu" {
+			return nil, boom
+		}
+		return chaosOpen(b, ds)
+	}
+	ResetCaches()
+	t.Cleanup(ResetCaches)
+	rep, err := accuracyReport("chaos", "partial", chaosRows, o)
+	if err == nil || rep == nil {
+		t.Fatalf("want partial report AND error, got rep=%v err=%v", rep, err)
+	}
+	for _, s := range rep.Series {
+		if !math.IsNaN(rep.Value(s.Label, "mu")) {
+			t.Fatalf("failed cell %s/mu not marked NaN", s.Label)
+		}
+		if v := rep.Value(s.Label, "lambda"); math.IsNaN(v) || v <= 0 {
+			t.Fatalf("healthy cell %s/lambda = %v", s.Label, v)
+		}
+	}
+	// Without KeepGoing the same failure aborts the report.
+	o.KeepGoing = false
+	ResetCaches()
+	rep, err = accuracyReport("chaos", "partial", chaosRows, o)
+	if err == nil || rep != nil {
+		t.Fatalf("without KeepGoing want nil report + error, got rep=%v err=%v", rep, err)
+	}
+}
+
+// The registered experiments wrap accuracyReport and append notes; they
+// must pass the partial KeepGoing report through rather than dropping it
+// on the accompanying *GridError (the bug would make `brexp -keep-going`
+// print nothing at all).
+func TestChaosKeepGoingSurvivesFigureWrappers(t *testing.T) {
+	benchmarks := chaosBenchmarks("omega", "psi")
+	boom := errors.New("broken")
+	o := chaosOptions(benchmarks)
+	o.KeepGoing = true
+	o.openSource = func(b *prog.Benchmark, ds prog.DataSet) (trace.Source, error) {
+		if b.Name == "psi" {
+			return nil, boom
+		}
+		return chaosOpen(b, ds)
+	}
+	ResetCaches()
+	t.Cleanup(ResetCaches)
+	rep, err := Run("fig6", o)
+	var ge *GridError
+	if !errors.As(err, &ge) {
+		t.Fatalf("err = %v, want *GridError", err)
+	}
+	if rep == nil {
+		t.Fatal("figure wrapper dropped the partial KeepGoing report")
+	}
+	if len(rep.Notes) == 0 {
+		t.Fatal("partial report lost the figure's notes")
+	}
+	for _, s := range rep.Series {
+		if !math.IsNaN(rep.Value(s.Label, "psi")) {
+			t.Fatalf("failed cell %s/psi not marked NaN", s.Label)
+		}
+		if v := rep.Value(s.Label, "omega"); math.IsNaN(v) || v <= 0 {
+			t.Fatalf("healthy cell %s/omega = %v", s.Label, v)
+		}
+	}
+}
+
+func TestChaosResumeIsBitIdentical(t *testing.T) {
+	benchmarks := chaosBenchmarks("nu", "xi")
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	boom := errors.New("flaky bench")
+
+	// Cold reference run: no checkpoint, no faults.
+	cold, err := chaosGrid(t, chaosRows, chaosOptions(benchmarks))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First attempt: benchmark xi is broken; nu's cells complete and are
+	// checkpointed.
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := chaosOptions(benchmarks)
+	o.KeepGoing = true
+	o.Checkpoint = ck
+	o.openSource = func(b *prog.Benchmark, ds prog.DataSet) (trace.Source, error) {
+		if b.Name == "xi" {
+			return nil, boom
+		}
+		return chaosOpen(b, ds)
+	}
+	if _, err := chaosGrid(t, chaosRows, o); !errors.Is(err, boom) {
+		t.Fatalf("first attempt should fail on xi: %v", err)
+	}
+	if ck.Len() != len(chaosRows) {
+		t.Fatalf("checkpoint holds %d cells after partial run, want %d (all nu rows)", ck.Len(), len(chaosRows))
+	}
+
+	// Resume from a fresh process image: reopen the manifest. The nu
+	// cells must restore without touching their generator (a nu open now
+	// fails the test), and the completed grid must equal the cold run
+	// bit for bit.
+	ck2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck2.Len() != len(chaosRows) {
+		t.Fatalf("reloaded manifest has %d cells, want %d", ck2.Len(), len(chaosRows))
+	}
+	o2 := chaosOptions(benchmarks)
+	o2.Checkpoint = ck2
+	o2.openSource = func(b *prog.Benchmark, ds prog.DataSet) (trace.Source, error) {
+		if b.Name == "nu" {
+			t.Errorf("resume re-opened the source for checkpointed benchmark nu")
+		}
+		return chaosOpen(b, ds)
+	}
+	resumed, err := chaosGrid(t, chaosRows, o2)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !reflect.DeepEqual(resumed, cold) {
+		t.Fatal("resumed grid differs from the cold run")
+	}
+}
+
+func TestChaosChecksumMismatchDetected(t *testing.T) {
+	benchmarks := chaosBenchmarks("omicron")
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complete one of the two rows only, so the resume still has work to
+	// do on this benchmark and must re-verify its capture.
+	o := chaosOptions(benchmarks)
+	o.Checkpoint = ck
+	o.KeepGoing = true
+	poisoned := chaosRows[1].label
+	o.cellObserver = func(sp spec.Spec, b *prog.Benchmark) telemetry.Observer {
+		if sp.String() == poisoned {
+			return &faultinject.PanicObserver{After: 50, Msg: "first run bug"}
+		}
+		return nil
+	}
+	if _, err := chaosGrid(t, chaosRows, o); err == nil {
+		t.Fatal("poisoned first run unexpectedly succeeded")
+	}
+	if ck.Len() != 1 {
+		t.Fatalf("checkpoint holds %d cells, want 1", ck.Len())
+	}
+
+	// Resume against a DIFFERENT trace stream: the manifest's capture
+	// checksum no longer matches, and the run must refuse.
+	ck2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2 := chaosOptions(benchmarks)
+	o2.Checkpoint = ck2
+	o2.openSource = func(b *prog.Benchmark, ds prog.DataSet) (trace.Source, error) {
+		return newChaosSource(0xdead), nil // not the stream the manifest saw
+	}
+	_, err = chaosGrid(t, chaosRows, o2)
+	if !errors.Is(err, ErrCaptureMismatch) {
+		t.Fatalf("err = %v, want ErrCaptureMismatch", err)
+	}
+}

@@ -1,0 +1,186 @@
+// Checkpoint/resume for the experiment grid: a JSON manifest of
+// completed cells that a later run can restore instead of re-measuring.
+// The simulator is deterministic, so a restored cell is bit-identical to
+// a fresh run and a resumed suite renders byte-identical reports; the
+// manifest additionally pins each capture's checksum so a resume over a
+// changed trace fails loudly instead of silently mixing results.
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"twolevel/internal/prog"
+	"twolevel/internal/sim"
+	"twolevel/internal/spec"
+)
+
+// ErrCaptureMismatch reports that a trace capture's checksum differs
+// from the one recorded when the checkpoint's cells were measured. The
+// checkpoint is unusable against the current trace generator; delete it
+// (or fix the generator) and re-run cold.
+var ErrCaptureMismatch = errors.New("experiments: capture checksum differs from checkpoint manifest")
+
+// checkpointVersion is bumped on any incompatible manifest change; a
+// mismatched file is rejected rather than misread.
+const checkpointVersion = 1
+
+// Checkpoint is a resumable record of completed grid cells. One
+// Checkpoint may be shared by every experiment of a suite run; methods
+// are safe for concurrent use by the grid workers.
+//
+// A cell is keyed by everything its result is a pure function of: the
+// spec string, the benchmark name, and the test and training budgets.
+// Anything else (worker count, batching, retry policy, telemetry) does
+// not affect results, so a manifest written under one schedule restores
+// cleanly under another.
+type Checkpoint struct {
+	mu    sync.Mutex
+	path  string
+	cells map[string]sim.Result
+	// captures maps capture keys (benchmark|dataset|budget) to the
+	// snapshot checksum observed when their cells were recorded.
+	captures map[string]string
+	dirty    bool
+}
+
+// checkpointFile is the on-disk manifest layout. Checksums are hex
+// strings: uint64 values survive any JSON reader that way, with no
+// float53 truncation risk.
+type checkpointFile struct {
+	Version  int                   `json:"version"`
+	Cells    map[string]sim.Result `json:"cells"`
+	Captures map[string]string     `json:"captures,omitempty"`
+}
+
+// OpenCheckpoint opens or creates the manifest at path. A missing file
+// yields an empty checkpoint (the cold-run case); an existing file is
+// loaded and its cells become restorable.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	c := &Checkpoint{
+		path:     path,
+		cells:    map[string]sim.Result{},
+		captures: map[string]string{},
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: open checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("experiments: checkpoint %s is not a valid manifest: %w", path, err)
+	}
+	if f.Version != checkpointVersion {
+		return nil, fmt.Errorf("experiments: checkpoint %s has version %d, want %d", path, f.Version, checkpointVersion)
+	}
+	if f.Cells != nil {
+		c.cells = f.Cells
+	}
+	if f.Captures != nil {
+		c.captures = f.Captures
+	}
+	return c, nil
+}
+
+// Len returns the number of completed cells in the manifest.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cells)
+}
+
+// cellKey identifies one grid cell by everything its result depends on.
+func cellKey(sp spec.Spec, b *prog.Benchmark, o Options) string {
+	return fmt.Sprintf("%s|%s|%d|%d", sp, b.Name, o.CondBranches, o.TrainBranches)
+}
+
+// captureKey identifies one captured trace prefix.
+func captureKey(bench, dataset string, conds uint64) string {
+	return fmt.Sprintf("%s|%s|%d", bench, dataset, conds)
+}
+
+// lookup returns the recorded result for key, if any.
+func (c *Checkpoint) lookup(key string) (sim.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.cells[key]
+	return res, ok
+}
+
+// record stores a completed cell. The manifest is flushed by Flush (the
+// scheduler flushes after every finished task), so a crash loses at most
+// the in-flight task, never completed-and-flushed cells.
+func (c *Checkpoint) record(key string, res sim.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.cells[key]; ok {
+		return
+	}
+	c.cells[key] = res
+	c.dirty = true
+}
+
+// verifyCapture checks (and on first sight records) the checksum of a
+// capture the grid is about to replay. A mismatch against the manifest
+// returns ErrCaptureMismatch: the results recorded in the checkpoint
+// came from a different trace than the one now being generated.
+func (c *Checkpoint) verifyCapture(key string, checksum uint64) error {
+	sum := strconv.FormatUint(checksum, 16)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev, ok := c.captures[key]
+	if !ok {
+		c.captures[key] = sum
+		c.dirty = true
+		return nil
+	}
+	if prev != sum {
+		return fmt.Errorf("%w: capture %s has checksum %s, manifest recorded %s", ErrCaptureMismatch, key, sum, prev)
+	}
+	return nil
+}
+
+// Flush writes the manifest atomically (temp file + rename in the
+// manifest's directory) if anything changed since the last flush.
+func (c *Checkpoint) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dirty {
+		return nil
+	}
+	data, err := json.MarshalIndent(checkpointFile{
+		Version:  checkpointVersion,
+		Cells:    c.cells,
+		Captures: c.captures,
+	}, "", "\t")
+	if err != nil {
+		return fmt.Errorf("experiments: encode checkpoint: %w", err)
+	}
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(c.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("experiments: write checkpoint: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), c.path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: write checkpoint: %w", werr)
+	}
+	c.dirty = false
+	return nil
+}

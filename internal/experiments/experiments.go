@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 	"strings"
 	"sync"
 	"text/tabwriter"
+	"time"
 
 	"twolevel/internal/asm"
 	"twolevel/internal/cpu"
@@ -24,6 +26,7 @@ import (
 	"twolevel/internal/sim"
 	"twolevel/internal/spec"
 	"twolevel/internal/stats"
+	"twolevel/internal/telemetry"
 	"twolevel/internal/trace"
 )
 
@@ -53,6 +56,42 @@ type Options struct {
 	// Results are identical either way; this exists for benchmarking
 	// the cache itself and as an escape hatch.
 	DisableTraceCache bool
+	// Context, when non-nil, bounds the whole experiment: trace
+	// captures, training passes and measured runs poll it and the grid
+	// scheduler stops dispatching once it is cancelled. The experiment
+	// returns ctx.Err() (wrapped with the cells it interrupted).
+	Context context.Context
+	// KeepGoing degrades failures gracefully: instead of aborting on the
+	// first broken cell, the grid marks failed cells (rendered "-" in
+	// the report), finishes the rest, and returns the partial report
+	// alongside a *GridError summarising every failure. Callers decide
+	// whether a partial table is acceptable; the CLIs still exit
+	// non-zero.
+	KeepGoing bool
+	// Retries is the per-cell retry budget for transient failures
+	// (capture errors, source errors). Cancellation and panics are never
+	// retried. 0 disables retry.
+	Retries int
+	// RetryBackoff is the wait before each retry, doubled per attempt
+	// (50ms, 100ms, 200ms, ...). Zero means retry immediately. The
+	// backoff sleep honours Context.
+	RetryBackoff time.Duration
+	// Checkpoint, when non-nil, records every completed grid cell in a
+	// resumable JSON manifest and restores cells already present in it
+	// instead of re-running them. Restored results are bit-identical to
+	// fresh runs (the simulator is deterministic), so a resumed suite
+	// renders byte-identical reports. See OpenCheckpoint.
+	Checkpoint *Checkpoint
+
+	// openSource, when non-nil, replaces the live interpreter source
+	// constructor — the fault-injection seam the chaos tests use. It
+	// feeds the capture cache (or the live path when the cache is
+	// disabled) exactly as newSource would.
+	openSource func(b *prog.Benchmark, ds prog.DataSet) (trace.Source, error)
+	// cellObserver, when non-nil, attaches an extra observer to every
+	// measured grid run — the chaos tests inject panicking observers
+	// through it.
+	cellObserver func(sp spec.Spec, b *prog.Benchmark) telemetry.Observer
 }
 
 // DefaultCondBranches is the default per-benchmark conditional branch
@@ -215,20 +254,41 @@ func newSource(b *prog.Benchmark, ds prog.DataSet) (trace.Source, error) {
 	return cpu.NewSource(c, true), nil
 }
 
+// liveSource builds a fresh generating source for (b, ds): the real
+// interpreter normally, or the fault-injection seam when a chaos test
+// installed one.
+func (o Options) liveSource(b *prog.Benchmark, ds prog.DataSet) (trace.Source, error) {
+	if o.openSource != nil {
+		return o.openSource(b, ds)
+	}
+	return newSource(b, ds)
+}
+
 // source returns an event source over (b, ds) good for at least n
 // conditional branches: a replay cursor over the shared capture normally,
 // or a live interpreter when the cache is disabled. Replayed and live
 // streams carry identical events — the interpreter is deterministic — so
 // every consumer downstream produces identical results either way.
+//
+// With a Checkpoint attached, the capture's checksum is verified against
+// the manifest (and recorded on first sight), so a resumed suite fails
+// loudly if the trace it would replay no longer matches the one the
+// checkpointed results came from.
 func (o Options) source(b *prog.Benchmark, ds prog.DataSet, n uint64) (trace.Source, error) {
 	if o.DisableTraceCache {
-		return newSource(b, ds)
+		return o.liveSource(b, ds)
 	}
-	snap, err := captureCache.Capture(b.Name+"\x00"+ds.Name, n, func() (trace.Source, error) {
-		return newSource(b, ds)
+	key := b.Name + "\x00" + ds.Name
+	snap, err := captureCache.Capture(o.Context, key, n, func() (trace.Source, error) {
+		return o.liveSource(b, ds)
 	})
 	if err != nil {
 		return nil, err
+	}
+	if o.Checkpoint != nil {
+		if err := o.Checkpoint.verifyCapture(captureKey(b.Name, ds.Name, n), snap.Checksum()); err != nil {
+			return nil, err
+		}
 	}
 	return snap.Reader(), nil
 }
@@ -300,10 +360,16 @@ func runSpec(sp spec.Spec, b *prog.Benchmark, o Options) (sim.Result, error) {
 	simOpts := sim.Options{
 		ContextSwitches: sp.ContextSwitch,
 		MaxCondBranches: o.CondBranches,
+		Context:         o.Context,
 	}
 	var record recordFunc
 	if o.Telemetry != nil {
 		simOpts.Observer, record = o.Telemetry.instrument()
+	}
+	if o.cellObserver != nil {
+		if extra := o.cellObserver(sp, b); extra != nil {
+			simOpts.Observer = telemetry.Multi(simOpts.Observer, extra)
+		}
 	}
 	res, err := sim.Run(p, src, simOpts)
 	if err == nil && record != nil {
@@ -355,13 +421,27 @@ func benchColumns(benchmarks []*prog.Benchmark) []string {
 func accuracyReport(id, title string, rows []labeledSpec, o Options) (*Report, error) {
 	o = o.withDefaults()
 	grid, err := runGrid(rows, o)
+	failed := map[string]bool{}
 	if err != nil {
-		return nil, err
+		// KeepGoing renders a partial table: failed cells become NaN
+		// ("-"), and the *GridError still travels back alongside the
+		// report so callers know the table is incomplete.
+		var ge *GridError
+		if !o.KeepGoing || !errors.As(err, &ge) {
+			return nil, err
+		}
+		for _, ce := range ge.Cells {
+			failed[ce.Spec+"\x00"+ce.Benchmark] = true
+		}
 	}
 	r := &Report{ID: id, Title: title, Columns: benchColumns(o.Benchmarks), Percent: true}
 	for ri, row := range rows {
 		values := make([]float64, len(o.Benchmarks))
-		for bi := range o.Benchmarks {
+		for bi, b := range o.Benchmarks {
+			if failed[row.label+"\x00"+b.Name] {
+				values[bi] = math.NaN()
+				continue
+			}
 			values[bi] = grid[ri][bi].Accuracy.Rate()
 		}
 		var intAcc, fpAcc []float64
@@ -376,7 +456,7 @@ func accuracyReport(id, title string, rows []labeledSpec, o Options) (*Report, e
 			stats.GeoMean(append(append([]float64{}, intAcc...), fpAcc...)))
 		r.Series = append(r.Series, Series{Label: row.label, Values: values})
 	}
-	return r, nil
+	return r, err
 }
 
 type labeledSpec struct {
@@ -460,8 +540,7 @@ func Run(id string, o Options) (*Report, error) {
 		err = stampReference(o)
 	}
 	t.endExperiment(id, start)
-	if err != nil {
-		return nil, err
-	}
-	return rep, nil
+	// A KeepGoing run can return a partial report alongside its
+	// *GridError; keep both so callers can render the partial table.
+	return rep, err
 }

@@ -35,13 +35,14 @@ func ExtTaxonomy(o Options) (*Report, error) {
 	r, err := accuracyReport("ext-taxonomy",
 		"Extension: the full {G,P,S} x {g,p,s} association taxonomy at k=6",
 		mustSpecs(taxonomySpecs...), o)
-	if err != nil {
+	// Partial KeepGoing reports travel back alongside their *GridError.
+	if r == nil {
 		return nil, err
 	}
 	r.Notes = append(r.Notes,
 		"rows ordered by history association (G, S, P), then pattern association (g, s, p)",
 		"expected: accuracy rises along both axes; per-set is the budget middle ground between global and per-address")
-	return r, nil
+	return r, err
 }
 
 // extInterleaveQuantum is the instruction quantum used by the interleaved

@@ -20,12 +20,15 @@ func Figure5(o Options) (*Report, error) {
 			"PAg(BHT(512,4,12-sr),1xPHT(2^12,A4))",
 			"PAg(BHT(512,4,12-sr),1xPHT(2^12,LT))",
 		), o)
-	if err != nil {
+	// A KeepGoing run returns a partial report alongside its *GridError;
+	// keep both (here and in every figure below) so the caller can still
+	// render the table.
+	if r == nil {
 		return nil, err
 	}
 	r.Notes = append(r.Notes,
 		"paper: A1-A4 all beat Last-Time; A2, A3, A4 nearly tie with A2 usually best")
-	return r, nil
+	return r, err
 }
 
 // Figure6 compares the three variations at equal history register length
@@ -45,13 +48,13 @@ func Figure6(o Options) (*Report, error) {
 	}
 	r, err := accuracyReport("fig6",
 		"GAg vs PAg vs PAp at equal history register length", rows, o)
-	if err != nil {
+	if r == nil {
 		return nil, err
 	}
 	r.Notes = append(r.Notes,
 		"per-address schemes use the IBHT, isolating the interference comparison (§5.1.2 simulated both)",
 		"paper: PAp best, PAg second, GAg worst at equal k; GAg ineffective at short registers")
-	return r, nil
+	return r, err
 }
 
 // Figure7 sweeps the GAg history register length (§5.1.2): accuracy rises
@@ -65,11 +68,11 @@ func Figure7(o Options) (*Report, error) {
 		})
 	}
 	r, err := accuracyReport("fig7", "Effect of history register length on GAg", rows, o)
-	if err != nil {
+	if r == nil {
 		return nil, err
 	}
 	r.Notes = append(r.Notes, "paper: ~9 points of accuracy from k=6 to k=18")
-	return r, nil
+	return r, err
 }
 
 // figure8Specs are the equal-accuracy (~97%) configurations of §5.1.3:
@@ -87,22 +90,22 @@ func Figure8(o Options) (*Report, error) {
 	r, err := accuracyReport("fig8",
 		"Configurations achieving comparable accuracy, with hardware cost",
 		mustSpecs(figure8Specs...), o)
-	if err != nil {
+	if r == nil {
 		return nil, err
 	}
 	// The cost bars of the figure, reported as notes (costs are unit
 	// counts from Equation 3, not percentages like the table cells).
 	for _, s := range figure8Specs {
-		bd, err := cost.EstimateSpec(spec.MustParse(s))
-		if err != nil {
-			return nil, err
+		bd, cerr := cost.EstimateSpec(spec.MustParse(s))
+		if cerr != nil {
+			return nil, cerr
 		}
 		r.Notes = append(r.Notes, fmt.Sprintf("%s: cost BHT=%.0f PHT=%.0f total=%.0f (Eq.3, default constants)",
 			s, bd.BHT(), bd.PHT(), bd.Total()))
 	}
 	r.Notes = append(r.Notes,
 		"paper: all three reach ~97%; PAg is the cheapest, GAg's PHT and PAp's 512 PHTs dominate their costs")
-	return r, nil
+	return r, err
 }
 
 // Figure9 measures the context-switch effect (§5.1.4): the same three
@@ -117,12 +120,12 @@ func Figure9(o Options) (*Report, error) {
 		rows = append(rows, labeledSpec{cs.String(), cs})
 	}
 	r, err := accuracyReport("fig9", "Effect of context switches", rows, o)
-	if err != nil {
+	if r == nil {
 		return nil, err
 	}
 	r.Notes = append(r.Notes,
 		"paper: average degradation < 1%; gcc degrades most on PAg/PAp (many traps); GAg barely affected")
-	return r, nil
+	return r, err
 }
 
 // Figure10 measures the branch history table implementation (§5.1.5):
@@ -137,12 +140,12 @@ func Figure10(o Options) (*Report, error) {
 			"PAg(BHT(256,4,12-sr),1xPHT(2^12,A2),c)",
 			"PAg(BHT(256,1,12-sr),1xPHT(2^12,A2),c)",
 		), o)
-	if err != nil {
+	if r == nil {
 		return nil, err
 	}
 	r.Notes = append(r.Notes,
 		"paper: 512-entry 4-way is close to ideal; accuracy falls as the miss rate rises")
-	return r, nil
+	return r, err
 }
 
 // Figure11 is the headline comparison (§5.2): the cheapest ~97% Two-Level
@@ -161,10 +164,10 @@ func Figure11(o Options) (*Report, error) {
 			"BTFN",
 			"AlwaysTaken",
 		), o)
-	if err != nil {
+	if r == nil {
 		return nil, err
 	}
 	r.Notes = append(r.Notes,
 		"paper: PAg ~97% > PSg ~94.4% > BTB-A2 ~93% > Profiling ~91% > GSg/BTB-LT ~89% >> BTFN ~68.5% > Always Taken ~62.5%")
-	return r, nil
+	return r, err
 }

@@ -3,29 +3,47 @@
 // batching same-benchmark rows into single-pass multi-predictor replays
 // (sim.RunMany) over the shared capture so the CPU interpreter's event
 // stream is decoded once per pass instead of once per cell.
+//
+// The scheduler is the pipeline's fault boundary. Every failure leaving
+// it is a *CellError naming the exact (spec, benchmark) cell: panics in
+// predictors, observers or sources are recovered into attributed errors
+// instead of crashing the process; a failed batch falls back to running
+// its rows individually so one poisoned cell cannot take down its
+// replay-pass siblings; transient failures retry with exponential
+// backoff; and a cancelled Context stops dispatch, marking undone cells.
+// With a Checkpoint attached, completed cells are recorded (and restored
+// on resume) so interrupted suites pick up where they stopped.
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"twolevel/internal/predictor"
 	"twolevel/internal/prog"
 	"twolevel/internal/sim"
 	"twolevel/internal/spec"
+	"twolevel/internal/telemetry"
 )
 
-// gridTask is one unit of pool work: a contiguous chunk of rows measured
-// on one benchmark.
+// gridTask is one unit of pool work: a set of rows measured on one
+// benchmark in a single replay pass.
 type gridTask struct {
-	bi     int // benchmark index
-	lo, hi int // row range [lo, hi)
+	bi   int   // benchmark index
+	rows []int // row indices into the experiment's row list
 }
 
 // runGrid measures every (row, benchmark) cell and returns
 // grid[row][benchmark]. Rows sharing a benchmark are split into at most
 // ceil(workers/len(benchmarks)) chunks — enough tasks to occupy the pool
-// without fragmenting the replay batches.
+// without fragmenting the replay batches. Cells already present in
+// o.Checkpoint are restored without running; on failure the partial grid
+// comes back alongside a *GridError listing every broken cell.
 func runGrid(rows []labeledSpec, o Options) ([][]sim.Result, error) {
 	grid := make([][]sim.Result, len(rows))
 	for i := range grid {
@@ -34,17 +52,35 @@ func runGrid(rows []labeledSpec, o Options) ([][]sim.Result, error) {
 	if len(rows) == 0 || len(o.Benchmarks) == 0 {
 		return grid, nil
 	}
+	// Restore checkpointed cells; only the remainder is scheduled.
+	pending := make([][]int, len(o.Benchmarks))
+	for bi, b := range o.Benchmarks {
+		for ri, row := range rows {
+			if o.Checkpoint != nil {
+				if res, ok := o.Checkpoint.lookup(cellKey(row.sp, b, o)); ok {
+					grid[ri][bi] = res
+					continue
+				}
+			}
+			pending[bi] = append(pending[bi], ri)
+		}
+	}
 	workers := o.workers()
 	chunks := (workers + len(o.Benchmarks) - 1) / len(o.Benchmarks)
 	chunks = max(1, min(chunks, len(rows)))
 	size := (len(rows) + chunks - 1) / chunks
 	var tasks []gridTask
-	for bi := range o.Benchmarks {
-		for lo := 0; lo < len(rows); lo += size {
-			tasks = append(tasks, gridTask{bi: bi, lo: lo, hi: min(lo+size, len(rows))})
+	for bi, rowIdx := range pending {
+		for lo := 0; lo < len(rowIdx); lo += size {
+			tasks = append(tasks, gridTask{bi: bi, rows: rowIdx[lo:min(lo+size, len(rowIdx))]})
 		}
 	}
-	errs := make([]error, len(tasks))
+	cellErrs := make([][]*CellError, len(tasks))
+	var (
+		failed   atomic.Bool
+		flushMu  sync.Mutex
+		flushErr error
+	)
 	work := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < min(workers, len(tasks)); w++ {
@@ -52,21 +88,188 @@ func runGrid(rows []labeledSpec, o Options) ([][]sim.Result, error) {
 		go func() {
 			defer wg.Done()
 			for ti := range work {
-				t := tasks[ti]
-				res, err := runBatch(rows[t.lo:t.hi], o.Benchmarks[t.bi], o)
-				errs[ti] = err
-				for i := range res {
-					grid[t.lo+i][t.bi] = res[i]
+				cellErrs[ti] = runTask(tasks[ti], rows, grid, o)
+				if len(cellErrs[ti]) > 0 {
+					failed.Store(true)
+				}
+				if o.Checkpoint != nil {
+					if err := o.Checkpoint.Flush(); err != nil {
+						flushMu.Lock()
+						if flushErr == nil {
+							flushErr = err
+						}
+						flushMu.Unlock()
+						failed.Store(true)
+					}
 				}
 			}
 		}()
 	}
-	for ti := range tasks {
-		work <- ti
+	next := 0
+	for ; next < len(tasks); next++ {
+		if o.Context != nil && o.Context.Err() != nil {
+			break
+		}
+		if failed.Load() && !o.KeepGoing {
+			// Fail fast: in-flight tasks finish, the rest never start.
+			break
+		}
+		work <- next
 	}
 	close(work)
 	wg.Wait()
-	return grid, joinRunErrors(errs)
+	// Cells whose tasks were never dispatched because of cancellation
+	// are failures too — attributed, so resume knows what is missing.
+	if o.Context != nil && o.Context.Err() != nil {
+		for ti := next; ti < len(tasks); ti++ {
+			if cellErrs[ti] == nil {
+				cellErrs[ti] = cancelErrors(tasks[ti], rows, o.Benchmarks[tasks[ti].bi], o.Context.Err())
+			}
+		}
+	}
+	var cells []*CellError
+	for _, errs := range cellErrs {
+		cells = append(cells, errs...)
+	}
+	var err error
+	if len(cells) > 0 {
+		err = &GridError{Cells: cells}
+	}
+	if flushErr != nil {
+		err = errors.Join(err, flushErr)
+	}
+	return grid, err
+}
+
+// runTask measures one task's rows on its benchmark: batched replay
+// first, with a per-cell isolation fallback when the batch fails.
+func runTask(t gridTask, rows []labeledSpec, grid [][]sim.Result, o Options) []*CellError {
+	b := o.Benchmarks[t.bi]
+	if o.Context != nil {
+		if err := o.Context.Err(); err != nil {
+			return cancelErrors(t, rows, b, err)
+		}
+	}
+	batch := make([]labeledSpec, len(t.rows))
+	for i, ri := range t.rows {
+		batch[i] = rows[ri]
+	}
+	res, err := runBatchGuarded(batch, b, o)
+	if err == nil {
+		for i, ri := range t.rows {
+			grid[ri][t.bi] = res[i]
+			recordCell(rows[ri].sp, b, res[i], o)
+		}
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return cancelErrors(t, rows, b, err)
+	}
+	// Isolation fallback: the batch shares one replay pass, so a single
+	// poisoned cell (panicking predictor/observer, broken config) fails
+	// every sibling in the pass. Re-run each row on its own — with the
+	// retry budget for transient errors — so the failure attributes to
+	// exactly the broken cell and healthy siblings still yield results.
+	var errs []*CellError
+	for _, ri := range t.rows {
+		res, attempts, cerr := runCellAttempts(rows[ri], b, o)
+		if cerr != nil {
+			errs = append(errs, &CellError{Spec: rows[ri].label, Benchmark: b.Name, Attempts: attempts, Err: cerr})
+			continue
+		}
+		grid[ri][t.bi] = res
+		recordCell(rows[ri].sp, b, res, o)
+	}
+	return errs
+}
+
+// cancelErrors marks every cell of a task failed with the cancellation
+// cause.
+func cancelErrors(t gridTask, rows []labeledSpec, b *prog.Benchmark, err error) []*CellError {
+	out := make([]*CellError, 0, len(t.rows))
+	for _, ri := range t.rows {
+		out = append(out, &CellError{Spec: rows[ri].label, Benchmark: b.Name, Attempts: 1, Err: err})
+	}
+	return out
+}
+
+// recordCell stores a completed cell in the checkpoint, if one is
+// attached.
+func recordCell(sp spec.Spec, b *prog.Benchmark, res sim.Result, o Options) {
+	if o.Checkpoint != nil {
+		o.Checkpoint.record(cellKey(sp, b, o), res)
+	}
+}
+
+// runCellAttempts runs one cell with the configured retry budget:
+// transient failures back off and retry, while cancellation, panics and
+// checksum mismatches fail immediately. It reports how many attempts
+// were spent for error attribution.
+func runCellAttempts(row labeledSpec, b *prog.Benchmark, o Options) (sim.Result, int, error) {
+	attempts := 0
+	for {
+		attempts++
+		res, err := runCellGuarded(row, b, o)
+		if err == nil {
+			return res, attempts, nil
+		}
+		if attempts > o.Retries || !retryable(err) {
+			return res, attempts, err
+		}
+		if werr := o.backoffWait(attempts); werr != nil {
+			return res, attempts, werr
+		}
+	}
+}
+
+// backoffWait sleeps before retry attempt n (1-based), doubling the
+// configured backoff per prior attempt. The sleep honours Context: a
+// cancellation during backoff returns immediately with ctx.Err().
+func (o Options) backoffWait(attempt int) error {
+	d := o.RetryBackoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+	}
+	if d <= 0 {
+		if o.Context != nil {
+			return o.Context.Err()
+		}
+		return nil
+	}
+	if o.Context == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-o.Context.Done():
+		return o.Context.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// runCellGuarded measures one cell, converting panics from anywhere in
+// the run (predictor, observer, source, trainer) into a *PanicError.
+func runCellGuarded(row labeledSpec, b *prog.Benchmark, o Options) (res sim.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return runSpec(row.sp, b, o)
+}
+
+// runBatchGuarded is runBatch behind a panic fence; a recovered panic
+// triggers the caller's per-cell isolation fallback.
+func runBatchGuarded(rows []labeledSpec, b *prog.Benchmark, o Options) (res []sim.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return runBatch(rows, b, o)
 }
 
 // runBatch measures a batch of specs on one benchmark. With the trace
@@ -99,9 +302,15 @@ func runBatch(rows []labeledSpec, b *prog.Benchmark, o Options) ([]sim.Result, e
 		simOpts[i] = sim.Options{
 			ContextSwitches: row.sp.ContextSwitch,
 			MaxCondBranches: o.CondBranches,
+			Context:         o.Context,
 		}
 		if o.Telemetry != nil {
 			simOpts[i].Observer, records[i] = o.Telemetry.instrument()
+		}
+		if o.cellObserver != nil {
+			if extra := o.cellObserver(row.sp, b); extra != nil {
+				simOpts[i].Observer = telemetry.Multi(simOpts[i].Observer, extra)
+			}
 		}
 	}
 	src, err := o.source(b, b.Testing, o.CondBranches)

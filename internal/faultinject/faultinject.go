@@ -1,0 +1,186 @@
+// Package faultinject provides composable fault-injection wrappers for
+// chaos-testing the simulation pipeline: trace sources that error, end
+// early, stall or panic at chosen points, observers that panic mid-run,
+// and source openers that fail transiently. Every injector is
+// deterministic — faults fire at exact event counts, never randomly —
+// so a chaos test that provokes a failure reproduces it on every run.
+//
+// The wrappers implement the same interfaces the real pipeline uses
+// (trace.Source, telemetry.Observer), so they drop into any seam that
+// accepts one: sim.Run, trace.CaptureCache.Capture, or the experiment
+// harness's source hooks.
+package faultinject
+
+import (
+	"io"
+	"time"
+
+	"twolevel/internal/telemetry"
+	"twolevel/internal/trace"
+)
+
+// ErrorAfter yields events from Src until N have been delivered, then
+// returns Err on every later call — a source that tears mid-stream.
+type ErrorAfter struct {
+	// Src is the wrapped source.
+	Src trace.Source
+	// N is the number of events delivered before the fault fires.
+	N uint64
+	// Err is returned once the fault fires.
+	Err error
+
+	seen uint64
+}
+
+// Next implements trace.Source.
+func (s *ErrorAfter) Next() (trace.Event, error) {
+	if s.seen >= s.N {
+		return trace.Event{}, s.Err
+	}
+	s.seen++
+	return s.Src.Next()
+}
+
+// Truncate ends the stream with io.EOF after N events — a source that
+// dies early but cleanly (a truncated trace file, an interpreter that
+// halts before the budget).
+type Truncate struct {
+	// Src is the wrapped source.
+	Src trace.Source
+	// N is the number of events delivered before the early EOF.
+	N uint64
+
+	seen uint64
+}
+
+// Next implements trace.Source.
+func (s *Truncate) Next() (trace.Event, error) {
+	if s.seen >= s.N {
+		return trace.Event{}, io.EOF
+	}
+	s.seen++
+	return s.Src.Next()
+}
+
+// Flaky fails deterministically periodically: every Period-th event
+// (1-based) returns Err instead of an event, without consuming from Src.
+// The stream stays usable — callers that retry the read continue — which
+// models a source with recoverable hiccups rather than a torn one.
+type Flaky struct {
+	// Src is the wrapped source.
+	Src trace.Source
+	// Period selects which calls fail: every Period-th Next returns Err.
+	// Values < 2 make every call fail.
+	Period uint64
+	// Err is the injected failure.
+	Err error
+
+	calls uint64
+}
+
+// Next implements trace.Source.
+func (s *Flaky) Next() (trace.Event, error) {
+	s.calls++
+	if s.Period < 2 || s.calls%s.Period == 0 {
+		return trace.Event{}, s.Err
+	}
+	return s.Src.Next()
+}
+
+// Slow delays every Every-th event by Delay — a source that stalls, for
+// exercising timeouts without wall-clock-heavy tests.
+type Slow struct {
+	// Src is the wrapped source.
+	Src trace.Source
+	// Delay is the injected stall.
+	Delay time.Duration
+	// Every selects which events stall (0 stalls every event).
+	Every uint64
+
+	seen uint64
+}
+
+// Next implements trace.Source.
+func (s *Slow) Next() (trace.Event, error) {
+	s.seen++
+	if s.Every == 0 || s.seen%s.Every == 0 {
+		time.Sleep(s.Delay)
+	}
+	return s.Src.Next()
+}
+
+// PanicSource panics after delivering N events — a buggy generator that
+// crashes instead of returning an error. The grid scheduler must recover
+// it into an attributed per-cell failure.
+type PanicSource struct {
+	// Src is the wrapped source.
+	Src trace.Source
+	// N is the number of events delivered before the panic.
+	N uint64
+	// Msg is the panic value.
+	Msg string
+
+	seen uint64
+}
+
+// Next implements trace.Source.
+func (s *PanicSource) Next() (trace.Event, error) {
+	if s.seen >= s.N {
+		panic(s.Msg)
+	}
+	s.seen++
+	return s.Src.Next()
+}
+
+// PanicObserver panics on the After-th resolved branch — a buggy
+// telemetry consumer crashing inside the hot loop, the worst-placed
+// failure the pipeline must contain.
+type PanicObserver struct {
+	telemetry.NopObserver
+	// After is the 1-based resolution count that triggers the panic.
+	After uint64
+	// Msg is the panic value.
+	Msg string
+
+	resolved uint64
+}
+
+// OnResolve implements telemetry.Observer.
+func (o *PanicObserver) OnResolve(b trace.Branch, predicted, correct bool) {
+	if o.resolved++; o.resolved >= o.After {
+		panic(o.Msg)
+	}
+}
+
+// FuncObserver calls Fn on every resolved branch — the hook chaos tests
+// use to trigger actions (cancel a context, count progress) at an exact,
+// reproducible point mid-run.
+type FuncObserver struct {
+	telemetry.NopObserver
+	// Fn receives the 1-based resolution count.
+	Fn func(resolved uint64)
+
+	resolved uint64
+}
+
+// OnResolve implements telemetry.Observer.
+func (o *FuncObserver) OnResolve(b trace.Branch, predicted, correct bool) {
+	o.resolved++
+	if o.Fn != nil {
+		o.Fn(o.resolved)
+	}
+}
+
+// FlakyOpener wraps a source constructor so its first fails calls return
+// err before it starts delegating — a transiently unavailable generator
+// for exercising open-retry paths.
+func FlakyOpener(open func() (trace.Source, error), fails int, err error) func() (trace.Source, error) {
+	remaining := fails
+	return func() (trace.Source, error) {
+		if remaining > 0 {
+			remaining--
+			return nil, err
+		}
+		return open()
+	}
+}

@@ -52,6 +52,9 @@ func NewBTB(cfg BTBConfig) (*BTB, error) {
 	if cfg.Assoc <= 0 || cfg.Assoc&(cfg.Assoc-1) != 0 || cfg.Assoc > cfg.Entries {
 		return nil, fmt.Errorf("predictor: BTB associativity %d invalid", cfg.Assoc)
 	}
+	if !cfg.Automaton.Valid() {
+		return nil, fmt.Errorf("predictor: invalid automaton kind %s", cfg.Automaton)
+	}
 	if cfg.Automaton == automaton.PB {
 		return nil, fmt.Errorf("predictor: BTB cannot use the preset-bit automaton")
 	}

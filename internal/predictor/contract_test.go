@@ -1,0 +1,97 @@
+package predictor
+
+// The panic-vs-error contract: exported constructors must reject every
+// invalid configuration with an error, never by leaking a panic from the
+// internal table constructors.
+
+import (
+	"strings"
+	"testing"
+
+	"twolevel/internal/automaton"
+)
+
+// mustNotPanic fails the test if fn panics, returning fn's error.
+func mustNotPanic(t *testing.T, what string, fn func() error) (err error) {
+	t.Helper()
+	defer func() {
+		if v := recover(); v != nil {
+			t.Fatalf("%s panicked on invalid config: %v", what, v)
+		}
+	}()
+	return fn()
+}
+
+func TestNewTwoLevelRejectsInvalidAutomaton(t *testing.T) {
+	for _, kind := range []automaton.Kind{automaton.Kind(250), automaton.PB + 1} {
+		err := mustNotPanic(t, "NewTwoLevel", func() error {
+			_, err := NewTwoLevel(TwoLevelConfig{
+				Variation: GAg, HistoryBits: 4, Automaton: kind,
+			})
+			return err
+		})
+		if err == nil || !strings.Contains(err.Error(), "automaton") {
+			t.Fatalf("kind %d: err = %v, want invalid-automaton error", kind, err)
+		}
+	}
+}
+
+func TestNewTwoLevelRejectsInvalidPatternInit(t *testing.T) {
+	bad := automaton.State(7) // A2 has 4 states
+	err := mustNotPanic(t, "NewTwoLevel", func() error {
+		_, err := NewTwoLevel(TwoLevelConfig{
+			Variation: GAg, HistoryBits: 4, Automaton: automaton.A2, PatternInit: &bad,
+		})
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "init state") {
+		t.Fatalf("err = %v, want pattern-init range error", err)
+	}
+	// In-range states stay accepted.
+	ok := automaton.State(1)
+	if _, err := NewTwoLevel(TwoLevelConfig{
+		Variation: GAg, HistoryBits: 4, Automaton: automaton.A2, PatternInit: &ok,
+	}); err != nil {
+		t.Fatalf("valid init state rejected: %v", err)
+	}
+}
+
+func TestNewTwoLevelRejectsInvalidVariation(t *testing.T) {
+	err := mustNotPanic(t, "NewTwoLevel", func() error {
+		_, err := NewTwoLevel(TwoLevelConfig{
+			Variation: Variation(99), HistoryBits: 4, Automaton: automaton.A2,
+		})
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "variation") {
+		t.Fatalf("err = %v, want invalid-variation error", err)
+	}
+}
+
+func TestNewBTBRejectsInvalidAutomaton(t *testing.T) {
+	err := mustNotPanic(t, "NewBTB", func() error {
+		_, err := NewBTB(BTBConfig{Entries: 64, Assoc: 4, Automaton: automaton.Kind(42)})
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "automaton") {
+		t.Fatalf("err = %v, want invalid-automaton error", err)
+	}
+}
+
+func TestCustomMachineSkipsKindCheck(t *testing.T) {
+	// A custom Machine makes the Automaton field irrelevant; the config
+	// must validate against the machine, not the (ignored) kind.
+	m := automaton.NewSaturating(3)
+	init := automaton.State(5) // < 8 states of a 3-bit counter
+	if _, err := NewTwoLevel(TwoLevelConfig{
+		Variation: GAg, HistoryBits: 4, Machine: m, PatternInit: &init,
+	}); err != nil {
+		t.Fatalf("custom machine config rejected: %v", err)
+	}
+	bad := automaton.State(8)
+	if _, err := NewTwoLevel(TwoLevelConfig{
+		Variation: GAg, HistoryBits: 4, Machine: m, PatternInit: &bad,
+	}); err == nil {
+		t.Fatal("out-of-range init for custom machine accepted")
+	}
+}

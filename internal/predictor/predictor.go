@@ -18,6 +18,17 @@
 // All schemes implement the Predictor interface driven by the simulator in
 // package sim: Predict is called when a conditional branch is fetched,
 // Update when it resolves, ContextSwitch on a process switch.
+//
+// # Panic-vs-error contract
+//
+// Exported constructors (NewTwoLevel, NewBTB, ...) validate their
+// configuration exhaustively and return an error for anything a caller
+// can get wrong — sizes, automaton kinds, init states — and never panic
+// on bad input. The Must* variants exist for tables of known-good
+// configurations and panic on the same errors. Deeper internal
+// constructors (pht.New, automaton.New, bht.NewCache) assume validated
+// arguments and panic if handed garbage: reaching such a panic through
+// an exported constructor is a bug in this package, not the caller.
 package predictor
 
 import "twolevel/internal/trace"

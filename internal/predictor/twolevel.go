@@ -160,9 +160,32 @@ type TwoLevelConfig struct {
 }
 
 // Validate reports whether the configuration is well-formed.
+//
+// Validate closes the panic-vs-error contract at the public boundary:
+// every invalid field combination a caller can express — including
+// out-of-range Automaton kinds and PatternInit states, which the
+// internal automaton/pht constructors treat as programmer errors and
+// panic on — is caught here and returned as an error, so NewTwoLevel
+// never panics on bad configuration.
 func (c TwoLevelConfig) Validate() error {
+	if c.Variation > SAp {
+		return fmt.Errorf("predictor: invalid variation %s", c.Variation)
+	}
+	if c.Machine == nil && !c.Automaton.Valid() {
+		return fmt.Errorf("predictor: invalid automaton kind %s", c.Automaton)
+	}
 	if c.HistoryBits < 1 || c.HistoryBits > history.MaxBits {
 		return fmt.Errorf("predictor: history length %d out of range", c.HistoryBits)
+	}
+	if c.PatternInit != nil {
+		m := c.Machine
+		if m == nil {
+			m = automaton.New(c.Automaton)
+		}
+		if int(*c.PatternInit) >= m.States() {
+			return fmt.Errorf("predictor: pattern init state %d out of range for %s (%d states)",
+				*c.PatternInit, m.Kind(), m.States())
+		}
 	}
 	needsStore := c.Variation.historyAxis() == axisPerAddress ||
 		c.Variation.patternAxis() == axisPerAddress

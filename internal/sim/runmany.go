@@ -4,6 +4,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -23,15 +24,33 @@ import (
 // preds must be distinct predictor instances (they are mutated). opts
 // must have one entry per predictor. On a source error the partial
 // results collected so far are returned alongside the error.
+//
+// Cancellation: the pass is shared, so a cancelled Context on any option
+// set aborts the whole pass with that context's error and the partial
+// results collected so far (batched predictors cannot outlive the decode
+// pass they ride).
 func RunMany(preds []predictor.Predictor, src trace.Source, opts []Options) ([]Result, error) {
 	if len(opts) != len(preds) {
 		return nil, fmt.Errorf("sim: RunMany got %d predictors but %d option sets", len(preds), len(opts))
 	}
 	runners := make([]runner, len(preds))
+	var ctxs []context.Context
 	for i, p := range preds {
 		runners[i] = newRunner(p, opts[i])
 		if obs := opts[i].Observer; obs != nil {
 			obs.Start(telemetry.RunInfo{Predictor: p})
+		}
+		if ctx := opts[i].Context; ctx != nil {
+			dup := false
+			for _, c := range ctxs {
+				if c == ctx {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				ctxs = append(ctxs, ctx)
+			}
 		}
 	}
 	results := func() []Result {
@@ -48,6 +67,7 @@ func RunMany(preds []predictor.Predictor, src trace.Source, opts []Options) ([]R
 			}
 		}
 	}
+	var sinceCheck uint32
 	for {
 		// ready must be polled on every runner each round: it performs
 		// the budget-reached drain transition.
@@ -59,6 +79,17 @@ func RunMany(preds []predictor.Predictor, src trace.Source, opts []Options) ([]R
 		}
 		if !active {
 			break
+		}
+		if ctxs != nil {
+			if sinceCheck++; sinceCheck >= cancelCheckInterval {
+				sinceCheck = 0
+				for _, ctx := range ctxs {
+					if err := ctx.Err(); err != nil {
+						finishObservers()
+						return results(), err
+					}
+				}
+			}
 		}
 		e, err := src.Next()
 		if err == io.EOF {

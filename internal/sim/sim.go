@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"context"
 	"io"
 
 	"twolevel/internal/predictor"
@@ -21,6 +22,13 @@ import (
 
 // DefaultCSInterval is the paper's context-switch quantum in instructions.
 const DefaultCSInterval = 500_000
+
+// cancelCheckInterval is how many trace events pass between cancellation
+// polls when a run carries a Context. Checks are amortised so the
+// nil-context hot path pays one predictable branch per event and a
+// cancelled run is noticed within a few thousand events (microseconds at
+// replay speed), never mid-event.
+const cancelCheckInterval = 4096
 
 // Options configures a simulation run.
 type Options struct {
@@ -44,6 +52,11 @@ type Options struct {
 	// Start/Finish. A nil observer adds no allocations and no
 	// measurable work to the hot loop.
 	Observer telemetry.Observer
+	// Context, when non-nil, bounds the run: Run and RunMany poll it
+	// every few thousand events and return ctx.Err() (with the partial
+	// result collected so far) once it is cancelled or past its
+	// deadline. A nil Context adds no measurable work to the hot loop.
+	Context context.Context
 }
 
 // Result aggregates a simulation run.
@@ -92,14 +105,25 @@ func measureTarget(res *Result, tp predictor.TargetPredictor, b trace.Branch, pr
 	}
 }
 
-// Run simulates p over src.
+// Run simulates p over src. A cancelled opts.Context aborts the run with
+// ctx.Err() and the partial result collected so far.
 func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) {
 	if obs := opts.Observer; obs != nil {
 		obs.Start(telemetry.RunInfo{Predictor: p})
 		defer obs.Finish()
 	}
 	r := newRunner(p, opts)
+	ctx := opts.Context
+	var sinceCheck uint32
 	for r.ready() {
+		if ctx != nil {
+			if sinceCheck++; sinceCheck >= cancelCheckInterval {
+				sinceCheck = 0
+				if err := ctx.Err(); err != nil {
+					return r.res, err
+				}
+			}
+		}
 		e, err := src.Next()
 		if err == io.EOF {
 			break

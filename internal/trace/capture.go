@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"io"
 	"sync"
 )
@@ -80,8 +81,16 @@ func (p *Packed) eventsForConds(n uint64) int {
 }
 
 // View snapshots the first n events. The snapshot stays valid and
-// immutable across later appends.
+// immutable across later appends. n is clamped to [0, Len()]: callers
+// computing prefix lengths from untrusted budgets get the whole (or an
+// empty) capture rather than a panic.
 func (p *Packed) View(n int) Snapshot {
+	if n < 0 {
+		n = 0
+	}
+	if n > p.Len() {
+		n = p.Len()
+	}
 	return Snapshot{
 		instrs:  p.instrs[:n:n],
 		pcs:     p.pcs[:n:n],
@@ -120,6 +129,39 @@ func (s Snapshot) At(i int) Event {
 // Reader returns a fresh replay cursor positioned at the first event.
 func (s Snapshot) Reader() *SnapshotReader { return &SnapshotReader{s: s} }
 
+// Checksum returns an FNV-1a digest over the snapshot's packed columns
+// (length-prefixed, column order fixed). Two snapshots of the same
+// deterministic generator at the same budget always agree; resume
+// manifests store it to detect a capture that no longer matches the one
+// a checkpoint was written against.
+func (s Snapshot) Checksum() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	word := func(v uint32) {
+		h = (h ^ uint64(v&0xff)) * prime64
+		h = (h ^ uint64(v>>8&0xff)) * prime64
+		h = (h ^ uint64(v>>16&0xff)) * prime64
+		h = (h ^ uint64(v>>24&0xff)) * prime64
+	}
+	word(uint32(len(s.meta)))
+	for _, v := range s.instrs {
+		word(v)
+	}
+	for _, v := range s.pcs {
+		word(v)
+	}
+	for _, v := range s.targets {
+		word(v)
+	}
+	for _, m := range s.meta {
+		h = (h ^ uint64(m)) * prime64
+	}
+	return h
+}
+
 // SnapshotReader replays a Snapshot as a Source. Each reader carries its
 // own position; readers over one snapshot are independent.
 type SnapshotReader struct {
@@ -151,6 +193,12 @@ func (r *SnapshotReader) Reset() { r.pos = 0 }
 // Concurrent Capture calls on one key are single-flighted: the first
 // caller opens the source and captures while the rest block on the entry
 // lock, then reuse the stored events.
+//
+// Errors are NOT sticky: a failed open or a mid-capture source error is
+// returned to the caller and the entry is reset, so a later Capture on
+// the same key re-opens the source and re-captures from scratch — a
+// transient failure never poisons the key. A cancelled context leaves
+// the partial capture in place; the next Capture resumes extending it.
 type CaptureCache struct {
 	mu      sync.Mutex
 	entries map[string]*captureEntry
@@ -160,10 +208,23 @@ type captureEntry struct {
 	mu        sync.Mutex
 	opened    bool
 	src       Source
-	err       error // sticky open/generate failure
-	exhausted bool  // src returned io.EOF
+	exhausted bool // src returned io.EOF
 	packed    Packed
 }
+
+// reset drops the entry's source and captured events so the next Capture
+// retries from scratch. Snapshots already handed out keep the old
+// columns — they are immutable — and stay valid.
+func (e *captureEntry) reset() {
+	e.opened = false
+	e.src = nil
+	e.exhausted = false
+	e.packed = Packed{}
+}
+
+// captureCheckInterval is how many captured events pass between
+// cancellation polls while a capture drains its generating source.
+const captureCheckInterval = 65536
 
 // NewCaptureCache returns an empty cache.
 func NewCaptureCache() *CaptureCache {
@@ -172,10 +233,15 @@ func NewCaptureCache() *CaptureCache {
 
 // Capture returns an immutable snapshot of key's event stream covering
 // the first conds conditional branches (fewer if the source ends early).
-// open is invoked at most once per key, on the first call, to create the
-// generating source. Errors from open or the source are sticky: once a
-// key fails, every later Capture on it returns the same error.
-func (c *CaptureCache) Capture(key string, conds uint64, open func() (Source, error)) (Snapshot, error) {
+// open creates the generating source; it is invoked once per successful
+// capture lifetime (a failed open or source error resets the entry, so
+// the next Capture calls open again — see the poisoning note on
+// CaptureCache).
+//
+// ctx, when non-nil, bounds the capture: cancellation returns ctx.Err()
+// and keeps the partial capture, so a resumed call continues where the
+// cancelled one stopped. A nil ctx is context.Background().
+func (c *CaptureCache) Capture(ctx context.Context, key string, conds uint64, open func() (Source, error)) (Snapshot, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
@@ -186,24 +252,34 @@ func (c *CaptureCache) Capture(key string, conds uint64, open func() (Source, er
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.err != nil {
-		return Snapshot{}, e.err
-	}
 	if !e.opened {
-		e.src, e.err = open()
-		e.opened = true
-		if e.err != nil {
-			return Snapshot{}, e.err
+		src, err := open()
+		if err != nil {
+			return Snapshot{}, err
 		}
+		e.src = src
+		e.opened = true
 	}
+	var sinceCheck uint32
 	for uint64(e.packed.Conds()) < conds && !e.exhausted {
+		if ctx != nil {
+			if sinceCheck++; sinceCheck >= captureCheckInterval {
+				sinceCheck = 0
+				if err := ctx.Err(); err != nil {
+					return Snapshot{}, err
+				}
+			}
+		}
 		ev, err := e.src.Next()
 		if err == io.EOF {
 			e.exhausted = true
 			break
 		}
 		if err != nil {
-			e.err = err
+			// A mid-stream error leaves the source at an undefined
+			// position; drop the entry so a retry re-captures cleanly
+			// instead of serving a torn prefix forever.
+			e.reset()
 			return Snapshot{}, err
 		}
 		e.packed.Append(ev)

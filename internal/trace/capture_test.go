@@ -116,15 +116,15 @@ func TestCaptureCacheExtendsOneSource(t *testing.T) {
 		return tr.Reader(), nil
 	}
 	c := NewCaptureCache()
-	s1, err := c.Capture("k", 50, open)
+	s1, err := c.Capture(nil, "k", 50, open)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := c.Capture("k", 200, open)
+	s2, err := c.Capture(nil, "k", 200, open)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s3, err := c.Capture("k", 50, open)
+	s3, err := c.Capture(nil, "k", 50, open)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestCaptureCacheNoStampede(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			snaps[w], errs[w] = c.Capture("k", 500, func() (Source, error) {
+			snaps[w], errs[w] = c.Capture(nil, "k", 500, func() (Source, error) {
 				opens.Add(1)
 				tr := &Trace{Events: events}
 				return tr.Reader(), nil
@@ -205,7 +205,7 @@ func TestCaptureCacheNoStampede(t *testing.T) {
 func TestCaptureCacheExhaustedSource(t *testing.T) {
 	events := randomEvents(100, 5)
 	c := NewCaptureCache()
-	s, err := c.Capture("k", 1_000_000, func() (Source, error) {
+	s, err := c.Capture(nil, "k", 1_000_000, func() (Source, error) {
 		tr := &Trace{Events: events}
 		return tr.Reader(), nil
 	})
@@ -216,7 +216,7 @@ func TestCaptureCacheExhaustedSource(t *testing.T) {
 		t.Fatalf("exhausted capture has %d events, want all %d", s.Len(), len(events))
 	}
 	// A second, smaller request still slices correctly.
-	s2, err := c.Capture("k", 1, nil) // open must not be called again
+	s2, err := c.Capture(nil, "k", 1, nil) // open must not be called again
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,21 +225,137 @@ func TestCaptureCacheExhaustedSource(t *testing.T) {
 	}
 }
 
-func TestCaptureCacheStickyError(t *testing.T) {
+// TestCaptureCacheRetriesFailedOpen is the poisoned-entry regression
+// test: a transient open failure used to be cached in the entry forever,
+// failing every later caller. Errors must be returned but not stored, so
+// a retry can re-open and capture successfully.
+func TestCaptureCacheRetriesFailedOpen(t *testing.T) {
 	boom := errors.New("boom")
+	events := randomEvents(1000, 6)
 	c := NewCaptureCache()
 	calls := 0
 	open := func() (Source, error) {
 		calls++
-		return nil, boom
+		if calls == 1 {
+			return nil, boom
+		}
+		tr := &Trace{Events: events}
+		return tr.Reader(), nil
 	}
-	if _, err := c.Capture("k", 10, open); !errors.Is(err, boom) {
-		t.Fatalf("err = %v", err)
+	if _, err := c.Capture(nil, "k", 10, open); !errors.Is(err, boom) {
+		t.Fatalf("first err = %v, want %v", err, boom)
 	}
-	if _, err := c.Capture("k", 10, open); !errors.Is(err, boom) {
-		t.Fatalf("sticky err = %v", err)
+	s, err := c.Capture(nil, "k", 10, open)
+	if err != nil {
+		t.Fatalf("retry after transient open failure: %v", err)
 	}
-	if calls != 1 {
-		t.Fatalf("open retried %d times; errors must be sticky", calls)
+	if s.Len() == 0 {
+		t.Fatal("retry produced an empty capture")
+	}
+	if calls != 2 {
+		t.Fatalf("open called %d times, want 2 (fail, then retry)", calls)
+	}
+}
+
+// TestCaptureCacheRetriesMidStreamError: a source error mid-capture must
+// reset the entry so the retry re-captures from scratch and matches a
+// clean capture exactly.
+func TestCaptureCacheRetriesMidStreamError(t *testing.T) {
+	boom := errors.New("torn")
+	events := randomEvents(2000, 7)
+	c := NewCaptureCache()
+	opens := 0
+	open := func() (Source, error) {
+		opens++
+		tr := &Trace{Events: events}
+		rd := tr.Reader()
+		if opens == 1 {
+			return &errorAfterSource{src: rd, after: 100, err: boom}, nil
+		}
+		return rd, nil
+	}
+	if _, err := c.Capture(nil, "k", 500, open); !errors.Is(err, boom) {
+		t.Fatalf("first err = %v, want %v", err, boom)
+	}
+	s, err := c.Capture(nil, "k", 500, open)
+	if err != nil {
+		t.Fatalf("retry after mid-stream error: %v", err)
+	}
+	// The retried capture must be identical to a clean one — no leftover
+	// prefix from the torn first attempt.
+	clean := NewCaptureCache()
+	want, err := clean.Capture(nil, "k", 500, func() (Source, error) {
+		tr := &Trace{Events: events}
+		return tr.Reader(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != want.Len() || s.Checksum() != want.Checksum() {
+		t.Fatalf("retried capture differs from clean capture: %d/%#x vs %d/%#x",
+			s.Len(), s.Checksum(), want.Len(), want.Checksum())
+	}
+}
+
+// errorAfterSource yields events from src until after of them have
+// passed, then returns err forever (a local stand-in so package trace
+// does not import the faultinject package it underpins).
+type errorAfterSource struct {
+	src   Source
+	after int
+	err   error
+	seen  int
+}
+
+func (s *errorAfterSource) Next() (Event, error) {
+	if s.seen >= s.after {
+		return Event{}, s.err
+	}
+	s.seen++
+	return s.src.Next()
+}
+
+func TestSnapshotChecksumDeterministic(t *testing.T) {
+	events := randomEvents(3000, 8)
+	build := func() Snapshot {
+		var p Packed
+		for _, e := range events {
+			p.Append(e)
+		}
+		return p.View(p.Len())
+	}
+	a, b := build(), build()
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("identical captures produced different checksums")
+	}
+	var p Packed
+	for _, e := range events {
+		p.Append(e)
+	}
+	if got := p.View(100).Checksum(); got == a.Checksum() {
+		t.Fatal("prefix snapshot collided with the full capture checksum")
+	}
+	// A single flipped outcome must change the digest.
+	mutated := append([]Event(nil), events...)
+	mutated[1500].Branch.Taken = !mutated[1500].Branch.Taken
+	var q Packed
+	for _, e := range mutated {
+		q.Append(e)
+	}
+	if q.View(q.Len()).Checksum() == a.Checksum() {
+		t.Fatal("mutated capture kept the same checksum")
+	}
+}
+
+func TestPackedViewClampsBounds(t *testing.T) {
+	var p Packed
+	for _, e := range randomEvents(10, 9) {
+		p.Append(e)
+	}
+	if got := p.View(100).Len(); got != 10 {
+		t.Fatalf("View(100) on 10 events = %d, want clamp to 10", got)
+	}
+	if got := p.View(-5).Len(); got != 0 {
+		t.Fatalf("View(-5) = %d events, want 0", got)
 	}
 }

@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// drainEvents reads src to its first error, returning the events and the
+// terminating error. The event count is bounded by the caller's input
+// size, so the loop always terminates.
+func drainEvents(src Source) ([]Event, error) {
+	var events []Event
+	for {
+		e, err := src.Next()
+		if err != nil {
+			return events, err
+		}
+		events = append(events, e)
+	}
+}
+
+// FuzzFileReader feeds arbitrary bytes to the binary trace decoder. The
+// decoder must terminate with io.EOF or an ErrCorrupt-wrapped error —
+// never panic — and a stream it accepts in full must survive a
+// re-encode/re-decode round trip unchanged.
+func FuzzFileReader(f *testing.F) {
+	// Well-formed stream: header plus a trap and a branch event.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	events := []Event{
+		{Instrs: 3, Trap: true},
+		{Instrs: 1, Branch: Branch{PC: 0x1000, Target: 0x1004, Class: Cond, Taken: true}},
+		{Instrs: 9, Branch: Branch{PC: 0x1004, Target: 0x0ffc, Class: Uncond, Taken: true}},
+	}
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:len(buf.Bytes())-1]) // truncated mid-record
+	f.Add([]byte("TLBPTRC1"))               // header only
+	f.Add([]byte("NOTATRACE"))              // bad magic
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := NewFileReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("NewFileReader error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		decoded, err := drainEvents(fr)
+		if err != io.EOF {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error %v is neither io.EOF nor ErrCorrupt", err)
+			}
+			return
+		}
+		// Accepted in full: the decoded events must round-trip.
+		var out bytes.Buffer
+		w, err := NewWriter(&out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range decoded {
+			if err := w.Write(e); err != nil {
+				t.Fatalf("re-encode of accepted event %+v: %v", e, err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		fr2, err := NewFileReader(&out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := drainEvents(fr2)
+		if err != io.EOF {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(decoded) {
+			t.Fatalf("round trip changed event count: %d != %d", len(again), len(decoded))
+		}
+		for i := range decoded {
+			if again[i] != decoded[i] {
+				t.Fatalf("event %d changed across round trip: %+v != %+v", i, again[i], decoded[i])
+			}
+		}
+	})
+}
+
+// FuzzTextReader feeds arbitrary text to the line-oriented trace decoder.
+func FuzzTextReader(f *testing.F) {
+	f.Add("B 00001000 00001010 0 T 5\nT 3\n# comment\n\nB 00001010 00001000 1 T 2\n")
+	f.Add("B deadbeef 00000000 9 X notanum\n")
+	f.Add("Z what\n")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		tr := NewTextReader(bytes.NewReader([]byte(src)))
+		decoded, err := drainEvents(tr)
+		if err != io.EOF {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, bufio.ErrTooLong) {
+				t.Fatalf("decode error %v is neither io.EOF, ErrCorrupt nor ErrTooLong", err)
+			}
+			return
+		}
+		// Accepted in full: write back out and re-decode.
+		var out bytes.Buffer
+		if err := WriteText(&out, (&Trace{Events: decoded}).Reader()); err != nil {
+			t.Fatalf("re-encode of accepted events: %v", err)
+		}
+		again, err := drainEvents(NewTextReader(&out))
+		if err != io.EOF {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(decoded) {
+			t.Fatalf("round trip changed event count: %d != %d", len(again), len(decoded))
+		}
+		for i := range decoded {
+			if again[i] != decoded[i] {
+				t.Fatalf("event %d changed across round trip: %+v != %+v", i, again[i], decoded[i])
+			}
+		}
+	})
+}
+
+// unpackFuzzEvents deterministically expands raw fuzz bytes into events:
+// 13 bytes per event (instrs, pc, target, meta), classes folded into the
+// valid range so the counters under test see realistic streams.
+func unpackFuzzEvents(data []byte) []Event {
+	var events []Event
+	for len(data) >= 13 {
+		m := data[12]
+		e := Event{
+			Instrs: binary.LittleEndian.Uint32(data[0:4]),
+			Trap:   m&1 != 0,
+			Branch: Branch{
+				PC:     binary.LittleEndian.Uint32(data[4:8]),
+				Target: binary.LittleEndian.Uint32(data[8:12]),
+				Taken:  m&2 != 0,
+				Class:  Class(m>>2) % Class(NumClasses),
+			},
+		}
+		events = append(events, e)
+		data = data[13:]
+	}
+	return events
+}
+
+// FuzzPackedView exercises the Packed/Snapshot bounds contract: View must
+// clamp any n, readers must yield exactly Len events, eventsForConds must
+// return a prefix covering at most the requested budget, and Checksum
+// must be a pure function of the snapshot.
+func FuzzPackedView(f *testing.F) {
+	seed := make([]byte, 26)
+	seed[12] = 0 // branch, not taken, Cond
+	seed[25] = 1 // trap
+	f.Add(seed, 1, uint64(1))
+	f.Add([]byte{}, -5, uint64(0))
+	f.Add(bytes.Repeat([]byte{0xff}, 39), 1<<30, uint64(1<<40))
+
+	f.Fuzz(func(t *testing.T, data []byte, n int, conds uint64) {
+		var p Packed
+		for _, e := range unpackFuzzEvents(data) {
+			p.Append(e)
+		}
+		s := p.View(n) // any n: clamps, never panics
+		if s.Len() > p.Len() || (n >= 0 && n <= p.Len() && s.Len() != n) {
+			t.Fatalf("View(%d) of %d events has Len %d", n, p.Len(), s.Len())
+		}
+		got, err := drainEvents(s.Reader())
+		if err != io.EOF {
+			t.Fatalf("snapshot reader error: %v", err)
+		}
+		if len(got) != s.Len() {
+			t.Fatalf("reader yielded %d events, snapshot Len is %d", len(got), s.Len())
+		}
+		r := s.Reader()
+		if _, err := drainEvents(r); err != io.EOF {
+			t.Fatalf("drain: %v", err)
+		}
+		r.Reset()
+		if again, _ := drainEvents(r); len(again) != s.Len() {
+			t.Fatalf("reset reader yielded %d events, want %d", len(again), s.Len())
+		}
+		if a, b := s.Checksum(), p.View(s.Len()).Checksum(); a != b {
+			t.Fatalf("checksum not deterministic: %#x != %#x", a, b)
+		}
+
+		prefix := p.eventsForConds(conds)
+		if prefix < 0 || prefix > p.Len() {
+			t.Fatalf("eventsForConds(%d) = %d out of [0,%d]", conds, prefix, p.Len())
+		}
+		var seen uint64
+		for i := 0; i < prefix; i++ {
+			e := p.View(prefix).At(i)
+			if !e.Trap && e.Branch.Class == Cond {
+				seen++
+			}
+		}
+		if seen > conds {
+			t.Fatalf("prefix %d covers %d conds, budget was %d", prefix, seen, conds)
+		}
+		if uint64(p.Conds()) >= conds && seen != conds {
+			t.Fatalf("store holds %d conds but prefix covers only %d of %d", p.Conds(), seen, conds)
+		}
+	})
+}

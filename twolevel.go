@@ -24,6 +24,18 @@
 //     (NewHotBranches, NewIntervalSeries, NewRunStats), or collect a
 //     metrics document across experiments (ExperimentTelemetry).
 //
+// # Errors and panics
+//
+// Every exported constructor and runner in this package returns errors
+// for invalid input — malformed spec strings, out-of-range configuration
+// fields, broken trace streams — and never panics on caller mistakes.
+// Internal packages reserve panics for programmer errors (reaching one
+// through this API is a bug in the repository). The experiment pipeline
+// extends the contract to runtime faults: grid failures come back as
+// attributed ExperimentCellError values, recovered panics included, and
+// runs are cancellable via ExperimentOptions.Context /
+// SimOptions.Context. See EXPERIMENTS.md, "Failure semantics".
+//
 // A minimal use:
 //
 //	p, _ := twolevel.NewPredictor("PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))")
@@ -253,6 +265,38 @@ func ExperimentIDs() []string { return experiments.IDs() }
 // of the extension experiments ("ext-gap", "ext-interleave").
 func RunExperiment(id string, opts ExperimentOptions) (*Report, error) {
 	return experiments.Run(id, opts)
+}
+
+// Fault-tolerance vocabulary of the experiment pipeline: attributed
+// failures, panic containment and checkpoint/resume. See the "Failure
+// semantics" section of EXPERIMENTS.md.
+type (
+	// ExperimentGridError aggregates every failed cell of an experiment
+	// grid; it travels alongside the partial report under
+	// ExperimentOptions.KeepGoing.
+	ExperimentGridError = experiments.GridError
+	// ExperimentCellError attributes one failure to its exact
+	// (spec, benchmark) cell.
+	ExperimentCellError = experiments.CellError
+	// ExperimentPanicError is a panic recovered inside a grid worker,
+	// converted into an ordinary attributed error.
+	ExperimentPanicError = experiments.PanicError
+	// ExperimentCheckpoint is a resumable JSON manifest of completed
+	// grid cells; attach one via ExperimentOptions.Checkpoint.
+	ExperimentCheckpoint = experiments.Checkpoint
+)
+
+// ErrExperimentCaptureMismatch reports that a checkpoint manifest was
+// written against a different trace than the one now being generated;
+// the resume refuses rather than mixing results.
+var ErrExperimentCaptureMismatch = experiments.ErrCaptureMismatch
+
+// OpenExperimentCheckpoint opens or creates a checkpoint manifest. A
+// missing file yields an empty checkpoint (a cold run); an existing one
+// restores its completed cells, so a resumed suite skips finished work
+// and reproduces bit-identical output.
+func OpenExperimentCheckpoint(path string) (*ExperimentCheckpoint, error) {
+	return experiments.OpenCheckpoint(path)
 }
 
 // TraceCaptureStats summarises the experiment harness's capture cache:
