@@ -21,6 +21,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) >= 2 {
+		switch os.Args[1] {
+		case "version", "-version", "--version":
+			fmt.Println("brasm", twolevel.ReadBuildInfo())
+			return
+		}
+	}
 	if len(os.Args) < 3 {
 		usage()
 	}
@@ -48,7 +55,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: brasm check|disasm|run <file.s> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: brasm check|disasm|run <file.s> [flags] | brasm version")
 	os.Exit(2)
 }
 

@@ -21,10 +21,16 @@ func main() {
 	var (
 		scheme = flag.String("scheme", "", "predictor specification to cost")
 		fig8   = flag.Bool("fig8", false, "cost the three ~equal-accuracy configurations of Figure 8")
-		sweep  = flag.String("sweep", "", "sweep history length for a variation: GAg, PAg or PAp")
-		kmax   = flag.Int("kmax", 18, "largest history length in -sweep")
+		sweep   = flag.String("sweep", "", "sweep history length for a variation: GAg, PAg or PAp")
+		kmax    = flag.Int("kmax", 18, "largest history length in -sweep")
+		version = flag.Bool("version", false, "print build provenance and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("brcost", twolevel.ReadBuildInfo())
+		return
+	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	defer tw.Flush()

@@ -14,6 +14,17 @@
 //	brexp -exp all -trace-reuse=false # force live interpreter runs
 //	brexp -benchjson BENCH.json      # suite benchmark document
 //	brexp -list                      # show experiment IDs
+//	brexp -version                   # build provenance
+//
+// Observability (see EXPERIMENTS.md, "Forensics & live monitoring"):
+//
+//	brexp -exp fig5 -forensics forensics.json   # mispredict post-mortems
+//	brexp -exp all -listen :8080                # /metrics, /progress, /debug/pprof
+//	brexp -exp all -log-format json -log-level debug  # structured cell logs
+//
+// With both -listen and -metrics set, the final /metrics scrape is saved
+// next to the metrics document as <metrics>.prom; its counters agree
+// exactly with the document's monitor section.
 //
 // Fault tolerance (see EXPERIMENTS.md, "Failure semantics"):
 //
@@ -33,6 +44,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -74,8 +88,23 @@ func run() error {
 		retries    = flag.Int("retries", 0, "retry budget per grid cell for transient failures")
 		backoff    = flag.Duration("retry-backoff", 50*time.Millisecond, "wait before the first retry, doubled per attempt")
 		resume     = flag.String("resume", "", "checkpoint manifest path: completed cells are recorded there and restored on re-run")
+		forensics  = flag.String("forensics", "", "write a mispredict-forensics document (forensics.json) to this file")
+		forensicsK = flag.Int("forensics-top", 8, "top-K hard-to-predict branches per run in the forensics document")
+		listen     = flag.String("listen", "", "serve live monitoring on this address while the run executes (/metrics, /progress, /debug/pprof)")
+		logFormat  = flag.String("log-format", "text", "log encoding: text or json")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		version    = flag.Bool("version", false, "print build provenance and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("brexp", twolevel.ReadBuildInfo())
+		return nil
+	}
+	log, err := twolevel.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -113,6 +142,26 @@ func run() error {
 		KeepGoing:         *keepGoing,
 		Retries:           *retries,
 		RetryBackoff:      *backoff,
+		Logger:            log,
+	}
+
+	// -listen serves the live monitoring endpoints for the whole run; the
+	// monitor's final snapshot lands in the metrics document so the last
+	// scrape and metrics.json agree.
+	var monitor *twolevel.ExperimentMonitor
+	var monitorAddr string
+	if *listen != "" {
+		monitor = twolevel.NewExperimentMonitor()
+		opts.Monitor = monitor
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		monitorAddr = ln.Addr().String()
+		srv := &http.Server{Handler: monitor.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		log.Info("monitoring", "addr", monitorAddr)
 	}
 	if *resume != "" {
 		ck, err := twolevel.OpenExperimentCheckpoint(*resume)
@@ -138,18 +187,26 @@ func run() error {
 			opts.Benchmarks = append(opts.Benchmarks, b)
 		}
 	}
-	if *metrics != "" {
-		iv := *interval
-		if iv == 0 {
-			budget := *branches
-			if budget == 0 {
-				budget = twolevel.DefaultExperimentBranches
+	if *metrics != "" || *forensics != "" {
+		tel := &twolevel.ExperimentTelemetry{}
+		if *metrics != "" {
+			iv := *interval
+			if iv == 0 {
+				budget := *branches
+				if budget == 0 {
+					budget = twolevel.DefaultExperimentBranches
+				}
+				if iv = budget / 20; iv == 0 {
+					iv = 1
+				}
 			}
-			if iv = budget / 20; iv == 0 {
-				iv = 1
-			}
+			tel.HotK = *hotK
+			tel.Interval = iv
 		}
-		opts.Telemetry = &twolevel.ExperimentTelemetry{HotK: *hotK, Interval: iv}
+		if *forensics != "" {
+			tel.ForensicsTopK = *forensicsK
+		}
+		opts.Telemetry = tel
 	}
 
 	ids := []string{*exp}
@@ -202,17 +259,44 @@ func run() error {
 	}
 
 	if *metrics != "" {
+		doc := opts.Telemetry.Document(reports...)
+		if monitor != nil {
+			snap := monitor.Snapshot()
+			doc.Monitor = &snap
+		}
 		f, err := os.Create(*metrics)
 		if err != nil {
 			return err
 		}
-		if err := opts.Telemetry.Document(reports...).Write(f); err != nil {
+		if err := doc.Write(f); err != nil {
 			f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {
 			return err
 		}
+		// With the monitor serving, save the final /metrics scrape next to
+		// the document; the run is over, so its counters must equal the
+		// document's monitor section (the CI smoke check diffs the two).
+		if monitor != nil {
+			if err := saveScrape("http://"+monitorAddr+"/metrics", *metrics+".prom"); err != nil {
+				return err
+			}
+		}
+	}
+	if *forensics != "" {
+		f, err := os.Create(*forensics)
+		if err != nil {
+			return err
+		}
+		if err := opts.Telemetry.ForensicsDocument().Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		log.Debug("forensics written", "path", *forensics, "runs", len(opts.Telemetry.ForensicsRuns()))
 	}
 
 	if *memProf != "" {
@@ -234,6 +318,28 @@ func run() error {
 		return fmt.Errorf("%d of %d experiments incomplete", len(failures), len(ids))
 	}
 	return nil
+}
+
+// saveScrape GETs url and writes the body to path — the final /metrics
+// scrape preserved beside metrics.json.
+func saveScrape(url, path string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape %s: status %s", url, resp.Status)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, resp.Body); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // suiteBench is the full-suite section of the benchmark document.

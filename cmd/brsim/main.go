@@ -11,6 +11,7 @@
 //	                                             # batched: one decode pass feeds both
 //	brsim -scheme AlwaysTaken -trace trace.bin   # simulate from a trace file
 //	brsim -bench gcc -hot 10                     # worst-predicted branches
+//	brsim -bench gcc -explain 0x1a2c             # why does this branch mispredict?
 //	brsim -bench gcc -metrics run.json -interval 5000
 //	brsim -j 4                                   # run benchmarks in parallel
 package main
@@ -24,6 +25,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -67,8 +69,29 @@ func run() error {
 		workersN   = flag.Int("j", 0, "benchmarks simulated in parallel (0 = GOMAXPROCS)")
 		traceReuse = flag.Bool("trace-reuse", true, "capture each training trace once and replay it for every training-based scheme")
 		timeout    = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
+		explainPC  = flag.String("explain", "", "diagnose why this branch PC (hex or decimal) mispredicts: attach a forensics observer and print a post-mortem per run")
+		logFormat  = flag.String("log-format", "text", "log encoding: text or json")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		version    = flag.Bool("version", false, "print build provenance and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("brsim", twolevel.ReadBuildInfo())
+		return nil
+	}
+	log, err := twolevel.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	var explain uint32
+	if *explainPC != "" {
+		pc, err := strconv.ParseUint(*explainPC, 0, 32)
+		if err != nil {
+			return fmt.Errorf("-explain: %w", err)
+		}
+		explain = uint32(pc)
+	}
 
 	// Ctrl-C / SIGTERM (and -timeout) cancel every simulation promptly;
 	// the simulator polls the context off the hot path.
@@ -107,39 +130,42 @@ func run() error {
 		defer pprof.StopCPUProfile()
 	}
 
-	// instrument attaches the requested observers for one run.
-	instrument := func(o twolevel.SimOptions) (*twolevel.RunStats, *twolevel.HotBranches, *twolevel.IntervalSeries, twolevel.SimOptions) {
-		var (
-			rs  *twolevel.RunStats
-			hot *twolevel.HotBranches
-			iv  *twolevel.IntervalSeries
-			obs []twolevel.Observer
-		)
-		if *metrics != "" {
-			rs = twolevel.NewRunStats()
-			obs = append(obs, rs)
-		}
-		if *hotK > 0 {
-			hot = twolevel.NewHotBranches(*hotK)
-			obs = append(obs, hot)
-		}
-		if *interval > 0 {
-			iv = twolevel.NewIntervalSeries(*interval)
-			obs = append(obs, iv)
-		}
-		o.Observer = twolevel.MultiObserver(obs...)
-		return rs, hot, iv, o
-	}
-
 	// schemeOut is one (scheme, source) run's harvest; done folds it into
-	// the metrics document and prints the hot table.
+	// the metrics document and prints the hot table and explanation.
 	type schemeOut struct {
 		res twolevel.SimResult
 		rs  *twolevel.RunStats
 		hot *twolevel.HotBranches
 		iv  *twolevel.IntervalSeries
+		fo  *twolevel.Forensics
 	}
+
+	// instrument attaches the requested observers for one run.
+	instrument := func(o twolevel.SimOptions) (schemeOut, twolevel.SimOptions) {
+		var out schemeOut
+		var obs []twolevel.Observer
+		if *metrics != "" {
+			out.rs = twolevel.NewRunStats()
+			obs = append(obs, out.rs)
+		}
+		if *hotK > 0 {
+			out.hot = twolevel.NewHotBranches(*hotK)
+			obs = append(obs, out.hot)
+		}
+		if *interval > 0 {
+			out.iv = twolevel.NewIntervalSeries(*interval)
+			obs = append(obs, out.iv)
+		}
+		if *explainPC != "" {
+			out.fo = twolevel.NewForensics(twolevel.ForensicsConfig{Budget: *branches})
+			obs = append(obs, out.fo)
+		}
+		o.Observer = twolevel.MultiObserver(obs...)
+		return out, o
+	}
+
 	var doc twolevel.MetricsDocument
+	doc.Version = twolevel.ReadBuildInfo()
 	done := func(sp twolevel.Spec, name string, out schemeOut) {
 		if out.rs != nil {
 			rm := twolevel.ExperimentRunMetrics{
@@ -164,6 +190,11 @@ func run() error {
 		if out.hot != nil {
 			printHot(name, out.hot)
 		}
+		if out.fo != nil {
+			printExplanation(sp.String(), name, explain, out.fo)
+		}
+		log.Debug("run done", "scheme", sp.String(), "bench", name,
+			"accuracy", out.res.Accuracy.Rate(), "instructions", out.res.Instructions)
 	}
 
 	// runBatch builds one predictor per scheme (training as needed via
@@ -195,7 +226,7 @@ func run() error {
 				PipelineDepth:   *pipeline,
 				Context:         ctx,
 			}
-			outs[i].rs, outs[i].hot, outs[i].iv, o = instrument(o)
+			outs[i], o = instrument(o)
 			optsList[i] = o
 		}
 		results, err := twolevel.SimulateMany(preds, src, optsList)
@@ -340,6 +371,18 @@ func run() error {
 		return err
 	}
 	return finish(*metrics, *memProf, &doc)
+}
+
+// printExplanation renders the -explain post-mortem for one run: the
+// branch's forensic profile diagnosed into a verdict with evidence.
+func printExplanation(scheme, name string, pc uint32, fo *twolevel.Forensics) {
+	fmt.Printf("explain %s on %s:\n", scheme, name)
+	p, ok := fo.Lookup(pc)
+	if !ok {
+		fmt.Printf("branch %#x never resolved in this run\n", pc)
+		return
+	}
+	fmt.Println(twolevel.ExplainBranch(p))
 }
 
 // printHot renders one run's hot-branch table.

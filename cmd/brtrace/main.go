@@ -28,13 +28,15 @@ func main() {
 		dump(os.Args[2:])
 	case "stats":
 		stats(os.Args[2:])
+	case "version", "-version", "--version":
+		fmt.Println("brtrace", twolevel.ReadBuildInfo())
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: brtrace gen|dump|stats [flags]")
+	fmt.Fprintln(os.Stderr, "usage: brtrace gen|dump|stats|version [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"twolevel/internal/telemetry"
+)
+
+// Verdict classifies why a static branch mispredicts, derived from its
+// forensic profile.
+type Verdict uint8
+
+// Explain verdicts.
+const (
+	// WellPredicted: the branch barely misses; nothing to fix.
+	WellPredicted Verdict = iota
+	// WarmupDominated: most misses fall in the warmup window — the
+	// predictor learns the branch and then holds it.
+	WarmupDominated
+	// DiffuseHistory: misses are spread across many history patterns
+	// with no single pattern dominating; the shadow history is too
+	// short (or the branch data-dependent) to separate the behaviours.
+	DiffuseHistory
+	// InherentlyVariable: the dominant miss pattern sees both outcomes
+	// at comparable rates — the branch is genuinely variable at that
+	// history and no pattern-indexed counter can learn it.
+	InherentlyVariable
+	// AutomatonThrash: the dominant miss pattern is strongly biased yet
+	// still misses — outcome runs flip the saturating counter back and
+	// forth through its weak states.
+	AutomatonThrash
+
+	numVerdicts
+)
+
+// NumVerdicts is the number of verdicts.
+const NumVerdicts = int(numVerdicts)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case WellPredicted:
+		return "well-predicted"
+	case WarmupDominated:
+		return "warmup-dominated"
+	case DiffuseHistory:
+		return "diffuse-history"
+	case InherentlyVariable:
+		return "inherently-variable"
+	case AutomatonThrash:
+		return "automaton-thrash"
+	default:
+		return fmt.Sprintf("Verdict(%d)", uint8(v))
+	}
+}
+
+// Explain classification thresholds.
+const (
+	// wellPredictedMissRate is the miss rate below which a branch is not
+	// worth explaining.
+	wellPredictedMissRate = 0.01
+	// diffuseDominantShare: when the dominant pattern carries less than
+	// this share of the branch's misses, no pattern dominates.
+	diffuseDominantShare = 0.25
+	// variableLow/variableHigh bound the taken rate under the dominant
+	// pattern that marks a branch as inherently variable there.
+	variableLow  = 0.25
+	variableHigh = 0.75
+)
+
+// Explanation is the human-readable answer to "why does this branch
+// miss?", built from a forensic profile.
+type Explanation struct {
+	// PC is the branch address.
+	PC uint32
+	// Verdict is the classified cause.
+	Verdict Verdict
+	// Summary is the one-line verdict prose.
+	Summary string
+	// Evidence lists the supporting facts, one per line.
+	Evidence []string
+}
+
+// Explain classifies a branch's forensic profile into a verdict with
+// supporting evidence. The profile comes from telemetry.Forensics
+// (Lookup or a report's TopOffenders row).
+func Explain(p telemetry.PCForensics) Explanation {
+	e := Explanation{PC: p.PC}
+	missRate := 0.0
+	if p.Executions > 0 {
+		missRate = float64(p.Mispredicts) / float64(p.Executions)
+	}
+	dominantShare := 0.0
+	if p.Mispredicts > 0 {
+		dominantShare = float64(p.DominantPatternMisses) / float64(p.Mispredicts)
+	}
+	var dominant telemetry.PatternStat
+	if p.DominantPattern != "" && len(p.Patterns) > 0 {
+		dominant = p.Patterns[0]
+	}
+
+	e.Evidence = append(e.Evidence,
+		fmt.Sprintf("executed %d times, missed %d (%.2f%%), taken %.1f%% of the time",
+			p.Executions, p.Mispredicts, missRate*100, p.TakenRate*100),
+		fmt.Sprintf("history entropy %.2f bits over %d patterns seen",
+			p.HistoryEntropyBits, p.PatternsSeen),
+	)
+	if p.DominantPattern != "" {
+		e.Evidence = append(e.Evidence,
+			fmt.Sprintf("dominant miss pattern %s: %d of %d misses (%.0f%%), taken %.1f%% under it",
+				p.DominantPattern, p.DominantPatternMisses, p.Mispredicts,
+				dominantShare*100, dominant.TakenRate()*100))
+	}
+	if p.WarmupMisses+p.SteadyMisses > 0 {
+		e.Evidence = append(e.Evidence,
+			fmt.Sprintf("warmup/steady miss split %d/%d", p.WarmupMisses, p.SteadyMisses))
+	}
+
+	switch {
+	case p.Mispredicts == 0 || missRate < wellPredictedMissRate:
+		e.Verdict = WellPredicted
+		e.Summary = fmt.Sprintf("branch %#x is well predicted (%.2f%% miss rate); no dominant miss pattern worth chasing",
+			p.PC, missRate*100)
+	case p.WarmupMisses > p.SteadyMisses:
+		e.Verdict = WarmupDominated
+		e.Summary = fmt.Sprintf("branch %#x misses mostly during warmup (%d of %d misses in the warmup window); steady-state behaviour is learned",
+			p.PC, p.WarmupMisses, p.Mispredicts)
+	case dominantShare < diffuseDominantShare:
+		e.Verdict = DiffuseHistory
+		e.Summary = fmt.Sprintf("branch %#x has no dominant miss pattern: its worst pattern carries only %.0f%% of misses across %d patterns (entropy %.2f bits) — history does not separate its behaviours",
+			p.PC, dominantShare*100, p.PatternsSeen, p.HistoryEntropyBits)
+	case dominant.TakenRate() >= variableLow && dominant.TakenRate() <= variableHigh:
+		e.Verdict = InherentlyVariable
+		e.Summary = fmt.Sprintf("branch %#x is inherently variable under its dominant miss pattern %s (taken %.1f%% there, %d misses) — no pattern-indexed counter can learn it",
+			p.PC, p.DominantPattern, dominant.TakenRate()*100, p.DominantPatternMisses)
+	default:
+		e.Verdict = AutomatonThrash
+		e.Summary = fmt.Sprintf("branch %#x thrashes the automaton under its dominant miss pattern %s: the pattern is biased (taken %.1f%%) yet carries %d misses — outcome runs keep flipping the counter through its weak states",
+			p.PC, p.DominantPattern, dominant.TakenRate()*100, p.DominantPatternMisses)
+	}
+	return e
+}
+
+// String renders the explanation for terminal output.
+func (e Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "branch %#x: %s\n", e.PC, e.Verdict)
+	fmt.Fprintf(&b, "  %s\n", e.Summary)
+	for _, ev := range e.Evidence {
+		fmt.Fprintf(&b, "  - %s\n", ev)
+	}
+	return b.String()
+}

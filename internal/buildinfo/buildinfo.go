@@ -1,0 +1,76 @@
+// Package buildinfo stamps the repository's binaries and machine-readable
+// documents with build provenance: the module version and the VCS revision
+// baked into the binary by the Go toolchain. All five cmd/* binaries print
+// it under -version, and metrics.json / forensics.json carry it in their
+// headers so a document can always be traced back to the build that wrote
+// it.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build provenance of the running binary.
+type Info struct {
+	// Module is the main module path ("twolevel").
+	Module string `json:"module"`
+	// Version is the module version ("(devel)" for source builds).
+	Version string `json:"version"`
+	// Revision is the VCS revision the binary was built from, empty when
+	// the build carried no VCS metadata (e.g. go test binaries).
+	Revision string `json:"revision,omitempty"`
+	// Dirty marks a build from a modified working tree.
+	Dirty bool `json:"dirty,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// read is the ReadBuildInfo seam; tests replace it to exercise the
+// no-metadata path.
+var read = debug.ReadBuildInfo
+
+// Read returns the binary's build provenance. It never fails: a binary
+// without embedded build info yields an Info with only GoVersion set.
+func Read() Info {
+	info := Info{GoVersion: runtime.Version()}
+	bi, ok := read()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	info.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the provenance as the one-line -version output, e.g.
+// "twolevel (devel) rev 13c7fc2… (go1.22.0)".
+func (i Info) String() string {
+	s := i.Module
+	if s == "" {
+		s = "twolevel"
+	}
+	if i.Version != "" {
+		s += " " + i.Version
+	}
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if i.Dirty {
+			s += " (dirty)"
+		}
+	}
+	return fmt.Sprintf("%s (%s)", s, i.GoVersion)
+}

@@ -1,0 +1,60 @@
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestReadAlwaysYieldsGoVersion(t *testing.T) {
+	info := Read()
+	if info.GoVersion != runtime.Version() {
+		t.Fatalf("GoVersion = %q, want %q", info.GoVersion, runtime.Version())
+	}
+	if !strings.Contains(info.String(), info.GoVersion) {
+		t.Errorf("String() = %q missing go version", info.String())
+	}
+}
+
+func TestReadWithoutBuildInfo(t *testing.T) {
+	old := read
+	defer func() { read = old }()
+	read = func() (*debug.BuildInfo, bool) { return nil, false }
+
+	info := Read()
+	if info.Module != "" || info.Revision != "" {
+		t.Fatalf("no-metadata build yielded %+v", info)
+	}
+	if got := info.String(); !strings.HasPrefix(got, "twolevel (") {
+		t.Errorf("String() = %q, want fallback module name", got)
+	}
+}
+
+func TestStringTruncatesRevisionAndMarksDirty(t *testing.T) {
+	old := read
+	defer func() { read = old }()
+	read = func() (*debug.BuildInfo, bool) {
+		return &debug.BuildInfo{
+			Main: debug.Module{Path: "twolevel", Version: "v1.2.3"},
+			Settings: []debug.BuildSetting{
+				{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+				{Key: "vcs.modified", Value: "true"},
+			},
+		}, true
+	}
+
+	info := Read()
+	if !info.Dirty {
+		t.Fatal("vcs.modified=true not reflected")
+	}
+	s := info.String()
+	for _, want := range []string{"twolevel v1.2.3", "rev 0123456789ab", "(dirty)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "0123456789abc") {
+		t.Errorf("String() = %q: revision not truncated to 12 chars", s)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"runtime"
 	"sort"
@@ -21,6 +22,7 @@ import (
 
 	"twolevel/internal/asm"
 	"twolevel/internal/cpu"
+	"twolevel/internal/logx"
 	"twolevel/internal/predictor"
 	"twolevel/internal/prog"
 	"twolevel/internal/sim"
@@ -82,6 +84,17 @@ type Options struct {
 	// fresh runs (the simulator is deterministic), so a resumed suite
 	// renders byte-identical reports. See OpenCheckpoint.
 	Checkpoint *Checkpoint
+	// Logger, when non-nil, receives the scheduler's structured log
+	// events: per-cell completions (debug), retries and batch-isolation
+	// fallbacks (warn), cell failures (error), checkpoint flushes and
+	// restores (debug). Nil discards them.
+	Logger *slog.Logger
+	// Monitor, when non-nil, is updated live as the grid executes —
+	// cells planned/done/restored/failed/retried, batch fallbacks,
+	// checkpoint flushes, simulator events and per-worker state — and
+	// backs the /metrics, /progress and /debug/pprof endpoints served by
+	// brexp -listen.
+	Monitor *Monitor
 
 	// openSource, when non-nil, replaces the live interpreter source
 	// constructor — the fault-injection seam the chaos tests use. It
@@ -279,12 +292,16 @@ func (o Options) source(b *prog.Benchmark, ds prog.DataSet, n uint64) (trace.Sou
 		return o.liveSource(b, ds)
 	}
 	key := b.Name + "\x00" + ds.Name
-	snap, err := captureCache.Capture(o.Context, key, n, func() (trace.Source, error) {
+	snap, hit, err := captureCache.CaptureWithStatus(o.Context, key, n, func() (trace.Source, error) {
 		return o.liveSource(b, ds)
 	})
 	if err != nil {
+		logx.Or(o.Logger).Warn("trace capture failed",
+			"bench", b.Name, "dataset", ds.Name, "conds", n, "err", err)
 		return nil, err
 	}
+	logx.Or(o.Logger).Debug("trace capture",
+		"bench", b.Name, "dataset", ds.Name, "conds", n, "hit", hit, "events", snap.Len())
 	if o.Checkpoint != nil {
 		if err := o.Checkpoint.verifyCapture(captureKey(b.Name, ds.Name, n), snap.Checksum()); err != nil {
 			return nil, err
@@ -364,7 +381,7 @@ func runSpec(sp spec.Spec, b *prog.Benchmark, o Options) (sim.Result, error) {
 	}
 	var record recordFunc
 	if o.Telemetry != nil {
-		simOpts.Observer, record = o.Telemetry.instrument()
+		simOpts.Observer, record = o.Telemetry.instrument(o.CondBranches)
 	}
 	if o.cellObserver != nil {
 		if extra := o.cellObserver(sp, b); extra != nil {

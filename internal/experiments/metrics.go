@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -70,12 +71,32 @@ type Telemetry struct {
 	// Interval, when positive, samples accuracy every Interval resolved
 	// conditional branches for every run.
 	Interval uint64
+	// ForensicsTopK, when positive, attaches a mispredict-forensics
+	// observer (flight recorder + H2P profiles) to every run; the
+	// resulting per-run reports are collected for ForensicsDocument.
+	ForensicsTopK int
+	// ForensicsHistoryBits overrides the forensic shadow history length
+	// (default per telemetry.ForensicsConfig).
+	ForensicsHistoryBits int
 
 	mu          sync.Mutex
 	current     string // experiment ID runs are stamped with
 	runsAtBegin int
 	runs        []RunMetrics
 	experiments []ExperimentMetrics
+	forensics   []ForensicsRun
+}
+
+// ForensicsRun is one run's forensics report with its grid coordinates.
+type ForensicsRun struct {
+	// Experiment is the experiment ID the run belongs to (empty for
+	// direct RunSpec calls outside an experiment).
+	Experiment string `json:"experiment,omitempty"`
+	// Spec and Benchmark name the grid cell.
+	Spec      string `json:"spec"`
+	Benchmark string `json:"benchmark"`
+	// Report is the run's forensics report.
+	Report telemetry.ForensicsReport `json:"report"`
 }
 
 // recordFunc lands one completed run in the collector. batch is the
@@ -84,12 +105,15 @@ type Telemetry struct {
 type recordFunc func(sp spec.Spec, b *prog.Benchmark, res sim.Result, batch int)
 
 // instrument returns the observer for one simulation run and the record
-// function to call once the run completed. The record function is nil-safe
-// on the result side but must only be called once.
-func (t *Telemetry) instrument() (telemetry.Observer, recordFunc) {
+// function to call once the run completed. budget is the run's
+// conditional-branch budget; the forensics observer uses it for the
+// warmup-vs-steady miss split. The record function is nil-safe on the
+// result side but must only be called once.
+func (t *Telemetry) instrument(budget uint64) (telemetry.Observer, recordFunc) {
 	rs := telemetry.NewRunStats()
 	var hot *telemetry.HotBranches
 	var iv *telemetry.IntervalSeries
+	var fo *telemetry.Forensics
 	obs := []telemetry.Observer{rs}
 	if t.HotK > 0 {
 		hot = telemetry.NewHotBranches(t.HotK)
@@ -98,6 +122,14 @@ func (t *Telemetry) instrument() (telemetry.Observer, recordFunc) {
 	if t.Interval > 0 {
 		iv = telemetry.NewIntervalSeries(t.Interval)
 		obs = append(obs, iv)
+	}
+	if t.ForensicsTopK > 0 {
+		fo = telemetry.NewForensics(telemetry.ForensicsConfig{
+			TopK:        t.ForensicsTopK,
+			HistoryBits: t.ForensicsHistoryBits,
+			Budget:      budget,
+		})
+		obs = append(obs, fo)
 	}
 	record := func(sp spec.Spec, b *prog.Benchmark, res sim.Result, batch int) {
 		rm := RunMetrics{
@@ -120,9 +152,37 @@ func (t *Telemetry) instrument() (telemetry.Observer, recordFunc) {
 		t.mu.Lock()
 		rm.Experiment = t.current
 		t.runs = append(t.runs, rm)
+		if fo != nil {
+			t.forensics = append(t.forensics, ForensicsRun{
+				Experiment: t.current,
+				Spec:       rm.Spec,
+				Benchmark:  rm.Benchmark,
+				Report:     fo.Report(),
+			})
+		}
 		t.mu.Unlock()
 	}
 	return telemetry.Multi(obs...), record
+}
+
+// ForensicsRuns returns the recorded per-run forensics reports, sorted by
+// (experiment, spec, benchmark) so the collection is deterministic no
+// matter how the grid's workers interleaved.
+func (t *Telemetry) ForensicsRuns() []ForensicsRun {
+	t.mu.Lock()
+	out := append([]ForensicsRun(nil), t.forensics...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.Spec != b.Spec {
+			return a.Spec < b.Spec
+		}
+		return a.Benchmark < b.Benchmark
+	})
+	return out
 }
 
 // beginExperiment stamps subsequent runs with the experiment ID and

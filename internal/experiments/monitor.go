@@ -1,0 +1,282 @@
+// Live grid monitoring: a Monitor is a set of atomic counters the grid
+// scheduler bumps as cells complete, plus the HTTP surface that exposes
+// them while a suite runs — /metrics in Prometheus text format, /progress
+// as a JSON snapshot with an ETA, and /debug/pprof for attaching a
+// profiler mid-run. Attach one via Options.Monitor and serve Handler();
+// brexp wires both behind its -listen flag.
+//
+// The counters are lock-free on the update path (the scheduler's workers
+// never contend on a mutex to report progress); only the worker-state
+// table takes a short lock, off the simulation hot loop.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twolevel/internal/sim"
+	"twolevel/internal/trace"
+)
+
+// Monitor accumulates live progress counters for grid runs. The zero
+// value is not usable; construct with NewMonitor. A nil *Monitor is a
+// valid no-op receiver, so the scheduler updates it unconditionally.
+type Monitor struct {
+	start time.Time
+
+	cellsPlanned      atomic.Uint64
+	cellsDone         atomic.Uint64
+	cellsRestored     atomic.Uint64
+	cellsFailed       atomic.Uint64
+	cellsRetried      atomic.Uint64
+	batchFallbacks    atomic.Uint64
+	checkpointFlushes atomic.Uint64
+	events            atomic.Uint64
+
+	workerMu sync.Mutex
+	workers  []*atomic.Pointer[string]
+}
+
+// NewMonitor returns a monitor with its clock started.
+func NewMonitor() *Monitor { return &Monitor{start: time.Now()} }
+
+// resultEvents is the simulator-event count of one completed run, defined
+// to match exactly what a RunStats observer counts for the same run
+// (predictions incl. repredictions + resolutions + traps + context
+// switches), so the monitor's event total agrees with the per-run Events
+// sums in metrics.json.
+func resultEvents(res sim.Result) uint64 {
+	return 2*res.Accuracy.Predictions + res.Repredictions + res.Traps + res.ContextSwitches
+}
+
+func (m *Monitor) addPlanned(n int) {
+	if m != nil && n > 0 {
+		m.cellsPlanned.Add(uint64(n))
+	}
+}
+
+func (m *Monitor) cellDone(events uint64) {
+	if m != nil {
+		m.cellsDone.Add(1)
+		m.events.Add(events)
+	}
+}
+
+func (m *Monitor) cellRestored() {
+	if m != nil {
+		m.cellsRestored.Add(1)
+	}
+}
+
+func (m *Monitor) cellsFailedAdd(n int) {
+	if m != nil && n > 0 {
+		m.cellsFailed.Add(uint64(n))
+	}
+}
+
+func (m *Monitor) cellRetried() {
+	if m != nil {
+		m.cellsRetried.Add(1)
+	}
+}
+
+func (m *Monitor) batchFallback() {
+	if m != nil {
+		m.batchFallbacks.Add(1)
+	}
+}
+
+func (m *Monitor) checkpointFlush() {
+	if m != nil {
+		m.checkpointFlushes.Add(1)
+	}
+}
+
+// idleState is the worker state outside a task.
+var idleState = "idle"
+
+// workerHandle returns worker w's state cell, growing the table as
+// needed. A nil monitor returns nil; setWorkerState on a nil handle is a
+// no-op, so workers never branch on monitoring being enabled.
+func (m *Monitor) workerHandle(w int) *atomic.Pointer[string] {
+	if m == nil {
+		return nil
+	}
+	m.workerMu.Lock()
+	defer m.workerMu.Unlock()
+	for len(m.workers) <= w {
+		p := &atomic.Pointer[string]{}
+		p.Store(&idleState)
+		m.workers = append(m.workers, p)
+	}
+	return m.workers[w]
+}
+
+// setWorkerState publishes a worker's current activity.
+func setWorkerState(h *atomic.Pointer[string], state string) {
+	if h != nil {
+		h.Store(&state)
+	}
+}
+
+// MonitorSnapshot is a point-in-time view of a Monitor: the /progress
+// payload, and the section of metrics.json the final /metrics scrape is
+// checked against. Counter fields are exact; ElapsedSeconds, EventsPerSec
+// and ETASeconds are derived at snapshot time.
+type MonitorSnapshot struct {
+	// CellsPlanned counts grid cells scheduled so far (restored cells
+	// included); CellsDone counts cells measured to completion,
+	// CellsRestored cells served from a checkpoint without running,
+	// CellsFailed cells that gave up (after retries), CellsRetried
+	// individual retry attempts.
+	CellsPlanned  uint64 `json:"cells_planned"`
+	CellsDone     uint64 `json:"cells_done"`
+	CellsRestored uint64 `json:"cells_restored"`
+	CellsFailed   uint64 `json:"cells_failed"`
+	CellsRetried  uint64 `json:"cells_retried"`
+	// BatchFallbacks counts batched replay passes that failed and fell
+	// back to per-cell isolation; CheckpointFlushes counts manifest
+	// writes.
+	BatchFallbacks    uint64 `json:"batch_fallbacks"`
+	CheckpointFlushes uint64 `json:"checkpoint_flushes"`
+	// Events is the total simulator events across completed cells
+	// (restored cells contribute none — they were not re-simulated).
+	Events uint64 `json:"events"`
+	// ElapsedSeconds is the monitor's age; EventsPerSec is Events over
+	// it. ETASeconds extrapolates the remaining cells from the completed
+	// cell rate, -1 while unknown (nothing completed yet).
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	ETASeconds     float64 `json:"eta_seconds"`
+	// TraceCache is the capture cache's footprint and hit/miss counters.
+	TraceCache trace.CaptureStats `json:"trace_cache"`
+	// Workers is each pool worker's current activity.
+	Workers []string `json:"workers,omitempty"`
+}
+
+// Snapshot captures the monitor's current state.
+func (m *Monitor) Snapshot() MonitorSnapshot {
+	if m == nil {
+		return MonitorSnapshot{ETASeconds: -1}
+	}
+	s := MonitorSnapshot{
+		CellsPlanned:      m.cellsPlanned.Load(),
+		CellsDone:         m.cellsDone.Load(),
+		CellsRestored:     m.cellsRestored.Load(),
+		CellsFailed:       m.cellsFailed.Load(),
+		CellsRetried:      m.cellsRetried.Load(),
+		BatchFallbacks:    m.batchFallbacks.Load(),
+		CheckpointFlushes: m.checkpointFlushes.Load(),
+		Events:            m.events.Load(),
+		ElapsedSeconds:    time.Since(m.start).Seconds(),
+		ETASeconds:        -1,
+		TraceCache:        CaptureCacheStats(),
+	}
+	if s.ElapsedSeconds > 0 {
+		s.EventsPerSec = float64(s.Events) / s.ElapsedSeconds
+	}
+	settled := s.CellsDone + s.CellsRestored + s.CellsFailed
+	if s.CellsDone > 0 && s.CellsPlanned > settled {
+		perCell := s.ElapsedSeconds / float64(s.CellsDone)
+		s.ETASeconds = perCell * float64(s.CellsPlanned-settled)
+	} else if s.CellsPlanned > 0 && s.CellsPlanned == settled {
+		s.ETASeconds = 0
+	}
+	m.workerMu.Lock()
+	for _, p := range m.workers {
+		s.Workers = append(s.Workers, *p.Load())
+	}
+	m.workerMu.Unlock()
+	return s
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format.
+func (s MonitorSnapshot) WritePrometheus(w io.Writer) error {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("twolevel_grid_cells_planned_total", "Grid cells scheduled.", s.CellsPlanned)
+	counter("twolevel_grid_cells_done_total", "Grid cells measured to completion.", s.CellsDone)
+	counter("twolevel_grid_cells_restored_total", "Grid cells restored from a checkpoint.", s.CellsRestored)
+	counter("twolevel_grid_cells_failed_total", "Grid cells that gave up after retries.", s.CellsFailed)
+	counter("twolevel_grid_cells_retried_total", "Individual grid cell retry attempts.", s.CellsRetried)
+	counter("twolevel_grid_batch_fallbacks_total", "Batched replay passes that fell back to per-cell isolation.", s.BatchFallbacks)
+	counter("twolevel_grid_checkpoint_flushes_total", "Checkpoint manifest writes.", s.CheckpointFlushes)
+	counter("twolevel_sim_events_total", "Simulator events across completed cells.", s.Events)
+	gauge("twolevel_sim_events_per_second", "Simulator event throughput since the monitor started.", s.EventsPerSec)
+	gauge("twolevel_elapsed_seconds", "Seconds since the monitor started.", s.ElapsedSeconds)
+	gauge("twolevel_eta_seconds", "Estimated seconds to finish the planned cells (-1 unknown).", s.ETASeconds)
+	counter("twolevel_trace_cache_hits_total", "Capture cache requests served from stored events.", s.TraceCache.Hits)
+	counter("twolevel_trace_cache_misses_total", "Capture cache requests that opened or extended a capture.", s.TraceCache.Misses)
+	gauge("twolevel_trace_cache_hit_ratio", "Capture cache hit ratio.", s.TraceCache.HitRatio())
+	gauge("twolevel_trace_cache_entries", "Captured streams resident.", float64(s.TraceCache.Entries))
+	gauge("twolevel_trace_cache_bytes", "Approximate heap bytes held by captures.", float64(s.TraceCache.Bytes))
+	// Worker states as one labelled gauge; states are free-form, so each
+	// worker exports its current state string as a label.
+	fmt.Fprintf(w, "# HELP twolevel_worker_state Per-worker activity (value always 1; state in the label).\n# TYPE twolevel_worker_state gauge\n")
+	for i, st := range s.Workers {
+		fmt.Fprintf(w, "twolevel_worker_state{worker=%q,state=%q} 1\n", fmt.Sprint(i), st)
+	}
+	return nil
+}
+
+// PrometheusCounters returns the snapshot's counter series (name ->
+// value) exactly as WritePrometheus exposes them — the set the CI smoke
+// check diffs against metrics.json.
+func (s MonitorSnapshot) PrometheusCounters() map[string]uint64 {
+	return map[string]uint64{
+		"twolevel_grid_cells_planned_total":      s.CellsPlanned,
+		"twolevel_grid_cells_done_total":         s.CellsDone,
+		"twolevel_grid_cells_restored_total":     s.CellsRestored,
+		"twolevel_grid_cells_failed_total":       s.CellsFailed,
+		"twolevel_grid_cells_retried_total":      s.CellsRetried,
+		"twolevel_grid_batch_fallbacks_total":    s.BatchFallbacks,
+		"twolevel_grid_checkpoint_flushes_total": s.CheckpointFlushes,
+		"twolevel_sim_events_total":              s.Events,
+		"twolevel_trace_cache_hits_total":        s.TraceCache.Hits,
+		"twolevel_trace_cache_misses_total":      s.TraceCache.Misses,
+	}
+}
+
+// CounterNames returns the counter series names in stable order.
+func (s MonitorSnapshot) CounterNames() []string {
+	names := make([]string, 0, len(s.PrometheusCounters()))
+	for name := range s.PrometheusCounters() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Handler returns the monitoring mux: /metrics (Prometheus text),
+// /progress (JSON MonitorSnapshot) and /debug/pprof/*.
+func (m *Monitor) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(m.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

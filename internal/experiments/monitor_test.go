@@ -1,0 +1,208 @@
+package experiments
+
+// Monitor suite: the live-monitoring contract. The grid scheduler feeds a
+// Monitor's atomic counters; /metrics (Prometheus text), /progress (JSON)
+// and /debug/pprof serve them; and the final /metrics scrape must agree
+// exactly with the monitor section of the metrics.json written at exit.
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestNilMonitorIsNoop(t *testing.T) {
+	var m *Monitor
+	m.addPlanned(3)
+	m.cellDone(10)
+	m.cellRestored()
+	m.cellsFailedAdd(1)
+	m.cellRetried()
+	m.batchFallback()
+	m.checkpointFlush()
+	setWorkerState(m.workerHandle(0), "busy")
+	if s := m.Snapshot(); s.CellsDone != 0 || s.ETASeconds != -1 {
+		t.Fatalf("nil monitor snapshot = %+v", s)
+	}
+}
+
+func TestMonitorSnapshotETA(t *testing.T) {
+	m := NewMonitor()
+	m.addPlanned(4)
+	if eta := m.Snapshot().ETASeconds; eta != -1 {
+		t.Fatalf("ETA with nothing done = %v, want -1", eta)
+	}
+	m.cellDone(100)
+	m.cellDone(100)
+	s := m.Snapshot()
+	if s.ETASeconds < 0 {
+		t.Fatalf("ETA with half the grid done = %v, want >= 0", s.ETASeconds)
+	}
+	m.cellDone(100)
+	m.cellsFailedAdd(1)
+	if eta := m.Snapshot().ETASeconds; eta != 0 {
+		t.Fatalf("ETA with every cell settled = %v, want 0", eta)
+	}
+}
+
+// scrapeCounters GETs /metrics and returns every non-comment series that
+// carries no labels, name -> value.
+func scrapeCounters(t *testing.T, url string) map[string]uint64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	out := map[string]uint64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			continue // gauges may be fractional; counters never are
+		}
+		out[fields[0]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestMonitorEndToEndMetricsAgree is the acceptance e2e: run a grid with
+// the monitor attached, serve the monitoring endpoints, and require the
+// final /metrics scrape to equal the monitor section of the metrics
+// document written at exit — and the monitor's event total to equal the
+// sum of per-run Events in that same document.
+func TestMonitorEndToEndMetricsAgree(t *testing.T) {
+	benchmarks := chaosBenchmarks("alpha", "beta")
+	o := chaosOptions(benchmarks)
+	o.Monitor = NewMonitor()
+	o.Telemetry = &Telemetry{HotK: 4, ForensicsTopK: 4}
+	ResetCaches()
+	t.Cleanup(ResetCaches)
+	if _, err := runGrid(chaosRows, o); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(o.Monitor.Handler())
+	defer srv.Close()
+
+	scraped := scrapeCounters(t, srv.URL)
+	doc := o.Telemetry.Document()
+	snap := o.Monitor.Snapshot()
+	doc.Monitor = &snap
+
+	want := doc.Monitor.PrometheusCounters()
+	for name, v := range want {
+		got, ok := scraped[name]
+		if !ok {
+			t.Errorf("final /metrics missing %s", name)
+			continue
+		}
+		if got != v {
+			t.Errorf("%s: /metrics %d != metrics.json %d", name, got, v)
+		}
+	}
+
+	// The grid ran 2 specs x 2 benchmarks with no checkpoint: all 4
+	// cells measured, none restored or failed.
+	if snap.CellsPlanned != 4 || snap.CellsDone != 4 || snap.CellsFailed != 0 || snap.CellsRestored != 0 {
+		t.Fatalf("cells = %+v", snap)
+	}
+	// The monitor's event total must match what the per-run RunStats
+	// observers counted — the two count the same thing by different
+	// routes.
+	var runEvents uint64
+	for _, r := range doc.Runs {
+		runEvents += r.Stats.Events
+	}
+	if snap.Events == 0 || snap.Events != runEvents {
+		t.Fatalf("monitor events %d != summed run events %d", snap.Events, runEvents)
+	}
+	// Forensics rode along: one report per run, deterministic order.
+	fdoc := o.Telemetry.ForensicsDocument()
+	if len(fdoc.Runs) != 4 {
+		t.Fatalf("forensics runs = %d, want 4", len(fdoc.Runs))
+	}
+
+	// /progress decodes to the same snapshot type with the same counters.
+	resp, err := http.Get(srv.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var prog MonitorSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&prog); err != nil {
+		t.Fatal(err)
+	}
+	if prog.CellsDone != snap.CellsDone || prog.Events != snap.Events {
+		t.Fatalf("/progress %+v disagrees with snapshot %+v", prog, snap)
+	}
+	if prog.ETASeconds != 0 {
+		t.Errorf("ETA after completion = %v, want 0", prog.ETASeconds)
+	}
+
+	// pprof is mounted.
+	pp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", pp.StatusCode)
+	}
+}
+
+// TestMonitorCountsRestoredAndRetried drives the checkpoint-restore and
+// retry paths and checks the counters the e2e happy path never touches.
+func TestMonitorCountsRestoredAndRetried(t *testing.T) {
+	benchmarks := chaosBenchmarks("gamma")
+	dir := t.TempDir()
+	run := func(m *Monitor) {
+		cp, err := OpenCheckpoint(dir + "/cells.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := chaosOptions(benchmarks)
+		o.Monitor = m
+		o.Checkpoint = cp
+		ResetCaches()
+		if _, err := runGrid(chaosRows, o); err != nil {
+			t.Fatal(err)
+		}
+		if err := cp.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(ResetCaches)
+	m1 := NewMonitor()
+	run(m1)
+	if s := m1.Snapshot(); s.CellsDone != 2 || s.CellsRestored != 0 || s.CheckpointFlushes == 0 {
+		t.Fatalf("cold run: %+v", s)
+	}
+	m2 := NewMonitor()
+	run(m2)
+	s := m2.Snapshot()
+	if s.CellsDone != 0 || s.CellsRestored != 2 {
+		t.Fatalf("resumed run: %+v", s)
+	}
+	if s.Events != 0 {
+		t.Fatalf("restored cells contributed %d events, want 0", s.Events)
+	}
+}

@@ -19,11 +19,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"twolevel/internal/logx"
 	"twolevel/internal/predictor"
 	"twolevel/internal/prog"
 	"twolevel/internal/sim"
@@ -52,6 +54,8 @@ func runGrid(rows []labeledSpec, o Options) ([][]sim.Result, error) {
 	if len(rows) == 0 || len(o.Benchmarks) == 0 {
 		return grid, nil
 	}
+	log := logx.Or(o.Logger)
+	o.Monitor.addPlanned(len(rows) * len(o.Benchmarks))
 	// Restore checkpointed cells; only the remainder is scheduled.
 	pending := make([][]int, len(o.Benchmarks))
 	for bi, b := range o.Benchmarks {
@@ -59,6 +63,8 @@ func runGrid(rows []labeledSpec, o Options) ([][]sim.Result, error) {
 			if o.Checkpoint != nil {
 				if res, ok := o.Checkpoint.lookup(cellKey(row.sp, b, o)); ok {
 					grid[ri][bi] = res
+					o.Monitor.cellRestored()
+					log.Debug("cell restored from checkpoint", "spec", row.label, "bench", b.Name)
 					continue
 				}
 			}
@@ -85,12 +91,17 @@ func runGrid(rows []labeledSpec, o Options) ([][]sim.Result, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < min(workers, len(tasks)); w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			state := o.Monitor.workerHandle(w)
+			defer setWorkerState(state, "done")
 			for ti := range work {
-				cellErrs[ti] = runTask(tasks[ti], rows, grid, o)
+				t := tasks[ti]
+				setWorkerState(state, fmt.Sprintf("%s (%d rows)", o.Benchmarks[t.bi].Name, len(t.rows)))
+				cellErrs[ti] = runTask(t, rows, grid, o)
 				if len(cellErrs[ti]) > 0 {
 					failed.Store(true)
+					o.Monitor.cellsFailedAdd(len(cellErrs[ti]))
 				}
 				if o.Checkpoint != nil {
 					if err := o.Checkpoint.Flush(); err != nil {
@@ -100,10 +111,15 @@ func runGrid(rows []labeledSpec, o Options) ([][]sim.Result, error) {
 						}
 						flushMu.Unlock()
 						failed.Store(true)
+						log.Error("checkpoint flush failed", "err", err)
+					} else {
+						o.Monitor.checkpointFlush()
+						log.Debug("checkpoint flushed", "bench", o.Benchmarks[t.bi].Name)
 					}
 				}
+				setWorkerState(state, idleState)
 			}
-		}()
+		}(w)
 	}
 	next := 0
 	for ; next < len(tasks); next++ {
@@ -121,10 +137,17 @@ func runGrid(rows []labeledSpec, o Options) ([][]sim.Result, error) {
 	// Cells whose tasks were never dispatched because of cancellation
 	// are failures too — attributed, so resume knows what is missing.
 	if o.Context != nil && o.Context.Err() != nil {
+		undispatched := 0
 		for ti := next; ti < len(tasks); ti++ {
 			if cellErrs[ti] == nil {
 				cellErrs[ti] = cancelErrors(tasks[ti], rows, o.Benchmarks[tasks[ti].bi], o.Context.Err())
+				o.Monitor.cellsFailedAdd(len(cellErrs[ti]))
+				undispatched++
 			}
+		}
+		if undispatched > 0 {
+			log.Warn("grid cancelled before dispatch completed",
+				"undispatched_tasks", undispatched, "err", o.Context.Err())
 		}
 	}
 	var cells []*CellError
@@ -144,6 +167,7 @@ func runGrid(rows []labeledSpec, o Options) ([][]sim.Result, error) {
 // runTask measures one task's rows on its benchmark: batched replay
 // first, with a per-cell isolation fallback when the batch fails.
 func runTask(t gridTask, rows []labeledSpec, grid [][]sim.Result, o Options) []*CellError {
+	log := logx.Or(o.Logger)
 	b := o.Benchmarks[t.bi]
 	if o.Context != nil {
 		if err := o.Context.Err(); err != nil {
@@ -154,11 +178,14 @@ func runTask(t gridTask, rows []labeledSpec, grid [][]sim.Result, o Options) []*
 	for i, ri := range t.rows {
 		batch[i] = rows[ri]
 	}
+	start := time.Now()
 	res, err := runBatchGuarded(batch, b, o)
 	if err == nil {
+		dur := time.Since(start)
 		for i, ri := range t.rows {
 			grid[ri][t.bi] = res[i]
 			recordCell(rows[ri].sp, b, res[i], o)
+			logCellDone(log, rows[ri].label, b, res[i], dur, 1, len(batch))
 		}
 		return nil
 	}
@@ -170,17 +197,38 @@ func runTask(t gridTask, rows []labeledSpec, grid [][]sim.Result, o Options) []*
 	// every sibling in the pass. Re-run each row on its own — with the
 	// retry budget for transient errors — so the failure attributes to
 	// exactly the broken cell and healthy siblings still yield results.
+	log.Warn("batch failed; isolating cells", "bench", b.Name, "rows", len(t.rows), "err", err)
+	o.Monitor.batchFallback()
 	var errs []*CellError
 	for _, ri := range t.rows {
+		start := time.Now()
 		res, attempts, cerr := runCellAttempts(rows[ri], b, o)
 		if cerr != nil {
 			errs = append(errs, &CellError{Spec: rows[ri].label, Benchmark: b.Name, Attempts: attempts, Err: cerr})
+			log.Error("cell failed", "spec", rows[ri].label, "bench", b.Name,
+				"attempt", attempts, "err", cerr)
 			continue
 		}
 		grid[ri][t.bi] = res
 		recordCell(rows[ri].sp, b, res, o)
+		logCellDone(log, rows[ri].label, b, res, time.Since(start), attempts, 1)
 	}
 	return errs
+}
+
+// logCellDone emits the per-cell completion event with the attrs the
+// structured log contract promises: spec, bench, attempt, duration and
+// events/sec. Batched cells share their pass's duration, so their
+// events/sec figure measures the pass, not the cell alone.
+func logCellDone(log *slog.Logger, label string, b *prog.Benchmark, res sim.Result, dur time.Duration, attempt, batch int) {
+	events := resultEvents(res)
+	eps := 0.0
+	if s := dur.Seconds(); s > 0 {
+		eps = float64(events) / s
+	}
+	log.Debug("cell done", "spec", label, "bench", b.Name, "attempt", attempt,
+		"batch", batch, "duration", dur, "events", events, "events_per_sec", eps,
+		"accuracy", res.Accuracy.Rate())
 }
 
 // cancelErrors marks every cell of a task failed with the cancellation
@@ -194,8 +242,9 @@ func cancelErrors(t gridTask, rows []labeledSpec, b *prog.Benchmark, err error) 
 }
 
 // recordCell stores a completed cell in the checkpoint, if one is
-// attached.
+// attached, and lands its event count in the monitor.
 func recordCell(sp spec.Spec, b *prog.Benchmark, res sim.Result, o Options) {
+	o.Monitor.cellDone(resultEvents(res))
 	if o.Checkpoint != nil {
 		o.Checkpoint.record(cellKey(sp, b, o), res)
 	}
@@ -206,6 +255,7 @@ func recordCell(sp spec.Spec, b *prog.Benchmark, res sim.Result, o Options) {
 // checksum mismatches fail immediately. It reports how many attempts
 // were spent for error attribution.
 func runCellAttempts(row labeledSpec, b *prog.Benchmark, o Options) (sim.Result, int, error) {
+	log := logx.Or(o.Logger)
 	attempts := 0
 	for {
 		attempts++
@@ -216,6 +266,9 @@ func runCellAttempts(row labeledSpec, b *prog.Benchmark, o Options) (sim.Result,
 		if attempts > o.Retries || !retryable(err) {
 			return res, attempts, err
 		}
+		o.Monitor.cellRetried()
+		log.Warn("retrying cell", "spec", row.label, "bench", b.Name,
+			"attempt", attempts, "retries", o.Retries, "err", err)
 		if werr := o.backoffWait(attempts); werr != nil {
 			return res, attempts, werr
 		}
@@ -305,7 +358,7 @@ func runBatch(rows []labeledSpec, b *prog.Benchmark, o Options) ([]sim.Result, e
 			Context:         o.Context,
 		}
 		if o.Telemetry != nil {
-			simOpts[i].Observer, records[i] = o.Telemetry.instrument()
+			simOpts[i].Observer, records[i] = o.Telemetry.instrument(o.CondBranches)
 		}
 		if o.cellObserver != nil {
 			if extra := o.cellObserver(row.sp, b); extra != nil {

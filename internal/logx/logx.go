@@ -1,0 +1,87 @@
+// Package logx builds the structured loggers shared by the cmd/* binaries
+// and the experiment grid scheduler: leveled slog output in text or JSON,
+// selected by the -log-format / -log-level flags every binary exposes.
+//
+// The zero configuration (empty format and level) yields text at info —
+// quiet progress lines for interactive use; `-log-format json -log-level
+// debug` turns the same events into machine-parseable records carrying
+// per-cell attributes (spec, bench, attempt, duration, events/sec).
+package logx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Format names a log output encoding.
+const (
+	FormatText = "text"
+	FormatJSON = "json"
+)
+
+// New returns a logger writing to w in the given format ("text" or
+// "json", default text) at the given level ("debug", "info", "warn",
+// "error", default info). Unknown values are errors so a typo in a flag
+// fails fast instead of silently logging at the wrong level.
+func New(w io.Writer, format, level string) (*slog.Logger, error) {
+	lvl, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", FormatText:
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case FormatJSON:
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("logx: unknown log format %q (want text or json)", format)
+	}
+}
+
+// ParseLevel maps a -log-level flag value to a slog level. Empty selects
+// info.
+func ParseLevel(level string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(level)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("logx: unknown log level %q (want debug, info, warn or error)", level)
+	}
+}
+
+// discardHandler drops every record. (slog.DiscardHandler arrived after
+// this module's Go version, so we carry our own.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// discard is the shared drop-everything logger; Or returns it for every
+// nil caller, so the nil path never allocates.
+var discard = slog.New(discardHandler{})
+
+// Discard returns a logger that drops everything: the default for library
+// code when the caller wired no logger, so log calls never need a nil
+// check.
+func Discard() *slog.Logger { return discard }
+
+// Or returns l, or the discard logger when l is nil. Library entry points
+// call it once so internal code can log unconditionally.
+func Or(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return Discard()
+	}
+	return l
+}

@@ -1,0 +1,79 @@
+package logx
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewTextDefaultLevel(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(&buf, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug("hidden")
+	l.Info("shown", "spec", "GAg")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("debug leaked at default level: %q", out)
+	}
+	if !strings.Contains(out, "shown") || !strings.Contains(out, "spec=GAg") {
+		t.Errorf("info record malformed: %q", out)
+	}
+}
+
+func TestNewJSONCarriesAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := New(&buf, "json", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug("cell done", "bench", "gcc", "attempt", 2)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "cell done" || rec["bench"] != "gcc" || rec["attempt"] != float64(2) {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestNewRejectsUnknownValues(t *testing.T) {
+	if _, err := New(&bytes.Buffer{}, "xml", ""); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := New(&bytes.Buffer{}, "", "loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "": slog.LevelInfo, "INFO": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, " error ": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+}
+
+func TestDiscardAndOr(t *testing.T) {
+	// Must not panic, and must report disabled at every level.
+	d := Discard()
+	d.Error("dropped")
+	if d.Enabled(nil, slog.LevelError) {
+		t.Error("discard logger claims to be enabled")
+	}
+	if Or(nil) == nil {
+		t.Fatal("Or(nil) returned nil")
+	}
+	real := slog.Default()
+	if Or(real) != real {
+		t.Error("Or must pass a non-nil logger through")
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
 	"twolevel/internal/automaton"
@@ -166,6 +167,56 @@ func TestMultiplexNotifiesObserver(t *testing.T) {
 	// top of the trap events already present in the source traces.
 	if obs.traps < obs.switches {
 		t.Errorf("traps = %d < switches = %d; every switch should emit a trap", obs.traps, obs.switches)
+	}
+}
+
+// TestIntervalSeriesThroughBatchedReplay threads per-predictor
+// IntervalSeries observers through one RunMany pass with branch budgets
+// NOT divisible by the sampling interval, and checks that each series
+// ends in the correct partial sample — and is bit-identical to the same
+// predictor run serially over its own copy of the stream.
+func TestIntervalSeriesThroughBatchedReplay(t *testing.T) {
+	tr := observerTrace(4000)
+	const interval = 100
+	budgets := []uint64{250, 330} // 2 full + partial 50, 3 full + partial 30
+	preds := make([]predictor.Predictor, len(budgets))
+	series := make([]*telemetry.IntervalSeries, len(budgets))
+	opts := make([]Options, len(budgets))
+	for i, budget := range budgets {
+		preds[i] = observerTestPredictor(t)
+		series[i] = telemetry.NewIntervalSeries(interval)
+		opts[i] = Options{MaxCondBranches: budget, Observer: series[i]}
+	}
+	results, err := RunMany(preds, tr.Reader(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, budget := range budgets {
+		samples := series[i].Samples()
+		wantN := int(budget/interval) + 1
+		if len(samples) != wantN {
+			t.Fatalf("budget %d: %d samples, want %d (full intervals + final partial)", budget, len(samples), wantN)
+		}
+		last := samples[len(samples)-1]
+		if last.Branches != budget || last.Predictions != budget%interval {
+			t.Errorf("budget %d: final partial sample = %+v, want %d branches over a %d-wide interval",
+				budget, last, budget, budget%interval)
+		}
+		if results[i].Accuracy.Predictions != budget {
+			t.Errorf("budget %d: run resolved %d branches", budget, results[i].Accuracy.Predictions)
+		}
+
+		// The batched pass must produce the exact series a serial run does.
+		serial := telemetry.NewIntervalSeries(interval)
+		if _, err := Run(observerTestPredictor(t), tr.Reader(), Options{
+			MaxCondBranches: budget, Observer: serial,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(samples, serial.Samples()) {
+			t.Errorf("budget %d: batched series diverges from serial:\n%v\n%v",
+				budget, samples, serial.Samples())
+		}
 	}
 }
 

@@ -72,8 +72,10 @@ func (h *HotBranches) TotalMispredicts() uint64 { return h.misses }
 func (h *HotBranches) StaticBranches() int { return len(h.counts) }
 
 // Report returns the top-K branches ordered by mispredictions descending;
-// ties break by execution count descending, then by PC ascending, so the
-// ordering is deterministic.
+// equal-mispredict rows order by ascending PC. The sort key is exactly
+// (mispredicts desc, PC asc) — a total order over distinct PCs — so two
+// identical workloads always render byte-identical reports regardless of
+// map iteration order.
 func (h *HotBranches) Report() []HotBranch {
 	all := make([]HotBranch, 0, len(h.counts))
 	for pc, c := range h.counts {
@@ -94,9 +96,6 @@ func (h *HotBranches) Report() []HotBranch {
 		a, b := all[i], all[j]
 		if a.Mispredicts != b.Mispredicts {
 			return a.Mispredicts > b.Mispredicts
-		}
-		if a.Executions != b.Executions {
-			return a.Executions > b.Executions
 		}
 		return a.PC < b.PC
 	})

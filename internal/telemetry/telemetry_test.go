@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"testing"
 
@@ -58,19 +60,54 @@ func TestHotBranchesTopKOrdering(t *testing.T) {
 
 func TestHotBranchesTieBreaking(t *testing.T) {
 	h := NewHotBranches(4)
-	// Equal mispredicts, different executions: more executions first.
+	// Equal mispredicts order by ascending PC, regardless of executions.
 	resolve(h, 0x30, 20, 5, 0)
 	resolve(h, 0x20, 10, 5, 0)
-	// Equal mispredicts AND executions: lower PC first.
 	resolve(h, 0x50, 10, 5, 0)
 	rep := h.Report()
-	want := []uint32{0x30, 0x20, 0x50}
+	want := []uint32{0x20, 0x30, 0x50}
 	if len(rep) != 3 {
 		t.Fatalf("rows = %d", len(rep))
 	}
 	for i, pc := range want {
 		if rep[i].PC != pc {
-			t.Errorf("rank %d: PC %#x, want %#x (ties must break by executions desc, then PC asc)", i, rep[i].PC, pc)
+			t.Errorf("rank %d: PC %#x, want %#x (equal-mispredict rows must order by ascending PC)", i, rep[i].PC, pc)
+		}
+	}
+}
+
+// TestHotBranchesTiedReportDeterministic feeds the same fully-tied
+// workload into two independent observers and requires byte-identical
+// rendered reports: the sort key (mispredicts desc, PC asc) is a total
+// order, so map iteration cannot leak into the output.
+func TestHotBranchesTiedReportDeterministic(t *testing.T) {
+	feed := func() *HotBranches {
+		h := NewHotBranches(8)
+		// Every PC: identical executions, misses and taken counts — the
+		// sort sees nothing but PC to separate them.
+		for _, pc := range []uint32{0x700, 0x100, 0x500, 0x300, 0x600, 0x200, 0x400} {
+			resolve(h, pc, 12, 4, 6)
+		}
+		return h
+	}
+	a, err := json.Marshal(feed().Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(feed().Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical tied workloads rendered different reports:\n%s\n%s", a, b)
+	}
+	var rep []HotBranch
+	if err := json.Unmarshal(a, &rep); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rep); i++ {
+		if rep[i-1].PC >= rep[i].PC {
+			t.Fatalf("tied rows out of PC order: %#x before %#x", rep[i-1].PC, rep[i].PC)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Packed is a memory-compact, append-only event store. Events are held in
@@ -202,6 +203,12 @@ func (r *SnapshotReader) Reset() { r.pos = 0 }
 type CaptureCache struct {
 	mu      sync.Mutex
 	entries map[string]*captureEntry
+
+	// hits counts Capture calls served entirely from stored events;
+	// misses counts calls that had to open or extend a capture. Atomics:
+	// Stats reads them without the entry locks Capture holds.
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 type captureEntry struct {
@@ -242,6 +249,15 @@ func NewCaptureCache() *CaptureCache {
 // and keeps the partial capture, so a resumed call continues where the
 // cancelled one stopped. A nil ctx is context.Background().
 func (c *CaptureCache) Capture(ctx context.Context, key string, conds uint64, open func() (Source, error)) (Snapshot, error) {
+	snap, _, err := c.CaptureWithStatus(ctx, key, conds, open)
+	return snap, err
+}
+
+// CaptureWithStatus is Capture plus whether the request was a cache hit:
+// true when it was served entirely from stored events, false when the
+// capture had to open or extend (or failed). Callers logging per-capture
+// cache behaviour use this; the same outcome feeds the Stats counters.
+func (c *CaptureCache) CaptureWithStatus(ctx context.Context, key string, conds uint64, open func() (Source, error)) (Snapshot, bool, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
@@ -252,21 +268,26 @@ func (c *CaptureCache) Capture(ctx context.Context, key string, conds uint64, op
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	extended := false
 	if !e.opened {
 		src, err := open()
 		if err != nil {
-			return Snapshot{}, err
+			c.misses.Add(1)
+			return Snapshot{}, false, err
 		}
 		e.src = src
 		e.opened = true
+		extended = true
 	}
 	var sinceCheck uint32
 	for uint64(e.packed.Conds()) < conds && !e.exhausted {
+		extended = true
 		if ctx != nil {
 			if sinceCheck++; sinceCheck >= captureCheckInterval {
 				sinceCheck = 0
 				if err := ctx.Err(); err != nil {
-					return Snapshot{}, err
+					c.misses.Add(1)
+					return Snapshot{}, false, err
 				}
 			}
 		}
@@ -280,11 +301,17 @@ func (c *CaptureCache) Capture(ctx context.Context, key string, conds uint64, op
 			// position; drop the entry so a retry re-captures cleanly
 			// instead of serving a torn prefix forever.
 			e.reset()
-			return Snapshot{}, err
+			c.misses.Add(1)
+			return Snapshot{}, false, err
 		}
 		e.packed.Append(ev)
 	}
-	return e.packed.View(e.packed.eventsForConds(conds)), nil
+	if extended {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	return e.packed.View(e.packed.eventsForConds(conds)), !extended, nil
 }
 
 // CaptureStats summarises a cache's contents.
@@ -297,6 +324,19 @@ type CaptureStats struct {
 	Conds int `json:"conds"`
 	// Bytes is the approximate heap footprint of the stored columns.
 	Bytes int64 `json:"bytes"`
+	// Hits counts Capture calls served entirely from stored events;
+	// Misses counts calls that had to open or extend a capture (a failed
+	// open or torn capture counts as a miss too).
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// HitRatio returns Hits over all Capture calls (0 before the first call).
+func (s CaptureStats) HitRatio() float64 {
+	if n := s.Hits + s.Misses; n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
 }
 
 // Stats reports the cache's current footprint.
@@ -305,6 +345,8 @@ func (c *CaptureCache) Stats() CaptureStats {
 	defer c.mu.Unlock()
 	var s CaptureStats
 	s.Entries = len(c.entries)
+	s.Hits = c.hits.Load()
+	s.Misses = c.misses.Load()
 	for _, e := range c.entries {
 		e.mu.Lock()
 		s.Events += e.packed.Len()
@@ -315,10 +357,13 @@ func (c *CaptureCache) Stats() CaptureStats {
 	return s
 }
 
-// Reset drops every captured stream. In-flight snapshots remain valid;
-// subsequent Capture calls re-open their sources.
+// Reset drops every captured stream and zeroes the hit/miss counters.
+// In-flight snapshots remain valid; subsequent Capture calls re-open
+// their sources.
 func (c *CaptureCache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries = map[string]*captureEntry{}
+	c.hits.Store(0)
+	c.misses.Store(0)
 }

@@ -166,6 +166,51 @@ func TestCaptureCacheExtendsOneSource(t *testing.T) {
 	}
 }
 
+func TestCaptureCacheHitMissStats(t *testing.T) {
+	events := randomEvents(10_000, 9)
+	open := func() (Source, error) {
+		tr := &Trace{Events: events}
+		return tr.Reader(), nil
+	}
+	c := NewCaptureCache()
+	// Cold capture, extension, and a second cold key are misses; repeat
+	// captures within the stored prefix are hits.
+	if _, err := c.Capture(nil, "a", 50, open); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Capture(nil, "a", 200, open); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Capture(nil, "b", 50, open); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Capture(nil, "a", 100, open); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 3 || st.Hits != 3 {
+		t.Fatalf("hits/misses = %d/%d, want 3/3 (stats %+v)", st.Hits, st.Misses, st)
+	}
+	if got := st.HitRatio(); got != 0.5 {
+		t.Fatalf("hit ratio = %v, want 0.5", got)
+	}
+	// A failed open counts as a miss and must not divide by zero later.
+	fresh := NewCaptureCache()
+	if fresh.Stats().HitRatio() != 0 {
+		t.Fatal("empty cache hit ratio must be 0")
+	}
+	if _, err := fresh.Capture(nil, "x", 1, func() (Source, error) {
+		return nil, errors.New("boom")
+	}); err == nil {
+		t.Fatal("failed open not reported")
+	}
+	if st := fresh.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("failed open stats = %+v", st)
+	}
+}
+
 // TestCaptureCacheNoStampede proves the per-key singleflight: many
 // goroutines racing on a cold key open the underlying source exactly
 // once and all see identical bytes.

@@ -47,15 +47,18 @@ package twolevel
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 
 	"twolevel/internal/analysis"
 	"twolevel/internal/asm"
 	"twolevel/internal/automaton"
+	"twolevel/internal/buildinfo"
 	"twolevel/internal/cost"
 	"twolevel/internal/cpu"
 	"twolevel/internal/experiments"
 	"twolevel/internal/isa"
+	"twolevel/internal/logx"
 	"twolevel/internal/predictor"
 	"twolevel/internal/prog"
 	"twolevel/internal/sim"
@@ -448,6 +451,79 @@ func NewRunStats() *RunStats { return telemetry.NewRunStats() }
 // MultiObserver fans callbacks out to several observers (nils are
 // dropped; the result is nil when none remain).
 func MultiObserver(obs ...Observer) Observer { return telemetry.Multi(obs...) }
+
+// Mispredict forensics, live monitoring and structured logging: the
+// observability vocabulary behind brexp -forensics / -listen and
+// brsim -explain.
+type (
+	// Forensics is an Observer building a mispredict post-mortem: a
+	// bounded flight recorder snapshotting mispredict bursts plus per-PC
+	// hard-to-predict profiles (per-history-pattern outcome histograms,
+	// automaton transition counts, warmup-vs-steady miss split, history
+	// entropy).
+	Forensics = telemetry.Forensics
+	// ForensicsConfig sizes a Forensics observer; the zero value gets
+	// sensible defaults.
+	ForensicsConfig = telemetry.ForensicsConfig
+	// ForensicsReport is the deterministic report a Forensics observer
+	// produces.
+	ForensicsReport = telemetry.ForensicsReport
+	// PCForensics is one static branch's forensic profile.
+	PCForensics = telemetry.PCForensics
+	// ForensicsPatternStat is one history pattern's outcome histogram.
+	ForensicsPatternStat = telemetry.PatternStat
+	// FlightSnapshot is one flight-recorder capture around a mispredict
+	// burst; FlightEvent is one recorded branch resolution.
+	FlightSnapshot = telemetry.FlightSnapshot
+	FlightEvent    = telemetry.FlightEvent
+
+	// BranchExplanation is the human-readable diagnosis ExplainBranch
+	// derives from a PCForensics profile; BranchVerdict is its
+	// classification (warmup-dominated, diffuse-history, ...).
+	BranchExplanation = analysis.Explanation
+	BranchVerdict     = analysis.Verdict
+
+	// ExperimentMonitor is the live-progress counter set of a grid run;
+	// attach one via ExperimentOptions.Monitor and serve Handler() to get
+	// /metrics, /progress and /debug/pprof while a suite runs.
+	ExperimentMonitor = experiments.Monitor
+	// MonitorSnapshot is a point-in-time view of an ExperimentMonitor:
+	// the /progress payload and the monitor section of metrics.json.
+	MonitorSnapshot = experiments.MonitorSnapshot
+	// ForensicsDocument is the forensics.json schema (brexp -forensics).
+	ForensicsDocument = experiments.ForensicsDocument
+	// ExperimentForensicsRun is one run's forensics report with its grid
+	// coordinates.
+	ExperimentForensicsRun = experiments.ForensicsRun
+
+	// BuildInfo is the binary's build provenance (module version, VCS
+	// revision); it stamps metrics and forensics documents and backs the
+	// -version flag of every binary.
+	BuildInfo = buildinfo.Info
+)
+
+// NewForensics returns a mispredict-forensics observer.
+func NewForensics(cfg ForensicsConfig) *Forensics { return telemetry.NewForensics(cfg) }
+
+// ExplainBranch diagnoses why one static branch mispredicts from its
+// forensic profile (brsim -explain).
+func ExplainBranch(p PCForensics) BranchExplanation { return analysis.Explain(p) }
+
+// NewExperimentMonitor returns a live grid monitor with its clock
+// started.
+func NewExperimentMonitor() *ExperimentMonitor { return experiments.NewMonitor() }
+
+// ReadBuildInfo reports the running binary's build provenance. It never
+// fails: without embedded build info every field falls back to
+// "unknown".
+func ReadBuildInfo() BuildInfo { return buildinfo.Read() }
+
+// NewLogger builds the structured logger behind the -log-format /
+// -log-level flags: "text" (default) or "json" encoding at "debug",
+// "info" (default), "warn" or "error". Unknown values are errors.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	return logx.New(w, format, level)
+}
 
 // Program is an assembled ISA program (a memory image plus labels) —
 // write your own workloads in the repository's assembly language and run
