@@ -1,0 +1,28 @@
+# Tier-1 verification entry points. CI runs the same commands
+# (.github/workflows/ci.yml); `make verify` is the local equivalent of a
+# green pipeline.
+
+GO ?= go
+
+.PHONY: build test race bench lint verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# lint runs go vet plus brlint, the repo's own invariant-checker suite
+# (internal/lint). See DESIGN.md "Enforced invariants" for what each
+# analyzer guards and how to suppress a finding.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/brlint ./...
+
+verify: build lint test

@@ -1,0 +1,92 @@
+// Command brlint runs the repository's invariant-checker suite
+// (internal/lint): five analyzers that mechanically enforce the
+// determinism, no-panic, observer-nil-guard, cancellation-poll and
+// atomic-counter contracts earlier PRs established. It is part of tier-1
+// verification:
+//
+//	go run ./cmd/brlint ./...
+//
+// Exit status is 0 when the tree is clean, 1 when there are findings, and
+// 2 on usage or load errors. Suppress a finding — with a mandatory,
+// auditable reason — using an inline directive on or directly above the
+// offending line:
+//
+//	//lint:allow <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"twolevel/internal/buildinfo"
+	"twolevel/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("brlint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the analyzers and the contracts they enforce, then exit")
+	version := fs.Bool("version", false, "print build provenance and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: brlint [-list] [packages]\n\n"+
+			"Runs the twolevel invariant-checker suite over the given package\n"+
+			"patterns (default ./...). Patterns are module-relative: ./..., ./internal/sim,\n"+
+			"or an import path.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Println(buildinfo.Read().String())
+		return 0
+	}
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	modDir, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "brlint:", err)
+		return 2
+	}
+	diags, fset, err := lint.RunSuite(modDir, fs.Args(), lint.Analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "brlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(lint.FormatDiagnostic(fset, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "brlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+// TestRepoIsClean is the tier-1 smoke test: the invariant suite must
+// exit 0 over the repository itself. A failure here means a contract
+// violation landed without a //lint:allow justification.
+func TestRepoIsClean(t *testing.T) {
+	if code := run([]string{"./..."}); code != 0 {
+		t.Fatalf("brlint ./... exited %d, want 0 — fix the findings above or justify them with //lint:allow", code)
+	}
+}
+
+func TestListExitsZero(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Fatalf("brlint -list exited %d", code)
+	}
+}
+
+func TestBadFlagUsageError(t *testing.T) {
+	if code := run([]string{"-no-such-flag"}); code != 2 {
+		t.Fatalf("brlint -no-such-flag exited %d, want 2", code)
+	}
+}

@@ -142,6 +142,7 @@ func define(k Kind, bits int, initial State, predictTaken []int, next [][2]State
 // machine reports Kind A2 (its family) and names itself "SatN".
 func NewSaturating(bits int) *Machine {
 	if bits < 1 || bits > 6 {
+		//lint:allow nopanic programmer-error guard below the validated-constructor layer (predictor.NewTwoLevel validates first); contract-tested
 		panic(fmt.Sprintf("automaton: saturating counter width %d out of range [1,6]", bits))
 	}
 	if bits == 2 {
@@ -236,6 +237,7 @@ func init() {
 // New returns the shared Machine for kind k.
 func New(k Kind) *Machine {
 	if int(k) >= int(numKinds) {
+		//lint:allow nopanic programmer-error guard below the validated-constructor layer (predictor.NewTwoLevel validates first); contract-tested
 		panic(fmt.Sprintf("automaton: invalid kind %d", k))
 	}
 	return machines[k]

@@ -99,9 +99,11 @@ type Cache struct {
 // assoc must be a power of two >= 1 (assoc == 1 is direct-mapped).
 func NewCache(entries, assoc int) *Cache {
 	if entries <= 0 || entries&(entries-1) != 0 {
+		//lint:allow nopanic programmer-error guard below the validated-constructor layer (predictor.NewBTB validates first); contract-tested
 		panic(fmt.Sprintf("bht: entries %d must be a positive power of two", entries))
 	}
 	if assoc <= 0 || assoc&(assoc-1) != 0 || assoc > entries {
+		//lint:allow nopanic programmer-error guard below the validated-constructor layer (predictor.NewBTB validates first); contract-tested
 		panic(fmt.Sprintf("bht: associativity %d invalid for %d entries", assoc, entries))
 	}
 	sets := entries / assoc

@@ -192,7 +192,7 @@ func (t *Telemetry) beginExperiment(id string) time.Time {
 	t.current = id
 	t.runsAtBegin = len(t.runs)
 	t.mu.Unlock()
-	return time.Now()
+	return time.Now() //lint:allow determinism wall-clock duration reporting; excluded from byte-identical report surfaces
 }
 
 // runsSinceBegin reports how many runs the current experiment recorded.
@@ -208,7 +208,7 @@ func (t *Telemetry) endExperiment(id string, start time.Time) {
 	defer t.mu.Unlock()
 	t.experiments = append(t.experiments, ExperimentMetrics{
 		ID:               id,
-		WallClockSeconds: time.Since(start).Seconds(),
+		WallClockSeconds: time.Since(start).Seconds(), //lint:allow determinism wall-clock duration reporting; excluded from byte-identical report surfaces
 		Runs:             len(t.runs) - t.runsAtBegin,
 	})
 	t.current = ""

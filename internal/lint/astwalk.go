@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// inspectStack walks every node in f, keeping the path from the file root
+// to the current node. fn's stack argument includes n as its last element;
+// returning false prunes the subtree.
+func inspectStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !fn(n, stack) {
+			// Pruned subtrees still get their closing nil callback, so
+			// the pop above stays balanced only if we keep descending.
+			// ast.Inspect does not send nil after a false return; pop now.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// exprKey renders an expression to a canonical string, used to compare
+// "the same expression" across guard conditions and call receivers
+// (e.g. r.obs in `if r.obs != nil` vs `r.obs.OnTrap()`).
+func exprKey(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// funcObj resolves the called function object of a call expression, or
+// nil when the callee is not a declared function/method (a func value,
+// a conversion, a builtin).
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isNilComparison reports whether e is a comparison of target (by
+// exprKey) against nil with the given operator token text ("==" or "!=").
+// It searches through && and || conjunctions and parentheses.
+func isNilComparison(info *types.Info, e ast.Expr, targetKey, op string) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		if x.Op.String() == "&&" || x.Op.String() == "||" {
+			return isNilComparison(info, x.X, targetKey, op) ||
+				isNilComparison(info, x.Y, targetKey, op)
+		}
+		if x.Op.String() != op {
+			return false
+		}
+		l, r := ast.Unparen(x.X), ast.Unparen(x.Y)
+		if isNilIdent(info, r) && exprKey(l) == targetKey {
+			return true
+		}
+		if isNilIdent(info, l) && exprKey(r) == targetKey {
+			return true
+		}
+	}
+	return false
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil || id.Name == "nil"
+}
+
+// enclosingFunc returns the innermost function body (FuncDecl or FuncLit)
+// in stack, searching outward from the end.
+func enclosingFunc(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}

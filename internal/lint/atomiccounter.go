@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// AtomicCounter guards the PR 4 lock-free monitoring contract: the grid
+// scheduler's workers bump experiments.Monitor counters concurrently, so
+// every counter field must either be declared as a sync/atomic type
+// (atomic.Uint64 etc., whose methods are safe by construction) or — if it
+// is a plain integer — be touched exclusively through sync/atomic calls
+// (atomic.AddUint64(&m.field, ...)). A plain load or store of such a
+// field is a data race waiting for the next refactor.
+var AtomicCounter = &Analyzer{
+	Name: "atomiccounter",
+	Doc: "plain-integer fields of experiments.Monitor may only be accessed " +
+		"through sync/atomic",
+	Packages: []string{"experiments"},
+	Run:      runAtomicCounter,
+}
+
+func runAtomicCounter(pass *Pass) []Diagnostic {
+	fields := monitorIntegerFields(pass)
+	if len(fields) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := selection.Obj().(*types.Var)
+			if !ok || !fields[field] {
+				return true
+			}
+			if !atomicAccess(pass, stack) {
+				diags = append(diags, Diagnostic{
+					Pos: sel.Pos(),
+					Message: fmt.Sprintf("Monitor.%s is a plain integer accessed without sync/atomic; "+
+						"declare it atomic.Uint64/Int64 or use atomic.Add/Load/Store (PR 4 contract)",
+						field.Name()),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// monitorIntegerFields returns the plain-integer fields of the package's
+// Monitor struct type (fields already declared as sync/atomic types are
+// safe by construction and not tracked).
+func monitorIntegerFields(pass *Pass) map[*types.Var]bool {
+	obj, ok := pass.Pkg.Scope().Lookup("Monitor").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	fields := make(map[*types.Var]bool)
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if basic, ok := f.Type().Underlying().(*types.Basic); ok &&
+			basic.Info()&types.IsInteger != 0 {
+			fields[f] = true
+		}
+	}
+	return fields
+}
+
+// atomicAccess reports whether the selector at the top of stack is used
+// as &field in a direct argument to a sync/atomic function.
+func atomicAccess(pass *Pass, stack []ast.Node) bool {
+	// stack: [... CallExpr UnaryExpr(&) SelectorExpr]
+	if len(stack) < 3 {
+		return false
+	}
+	unary, ok := stack[len(stack)-2].(*ast.UnaryExpr)
+	if !ok || unary.Op.String() != "&" {
+		return false
+	}
+	call, ok := stack[len(stack)-3].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := funcObj(pass.TypesInfo, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPoll enforces the PR 3 responsiveness contract: an unbounded loop in
+// the sim or trace packages that pulls events from a stream (a Source's
+// Next method, or the runner's step) must poll for cancellation inside
+// the loop — a ctx.Err() check or a ctx.Done() receive — so a cancelled
+// run is noticed within a bounded number of events rather than only at
+// end of stream. Bounded loops (range over a slice, array or integer) are
+// exempt: they cannot outlive their input. Offline drain helpers that are
+// deliberately uncancellable carry //lint:allow ctxpoll annotations.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc: "event-stream loops in sim/trace must contain a cancellation poll " +
+		"(ctx.Err or ctx.Done)",
+	Packages: []string{"sim", "trace"},
+	Run:      runCtxPoll,
+}
+
+// streamPullNames are the step/decode methods whose call inside a loop
+// marks it as an event-stream loop.
+var streamPullNames = map[string]bool{"Next": true, "step": true}
+
+func runCtxPoll(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				// Only a range over a channel is unbounded; ranging a
+				// slice, map, array or integer finishes on its own.
+				if t := pass.TypesInfo.TypeOf(loop.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						body = loop.Body
+					}
+				}
+			}
+			if body == nil {
+				return true
+			}
+			if pullsStream(pass, body) && !pollsCancellation(pass, body) {
+				diags = append(diags, Diagnostic{
+					Pos: n.Pos(),
+					Message: "event-stream loop has no cancellation poll; check ctx.Err() or " +
+						"ctx.Done() every few thousand events (PR 3 responsiveness contract)",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// pullsStream reports whether body contains a call to a stream pull
+// method (Next/step), outside nested function literals.
+func pullsStream(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcObj(pass.TypesInfo, call)
+		if fn == nil || fn.Type().(*types.Signature).Recv() == nil {
+			return true
+		}
+		if streamPullNames[fn.Name()] {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// pollsCancellation reports whether body contains a ctx.Err() or
+// ctx.Done() call on a context.Context value.
+func pollsCancellation(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Err" && sel.Sel.Name != "Done" {
+			return true
+		}
+		if isContextValue(pass, sel.X) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isContextValue reports whether e has type context.Context.
+func isContextValue(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,344 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, fully type-checked target package.
+type Package struct {
+	Path  string // import path
+	Name  string // package name
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader resolves and type-checks packages from source with no network
+// and no GOPATH/module proxy: module-local imports resolve under the
+// module root, fixture imports under any extra roots, and everything else
+// under GOROOT/src (with the stdlib vendor directory as a fallback).
+// Dependencies are checked signatures-only (IgnoreFuncBodies), so loading
+// a target that imports net/http stays cheap; target packages get full
+// bodies and a populated types.Info.
+type Loader struct {
+	Fset *token.FileSet
+
+	ctxt    build.Context
+	module  string // module path from go.mod, e.g. "twolevel"
+	modDir  string
+	extra   []string // extra GOPATH-src-style roots (fixture trees)
+	deps    map[string]*depEntry
+	targets map[string]*Package
+}
+
+type depEntry struct {
+	pkg      *types.Package
+	err      error
+	checking bool
+}
+
+// NewLoader returns a loader rooted at the module containing modDir.
+// extraRoots are searched (in order, before GOROOT) for import paths that
+// do not belong to the module — the fixture harness points one at
+// testdata/src.
+func NewLoader(modDir string, extraRoots ...string) (*Loader, error) {
+	modDir, err := filepath.Abs(modDir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(modDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	// Trace replay must be bit-reproducible without cgo; analyzing the
+	// pure-Go file set also keeps the loader self-contained.
+	ctxt.CgoEnabled = false
+	return &Loader{
+		Fset:    token.NewFileSet(),
+		ctxt:    ctxt,
+		module:  modPath,
+		modDir:  modDir,
+		extra:   extraRoots,
+		deps:    make(map[string]*depEntry),
+		targets: make(map[string]*Package),
+	}, nil
+}
+
+// ModulePath returns the loader's module path.
+func (l *Loader) ModulePath() string { return l.module }
+
+// ModuleDir returns the loader's module root directory.
+func (l *Loader) ModuleDir() string { return l.modDir }
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// dirFor maps an import path to its source directory.
+func (l *Loader) dirFor(path string) (string, error) {
+	if path == l.module {
+		return l.modDir, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.module+"/"); ok {
+		return filepath.Join(l.modDir, filepath.FromSlash(rest)), nil
+	}
+	for _, root := range l.extra {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, nil
+		}
+	}
+	goroot := l.ctxt.GOROOT
+	for _, dir := range []string{
+		filepath.Join(goroot, "src", filepath.FromSlash(path)),
+		// The toolchain vendors its external dependencies (e.g.
+		// golang.org/x/net/http2/hpack, imported by net/http).
+		filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path)),
+	} {
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, nil
+		}
+	}
+	return "", fmt.Errorf("lint: cannot resolve import %q", path)
+}
+
+// parseDir parses the buildable non-test Go files of dir.
+func (l *Loader) parseDir(dir string) (name string, files []*ast.File, err error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return "", nil, err
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	for _, fname := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, fname), nil, parser.ParseComments)
+		if err != nil {
+			return "", nil, err
+		}
+		files = append(files, f)
+	}
+	return bp.Name, files, nil
+}
+
+// Import implements types.Importer for dependency resolution:
+// signatures-only, memoized, cycle-detecting.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if e, ok := l.deps[path]; ok {
+		if e.checking {
+			return nil, fmt.Errorf("lint: import cycle through %q", path)
+		}
+		return e.pkg, e.err
+	}
+	e := &depEntry{checking: true}
+	l.deps[path] = e
+	e.pkg, e.err = l.check(path)
+	e.checking = false
+	if e.err != nil {
+		e.err = fmt.Errorf("lint: loading dependency %q: %w", path, e.err)
+	}
+	return e.pkg, e.err
+}
+
+// check parses and type-checks one package signatures-only (the
+// dependency fast path).
+func (l *Loader) check(path string) (*types.Package, error) {
+	dir, err := l.dirFor(path)
+	if err != nil {
+		return nil, err
+	}
+	_, files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	cfg := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+	}
+	return cfg.Check(path, l.Fset, files, nil)
+}
+
+// Load fully type-checks the package at the given import path and caches
+// the result.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.targets[path]; ok {
+		return p, nil
+	}
+	dir, err := l.dirFor(path)
+	if err != nil {
+		return nil, err
+	}
+	name, files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	// Type-check the very files returned in Package.Files: the Info maps
+	// are keyed by AST node identity, so re-parsing here would silently
+	// disconnect them from what the analyzers walk.
+	cfg := types.Config{Importer: l, FakeImportC: true}
+	tpkg, err := cfg.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %q: %w", path, err)
+	}
+	p := &Package{
+		Path:  path,
+		Name:  name,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.targets[path] = p
+	return p, nil
+}
+
+// PackageName returns the package name at an import path without
+// type-checking it (used to skip packages no analyzer applies to).
+func (l *Loader) PackageName(path string) (string, error) {
+	dir, err := l.dirFor(path)
+	if err != nil {
+		return "", err
+	}
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return "", err
+	}
+	return bp.Name, nil
+}
+
+// ExpandPatterns resolves command-line package patterns against the
+// module: "./..." (or "...") walks the whole module, "./dir/..." walks a
+// subtree, and a plain relative or import path names one package.
+// Directories named testdata, hidden directories, and directories with no
+// buildable Go files are skipped during walks.
+func (l *Loader) ExpandPatterns(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var out []string
+	seen := make(map[string]bool)
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			paths, err := l.walkModule(l.modDir)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			root := filepath.Join(l.modDir, filepath.FromSlash(strings.TrimSuffix(pat, "/...")))
+			paths, err := l.walkModule(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		default:
+			p, err := l.importPathFor(pat)
+			if err != nil {
+				return nil, err
+			}
+			add(p)
+		}
+	}
+	return out, nil
+}
+
+// importPathFor maps one non-wildcard pattern to an import path.
+func (l *Loader) importPathFor(pat string) (string, error) {
+	if pat == "." || pat == "./" {
+		return l.module, nil
+	}
+	if strings.HasPrefix(pat, "./") || strings.HasPrefix(pat, "../") {
+		abs, err := filepath.Abs(filepath.FromSlash(pat))
+		if err != nil {
+			return "", err
+		}
+		rel, err := filepath.Rel(l.modDir, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return "", fmt.Errorf("lint: %q is outside module %s", pat, l.module)
+		}
+		if rel == "." {
+			return l.module, nil
+		}
+		return l.module + "/" + filepath.ToSlash(rel), nil
+	}
+	return pat, nil // already an import path
+}
+
+// walkModule finds every buildable package directory under root.
+func (l *Loader) walkModule(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(path)
+		if path != root && (base == "testdata" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+			return filepath.SkipDir
+		}
+		if _, err := l.ctxt.ImportDir(path, 0); err != nil {
+			if _, noGo := err.(*build.NoGoError); noGo {
+				return nil
+			}
+			return fmt.Errorf("lint: %s: %w", path, err)
+		}
+		rel, err := filepath.Rel(l.modDir, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			out = append(out, l.module)
+		} else {
+			out = append(out, l.module+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ObsNilGuard preserves PR 1's zero-cost-when-nil observer guarantee: the
+// simulator hot loop invokes telemetry callbacks through a nillable
+// Observer field, and every such call must be dominated by a nil check so
+// a run without observers never pays an interface call (and never nil-
+// dereferences). The analyzer accepts the two dominance shapes the
+// simulator uses — an enclosing `if x != nil { x.Hook() }` (including the
+// `if x := o.Observer; x != nil` form) — plus the early-return shape
+// `if x == nil { return }; x.Hook()`.
+var ObsNilGuard = &Analyzer{
+	Name: "obsnilguard",
+	Doc: "calls through a telemetry.Observer hook value must be dominated " +
+		"by a nil check (zero-cost-when-nil contract)",
+	Packages: []string{"sim"},
+	Run:      runObsNilGuard,
+}
+
+func runObsNilGuard(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !isObserverValue(pass, sel.X) {
+				return true
+			}
+			if !nilGuarded(pass, sel.X, call, stack) {
+				diags = append(diags, Diagnostic{
+					Pos: call.Pos(),
+					Message: fmt.Sprintf("observer hook call %s.%s is not dominated by a nil check; "+
+						"a nil observer must cost nothing (PR 1 contract)", exprKey(sel.X), sel.Sel.Name),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isObserverValue reports whether e has the telemetry Observer interface
+// type (matched structurally by definition name and defining package name
+// so fixtures can supply their own telemetry package).
+func isObserverValue(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Observer" || obj.Pkg() == nil || obj.Pkg().Name() != "telemetry" {
+		return false
+	}
+	_, isIface := named.Underlying().(*types.Interface)
+	return isIface
+}
+
+// nilGuarded reports whether the call through hook (an expression of
+// observer type) is dominated by a nil check on the same expression.
+func nilGuarded(pass *Pass, hook ast.Expr, call *ast.CallExpr, stack []ast.Node) bool {
+	key := exprKey(hook)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch node := stack[i].(type) {
+		case *ast.IfStmt:
+			inBody := node.Body != nil && node.Body.Pos() <= call.Pos() && call.Pos() <= node.Body.End()
+			inElse := node.Else != nil && node.Else.Pos() <= call.Pos() && call.Pos() <= node.Else.End()
+			if inBody && isNilComparison(pass.TypesInfo, node.Cond, key, "!=") {
+				return true
+			}
+			if inElse && isNilComparison(pass.TypesInfo, node.Cond, key, "==") {
+				return true
+			}
+		case *ast.BlockStmt:
+			if earlyReturnGuard(pass, node, call, key) {
+				return true
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			// Dominance does not cross a function boundary.
+			return false
+		}
+	}
+	return false
+}
+
+// earlyReturnGuard reports whether a statement before the one containing
+// call (inside block) is `if hook == nil { return/continue/break/panic }`.
+func earlyReturnGuard(pass *Pass, block *ast.BlockStmt, call *ast.CallExpr, key string) bool {
+	for _, stmt := range block.List {
+		if stmt.End() >= call.Pos() {
+			return false // reached the statement containing (or after) the call
+		}
+		ifs, ok := stmt.(*ast.IfStmt)
+		if !ok || ifs.Else != nil || len(ifs.Body.List) == 0 {
+			continue
+		}
+		if !isNilComparison(pass.TypesInfo, ifs.Cond, key, "==") {
+			continue
+		}
+		if terminates(ifs.Body.List[len(ifs.Body.List)-1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// terminates reports whether stmt unconditionally leaves the enclosing
+// block (return, break, continue, goto, or a panic call).
+func terminates(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}

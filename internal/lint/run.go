@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/token"
+)
+
+// RunSuite expands patterns against the module rooted at modDir, loads
+// every package at least one analyzer in suite applies to, and returns
+// the surviving diagnostics in deterministic order. Packages no analyzer
+// covers are skipped without type-checking, which keeps a whole-module
+// run to the thirteen contract packages plus their dependencies.
+func RunSuite(modDir string, patterns []string, suite []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	loader, err := NewLoader(modDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	paths, err := loader.ExpandPatterns(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	var diags []Diagnostic
+	for _, path := range paths {
+		name, err := loader.PackageName(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		applies := false
+		for _, a := range suite {
+			if a.AppliesTo(name) {
+				applies = true
+				break
+			}
+		}
+		if !applies {
+			continue
+		}
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		diags = append(diags, CheckPackage(pkg, suite)...)
+	}
+	sortDiagnostics(loader.Fset, diags)
+	return diags, loader.Fset, nil
+}

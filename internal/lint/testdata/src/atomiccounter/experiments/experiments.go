@@ -1,0 +1,44 @@
+// Fixture for the atomiccounter analyzer: plain-integer Monitor fields
+// may only be touched through sync/atomic.
+package experiments
+
+import "sync/atomic"
+
+// Monitor mirrors the shape of experiments.Monitor with one legacy plain
+// counter.
+type Monitor struct {
+	done   atomic.Uint64
+	legacy int64
+	name   string
+}
+
+// GoodAtomicType uses the atomic-typed field: safe by construction.
+func (m *Monitor) GoodAtomicType() {
+	m.done.Add(1)
+}
+
+// GoodAtomicCall touches the plain field only through sync/atomic.
+func (m *Monitor) GoodAtomicCall() int64 {
+	atomic.AddInt64(&m.legacy, 1)
+	return atomic.LoadInt64(&m.legacy)
+}
+
+// BadStore writes the plain field directly.
+func (m *Monitor) BadStore() {
+	m.legacy++ // want "plain integer accessed without sync/atomic"
+}
+
+// BadLoad reads the plain field directly.
+func (m *Monitor) BadLoad() int64 {
+	return m.legacy // want "plain integer accessed without sync/atomic"
+}
+
+// GoodString touches the non-integer field: out of scope.
+func (m *Monitor) GoodString() string {
+	return m.name
+}
+
+// AllowedStore carries an auditable suppression.
+func (m *Monitor) AllowedStore() {
+	m.legacy = 0 //lint:allow atomiccounter fixture: constructor runs before any worker starts
+}

@@ -1,0 +1,121 @@
+// Fixture for the ctxpoll analyzer: unbounded loops pulling trace events
+// must poll for cancellation.
+package trace
+
+import (
+	"context"
+	"io"
+)
+
+// Event is a stand-in trace event.
+type Event struct{ Instrs int }
+
+// Source mirrors the decode interface.
+type Source interface {
+	Next() (Event, error)
+}
+
+// BadDrain pulls events forever with no poll.
+func BadDrain(src Source) (int, error) {
+	n := 0
+	for { // want "no cancellation poll"
+		_, err := src.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// GoodErrPoll polls ctx.Err, amortised exactly like sim.Run.
+func GoodErrPoll(ctx context.Context, src Source) (int, error) {
+	n := 0
+	var sinceCheck uint32
+	for {
+		if ctx != nil {
+			if sinceCheck++; sinceCheck >= 4096 {
+				sinceCheck = 0
+				if err := ctx.Err(); err != nil {
+					return n, err
+				}
+			}
+		}
+		_, err := src.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// GoodDonePoll polls through a non-blocking Done receive.
+func GoodDonePoll(ctx context.Context, src Source) (int, error) {
+	n := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return n, ctx.Err()
+		default:
+		}
+		_, err := src.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// GoodBoundedRange ranges over a slice: finite, exempt even though it
+// calls Next.
+func GoodBoundedRange(sources []Source) int {
+	n := 0
+	for _, src := range sources {
+		if _, err := src.Next(); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// BadChanRange ranges over a channel: unbounded, needs a poll.
+func BadChanRange(ch chan int, src Source) int {
+	n := 0
+	for range ch { // want "no cancellation poll"
+		if _, err := src.Next(); err != nil {
+			return n
+		}
+		n++
+	}
+	return n
+}
+
+// GoodNoPull loops without touching the event stream: not an
+// event-stream loop.
+func GoodNoPull() int {
+	n := 0
+	for n < 10 {
+		n++
+	}
+	return n
+}
+
+// AllowedDrain is deliberately uncancellable, with the reason on record.
+func AllowedDrain(src Source) int {
+	n := 0
+	//lint:allow ctxpoll fixture: offline helper bounded by its source
+	for {
+		if _, err := src.Next(); err != nil {
+			return n
+		}
+		n++
+	}
+}

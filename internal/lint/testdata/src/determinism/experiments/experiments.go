@@ -1,0 +1,82 @@
+// Fixture for the determinism analyzer: map iteration feeding report
+// output, and wall-clock reads. The package is named experiments so the
+// analyzer's package scoping applies.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// BadPrint writes per-key output in map order.
+func BadPrint(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "inside map iteration bakes map order"
+	}
+}
+
+// BadAppend accumulates keys without ever sorting them.
+func BadAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "never sorted afterwards"
+	}
+	return keys
+}
+
+// GoodSorted is the canonical collect-then-sort idiom.
+func GoodSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodSortSlice sorts through sort.Slice instead of sort.Strings.
+func GoodSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// GoodLoopLocal appends to a slice that never escapes the iteration.
+func GoodLoopLocal(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		parts := make([]int, 0, 1)
+		parts = append(parts, v)
+		total += parts[0]
+	}
+	return total
+}
+
+// GoodAccumulate sums map values: order-independent, not flagged.
+func GoodAccumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// BadClock reads the wall clock in a report-producing package.
+func BadClock() time.Time {
+	return time.Now() // want "reads the wall clock"
+}
+
+// BadElapsed reads the wall clock through time.Since.
+func BadElapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want "reads the wall clock"
+}
+
+// AllowedClock carries an auditable suppression.
+func AllowedClock() time.Time {
+	return time.Now() //lint:allow determinism fixture: timing spot excluded from report bytes
+}

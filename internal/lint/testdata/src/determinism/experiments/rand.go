@@ -1,0 +1,8 @@
+package experiments
+
+import (
+	"math/rand" // want "use twolevel/internal/rng"
+)
+
+// Shuffle exists so the import is used.
+func Shuffle(n int) int { return rand.Intn(n) }

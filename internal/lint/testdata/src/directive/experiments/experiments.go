@@ -1,0 +1,21 @@
+// Fixture for directive hygiene: malformed //lint:allow directives are
+// themselves findings (checked by TestAllowDirectiveHygiene, not via
+// want comments — a want comment cannot share a directive's line).
+package experiments
+
+import "time"
+
+// MissingReason suppresses without saying why.
+func MissingReason() time.Time {
+	return time.Now() //lint:allow determinism
+}
+
+// UnknownAnalyzer names an analyzer that does not exist.
+func UnknownAnalyzer() time.Time {
+	return time.Now() //lint:allow nosuchcheck because reasons
+}
+
+// Bare has neither analyzer nor reason.
+func Bare() time.Time {
+	return time.Now() //lint:allow
+}

@@ -1,0 +1,76 @@
+// Fixture for the nopanic analyzer: exported constructors must return
+// errors; Must* helpers and annotated programmer-error guards are exempt.
+package predictor
+
+import "errors"
+
+// NewGood validates by returning an error: the contract.
+func NewGood(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("predictor: negative size")
+	}
+	return n, nil
+}
+
+// NewBad panics directly from an exported constructor.
+func NewBad(n int) int {
+	if n < 0 {
+		panic("predictor: negative size") // want "exported NewBad panics"
+	}
+	return n
+}
+
+// MustGood is the documented panic-on-error convention: exempt.
+func MustGood(n int) int {
+	v, err := NewGood(n)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// NewIndirect reaches a panic through one level of callee inlining.
+func NewIndirect(n int) int {
+	return clamp(n) // want "calls clamp, which panics"
+}
+
+// clamp is the unexported helper hiding the panic.
+func clamp(n int) int {
+	if n < 0 {
+		panic("predictor: negative size")
+	}
+	return n
+}
+
+// NewViaMust calls a Must helper from a non-Must exported API: the panic
+// is reachable, so the call is flagged.
+func NewViaMust(n int) int {
+	return MustGood(n) // want "calls MustGood, which panics"
+}
+
+// NewAllowed documents a deliberate programmer-error guard.
+func NewAllowed(n int) int {
+	if n < 0 {
+		//lint:allow nopanic fixture: deliberate programmer-error guard
+		panic("predictor: negative size")
+	}
+	return n
+}
+
+// NewViaAllowed calls the annotated function: the suppression propagates,
+// so the call site is clean too.
+func NewViaAllowed(n int) int {
+	return NewAllowed(n)
+}
+
+// unexportedPanics is not part of the public API surface.
+func unexportedPanics() {
+	panic("internal")
+}
+
+// NewClosure defines (but does not necessarily run) a panicking closure;
+// lexical panics inside function literals are not charged to the
+// enclosing constructor.
+func NewClosure() func() {
+	return func() { panic("deferred to the caller") }
+}

@@ -1,0 +1,75 @@
+// Fixture for the obsnilguard analyzer: calls through telemetry.Observer
+// values in package sim must be dominated by a nil check.
+package sim
+
+import "obsnilguard/telemetry"
+
+type runner struct {
+	obs telemetry.Observer
+}
+
+// goodGuarded is the hot-loop idiom.
+func (r *runner) goodGuarded(pc uint32) {
+	if r.obs != nil {
+		r.obs.OnPredict(pc, true)
+	}
+}
+
+// badUnguarded calls the hook with no dominating nil check.
+func (r *runner) badUnguarded(pc uint32) {
+	r.obs.OnPredict(pc, false) // want "not dominated by a nil check"
+}
+
+// goodInitGuard uses the if-init form from RunMany.
+func goodInitGuard(r *runner) {
+	if obs := r.obs; obs != nil {
+		obs.Finish()
+	}
+}
+
+// goodEarlyReturn guards with an early return.
+func goodEarlyReturn(obs telemetry.Observer) {
+	if obs == nil {
+		return
+	}
+	obs.Finish()
+}
+
+// goodElseBranch guards through the else arm of an == nil check.
+func goodElseBranch(obs telemetry.Observer) {
+	if obs == nil {
+		_ = obs
+	} else {
+		obs.OnTrap()
+	}
+}
+
+// badWrongGuard checks a different expression than it calls through.
+func badWrongGuard(a, b telemetry.Observer) {
+	if a != nil {
+		b.OnTrap() // want "not dominated by a nil check"
+	}
+}
+
+// badLoop repeats the unguarded call inside a loop.
+func badLoop(obs telemetry.Observer) {
+	for i := 0; i < 3; i++ {
+		obs.OnTrap() // want "not dominated by a nil check"
+	}
+}
+
+// badGuardDoesNotCrossFunc: a closure does not inherit the enclosing
+// guard — the closure may run later, after the field changed.
+func badGuardDoesNotCrossFunc(r *runner) func() {
+	if r.obs != nil {
+		return func() {
+			r.obs.Finish() // want "not dominated by a nil check"
+		}
+	}
+	return nil
+}
+
+// allowedUnguarded carries an auditable suppression.
+func allowedUnguarded(obs telemetry.Observer) {
+	obs.Finish() //lint:allow obsnilguard fixture: caller guarantees non-nil
+}

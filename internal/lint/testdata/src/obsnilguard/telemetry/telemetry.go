@@ -1,0 +1,11 @@
+// Fixture stand-in for the real telemetry package: the obsnilguard
+// analyzer matches the Observer interface structurally (definition name
+// plus defining package name), so this package must be named telemetry.
+package telemetry
+
+// Observer mirrors the hook surface of twolevel/internal/telemetry.
+type Observer interface {
+	OnPredict(pc uint32, taken bool)
+	OnTrap()
+	Finish()
+}

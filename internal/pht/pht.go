@@ -44,9 +44,11 @@ func New(k int, m *automaton.Machine) *Table {
 // because taken branches dominate).
 func NewInit(k int, m *automaton.Machine, init automaton.State) *Table {
 	if k < 1 || k > 30 {
+		//lint:allow nopanic programmer-error guard below the validated-constructor layer (predictor.NewTwoLevel validates first); contract-tested
 		panic(fmt.Sprintf("pht: history length %d out of range", k))
 	}
 	if int(init) >= m.States() {
+		//lint:allow nopanic programmer-error guard below the validated-constructor layer (predictor.NewTwoLevel validates first); contract-tested
 		panic(fmt.Sprintf("pht: initial state %d out of range for %s", init, m))
 	}
 	t := &Table{
@@ -126,6 +128,7 @@ type Trainer struct {
 // NewTrainer returns a trainer for k-bit patterns.
 func NewTrainer(k int) *Trainer {
 	if k < 1 || k > 30 {
+		//lint:allow nopanic programmer-error guard below the validated-constructor layer (training tables are sized by validated configs); contract-tested
 		panic(fmt.Sprintf("pht: history length %d out of range", k))
 	}
 	return &Trainer{

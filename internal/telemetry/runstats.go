@@ -60,7 +60,7 @@ func (r *RunStats) Start(info RunInfo) {
 	r.info = info
 	r.finished = false
 	runtime.ReadMemStats(&r.startMem)
-	r.start = time.Now()
+	r.start = time.Now() //lint:allow determinism RunStats measures wall-clock cost; excluded from byte-identical report surfaces
 }
 
 // OnPredict implements Observer.
@@ -84,7 +84,7 @@ func (r *RunStats) OnTrap() { r.m.Traps++ }
 
 // Finish implements Observer.
 func (r *RunStats) Finish() {
-	elapsed := time.Since(r.start)
+	elapsed := time.Since(r.start) //lint:allow determinism RunStats measures wall-clock cost; excluded from byte-identical report surfaces
 	var end runtime.MemStats
 	runtime.ReadMemStats(&end)
 	r.m.WallClockSeconds = elapsed.Seconds()

@@ -78,6 +78,7 @@ func (w *Writer) Flush() error { return w.w.Flush() }
 
 // WriteAll encodes an entire source and flushes.
 func (w *Writer) WriteAll(src Source) error {
+	//lint:allow ctxpoll offline brtrace encode path, bounded by the generated source; not in the grid pipeline
 	for {
 		e, err := src.Next()
 		if err == io.EOF {
@@ -157,6 +158,7 @@ func (fr *FileReader) Next() (Event, error) {
 // WriteText encodes src as the line-oriented text format.
 func WriteText(w io.Writer, src Source) error {
 	bw := bufio.NewWriter(w)
+	//lint:allow ctxpoll offline brtrace encode path, bounded by the generated source; not in the grid pipeline
 	for {
 		e, err := src.Next()
 		if err == io.EOF {

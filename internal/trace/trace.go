@@ -111,6 +111,7 @@ func (t *Trace) Len() int { return len(t.Events) }
 
 // AppendAll drains src into the trace.
 func (t *Trace) AppendAll(src Source) error {
+	//lint:allow ctxpoll in-memory drain helper for tests and tools; cancellable capture goes through CaptureCache, which polls
 	for {
 		e, err := src.Next()
 		if err == io.EOF {
@@ -149,6 +150,7 @@ func (r *Reader) Reset() { r.pos = 0 }
 // (max <= 0 means unbounded).
 func Collect(src Source, max int) (*Trace, error) {
 	t := &Trace{}
+	//lint:allow ctxpoll in-memory drain helper for tests and tools; cancellable capture goes through CaptureCache, which polls
 	for max <= 0 || t.Len() < max {
 		e, err := src.Next()
 		if err == io.EOF {
@@ -224,6 +226,7 @@ func (s *Stats) CondTakenRate() float64 {
 // Summarize drains src through a Stats accumulator.
 func Summarize(src Source) (*Stats, error) {
 	s := NewStats()
+	//lint:allow ctxpoll in-memory summary helper for tests and brtrace; bounded by its source, not in the grid pipeline
 	for {
 		e, err := src.Next()
 		if err == io.EOF {
