@@ -297,6 +297,67 @@ func BenchmarkSimObserverOverhead(b *testing.B) {
 	b.Run("runstats", func(b *testing.B) { run(b, twolevel.NewRunStats()) })
 }
 
+// BenchmarkSimSpanOverhead measures the span-tracing cost in the
+// simulator loop over a prerecorded trace. The nil arm is the
+// zero-cost-when-nil contract: a run without a tracer attached must not
+// allocate for the instrumentation at all (asserted, not just
+// reported). The traced arm opens one replay span per run against a
+// live tracer.
+func BenchmarkSimSpanOverhead(b *testing.B) {
+	src, err := twolevel.NewBenchmarkSource("espresso", false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := &twolevel.Trace{}
+	if err := tr.AppendAll(twolevel.LimitConditional(src, 50_000)); err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, sp *twolevel.Span) {
+		p, err := twolevel.NewPredictor("PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rd := tr.Reader()
+		opts := twolevel.SimOptions{Span: sp}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rd.Reset()
+			if _, err := twolevel.Simulate(p, rd, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("nil", func(b *testing.B) {
+		// The replay with no span attached must not allocate: warm the
+		// predictor once, then assert the steady state before timing.
+		p, err := twolevel.NewPredictor("PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rd := tr.Reader()
+		if _, err := twolevel.Simulate(p, rd, twolevel.SimOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(3, func() {
+			rd.Reset()
+			if _, err := twolevel.Simulate(p, rd, twolevel.SimOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			b.Fatalf("nil-span replay allocated %.0f times per run, want 0", allocs)
+		}
+		run(b, nil)
+	})
+	b.Run("traced", func(b *testing.B) {
+		tracer := twolevel.NewSpanTracer()
+		root := tracer.Root("bench")
+		defer root.End()
+		run(b, root)
+	})
+}
+
 // BenchmarkTraceGeneration measures the CPU-simulator substrate: events
 // generated per second from the gcc program.
 func BenchmarkTraceGeneration(b *testing.B) {

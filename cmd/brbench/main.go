@@ -1,0 +1,135 @@
+// Command brbench runs the experiment-suite benchmark protocol and
+// gates performance regressions against a checked-in baseline.
+//
+// Usage:
+//
+//	brbench -out bench.json                  # run the protocol, write the document
+//	brbench -check                           # run and diff against BENCH_experiments.json
+//	brbench -check -threshold 0.3            # allow a 30% drop before failing
+//	brbench -check -current bench.json       # gate a previously saved document (no run)
+//	brbench -update                          # run and overwrite the baseline
+//	brbench -check -branches 2000 -j 2       # cheap smoke-sized protocol run
+//	brbench -version                         # build provenance
+//
+// The gated metrics are higher-is-better ratios — suite events/sec,
+// the live-over-cached suite speedup, and the fig6 cold/warm speedups —
+// so machine-speed differences mostly cancel. Every document is stamped
+// with the environment that produced it (build provenance, toolchain,
+// CPU model, GOMAXPROCS), making cross-machine diffs visibly
+// apples-to-oranges.
+//
+// Exit status: 0 on success, 1 when -check found a regression, 2 on
+// any other error.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"twolevel/internal/bench"
+	"twolevel/internal/buildinfo"
+	"twolevel/internal/experiments"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case err == nil:
+	case errors.Is(err, errRegression):
+		fmt.Fprintln(os.Stderr, "brbench:", err)
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "brbench:", err)
+		os.Exit(2)
+	}
+}
+
+// errRegression marks a failed gate (exit 1) as opposed to an
+// operational error (exit 2).
+var errRegression = errors.New("performance regression")
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("brbench", flag.ContinueOnError)
+	var (
+		out       = fs.String("out", "", "write the benchmark document to this file")
+		baseline  = fs.String("baseline", "BENCH_experiments.json", "baseline document the gate compares against")
+		check     = fs.Bool("check", false, "diff the run (or -current document) against the baseline; exit 1 on regression")
+		current   = fs.String("current", "", "gate this previously saved document instead of running the protocol")
+		threshold = fs.Float64("threshold", bench.DefaultThreshold, "allowed fractional drop per gated metric (0.2 = 20%)")
+		update    = fs.Bool("update", false, "write the run's document over the baseline")
+		branches  = fs.Uint64("branches", 0, "conditional branches per benchmark (0 = default)")
+		workersN  = fs.Int("j", 0, "worker-pool size for the experiment grid (0 = GOMAXPROCS)")
+		version   = fs.Bool("version", false, "print build provenance and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, "brbench", buildinfo.Read())
+		return nil
+	}
+	if !*check && *out == "" && !*update {
+		return errors.New("nothing to do: pass -check, -out or -update")
+	}
+	if *current != "" && !*check {
+		return errors.New("-current only makes sense with -check")
+	}
+
+	var doc bench.Doc
+	var err error
+	if *current != "" {
+		if doc, err = bench.ReadDoc(*current); err != nil {
+			return err
+		}
+	} else {
+		opts := experiments.Options{CondBranches: *branches, Workers: *workersN}
+		if doc, err = bench.RunProtocol(opts); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, doc.Summary())
+	}
+
+	write := func(path string) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := doc.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if *out != "" {
+		if err := write(*out); err != nil {
+			return err
+		}
+	}
+	if *update {
+		if err := write(*baseline); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "baseline %s updated\n", *baseline)
+	}
+
+	if *check {
+		base, err := bench.ReadDoc(*baseline)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		regs := bench.Compare(base, doc, bench.Thresholds{Default: *threshold})
+		if len(regs) == 0 {
+			fmt.Fprintf(stdout, "gate passed: no gated metric dropped more than %.0f%% vs %s\n",
+				100**threshold, *baseline)
+			return nil
+		}
+		for _, r := range regs {
+			fmt.Fprintln(stdout, "REGRESSION", r)
+		}
+		return fmt.Errorf("%w: %d metric(s) regressed vs %s", errRegression, len(regs), *baseline)
+	}
+	return nil
+}

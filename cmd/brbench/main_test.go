@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"twolevel/internal/bench"
+)
+
+// writeDoc saves d under dir and returns its path.
+func writeDoc(t *testing.T, dir, name string, d bench.Doc) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func gateDoc(eps float64) bench.Doc {
+	var d bench.Doc
+	d.Suite.EventsPerSec = eps
+	d.Suite.SpeedupLive = 3
+	d.Fig6.SpeedupCold = 2
+	d.Fig6.SpeedupWarm = 4
+	return d
+}
+
+// TestCheckFailsOnInjectedRegression is the CLI acceptance: -check must
+// exit non-zero (errRegression) when the current document carries a
+// synthetic 20% events/sec drop, and pass when it does not.
+func TestCheckFailsOnInjectedRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "baseline.json", gateDoc(100e6))
+	bad := writeDoc(t, dir, "bad.json", gateDoc(80e6)) // injected -20%
+	good := writeDoc(t, dir, "good.json", gateDoc(99e6))
+
+	var out bytes.Buffer
+	err := run([]string{"-check", "-baseline", base, "-current", bad, "-threshold", "0.1"}, &out)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("err = %v, want errRegression", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "suite.events_per_sec") {
+		t.Errorf("gate output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-check", "-baseline", base, "-current", good, "-threshold", "0.1"}, &out); err != nil {
+		t.Fatalf("healthy doc failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "gate passed") {
+		t.Errorf("gate output:\n%s", out.String())
+	}
+
+	// A generous threshold lets the injected drop through.
+	if err := run([]string{"-check", "-baseline", base, "-current", bad, "-threshold", "0.5"}, &out); err != nil {
+		t.Fatalf("50%% threshold rejected a 20%% drop: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("no-op invocation must error")
+	}
+	if err := run([]string{"-current", "x.json"}, &out); err == nil {
+		t.Error("-current without -check must error")
+	}
+	err := run([]string{"-check", "-baseline", "does-not-exist.json", "-current", "also-missing.json"}, &out)
+	if err == nil || errors.Is(err, errRegression) {
+		t.Errorf("missing files must be an operational error, got %v", err)
+	}
+	if err := run([]string{"-version"}, &out); err != nil || !strings.Contains(out.String(), "brbench") {
+		t.Errorf("-version: %v, %q", err, out.String())
+	}
+}

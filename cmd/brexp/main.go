@@ -19,8 +19,10 @@
 // Observability (see EXPERIMENTS.md, "Forensics & live monitoring"):
 //
 //	brexp -exp fig5 -forensics forensics.json   # mispredict post-mortems
-//	brexp -exp all -listen :8080                # /metrics, /progress, /debug/pprof
+//	brexp -exp all -listen :8080                # /metrics, /progress, /debug/pprof, /spans
 //	brexp -exp all -log-format json -log-level debug  # structured cell logs
+//	brexp -exp fig6 -trace-out trace.json       # chrome://tracing span timeline
+//	brexp -exp fig6 -span-summary -             # phase-latency tree on stderr
 //
 // With both -listen and -metrics set, the final /metrics scrape is saved
 // next to the metrics document as <metrics>.prom; its counters agree
@@ -56,7 +58,7 @@ import (
 	"time"
 
 	"twolevel"
-	"twolevel/internal/cpu"
+	"twolevel/internal/bench"
 )
 
 func main() {
@@ -68,16 +70,16 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment ID (table1..table3, fig4..fig11) or 'all'")
-		branches = flag.Uint64("branches", 0, "conditional branches per benchmark (0 = default)")
-		train    = flag.Uint64("train", 0, "training-pass branch budget (0 = same as -branches)")
-		benchCSV = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		markdown = flag.Bool("md", false, "emit GitHub-flavoured markdown tables")
-		jsonOut  = flag.Bool("json", false, "emit reports as a JSON array instead of text")
-		metrics  = flag.String("metrics", "", "write a per-run telemetry document (metrics.json) to this file")
-		hotK     = flag.Int("hot", 10, "top-K hot branches per run in the metrics document")
-		interval = flag.Uint64("interval", 0, "accuracy sampling interval in the metrics document (0 = budget/20)")
+		exp        = flag.String("exp", "all", "experiment ID (table1..table3, fig4..fig11) or 'all'")
+		branches   = flag.Uint64("branches", 0, "conditional branches per benchmark (0 = default)")
+		train      = flag.Uint64("train", 0, "training-pass branch budget (0 = same as -branches)")
+		benchCSV   = flag.String("bench", "", "comma-separated benchmark subset (default: all nine)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		markdown   = flag.Bool("md", false, "emit GitHub-flavoured markdown tables")
+		jsonOut    = flag.Bool("json", false, "emit reports as a JSON array instead of text")
+		metrics    = flag.String("metrics", "", "write a per-run telemetry document (metrics.json) to this file")
+		hotK       = flag.Int("hot", 10, "top-K hot branches per run in the metrics document")
+		interval   = flag.Uint64("interval", 0, "accuracy sampling interval in the metrics document (0 = budget/20)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file")
 		workersN   = flag.Int("j", 0, "worker-pool size for the experiment grid (0 = GOMAXPROCS)")
@@ -90,7 +92,9 @@ func run() error {
 		resume     = flag.String("resume", "", "checkpoint manifest path: completed cells are recorded there and restored on re-run")
 		forensics  = flag.String("forensics", "", "write a mispredict-forensics document (forensics.json) to this file")
 		forensicsK = flag.Int("forensics-top", 8, "top-K hard-to-predict branches per run in the forensics document")
-		listen     = flag.String("listen", "", "serve live monitoring on this address while the run executes (/metrics, /progress, /debug/pprof)")
+		listen     = flag.String("listen", "", "serve live monitoring on this address while the run executes (/metrics, /progress, /debug/pprof, /spans)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) of the run's spans to this file")
+		spanSum    = flag.String("span-summary", "", "write the aggregated span-latency summary tree to this file (\"-\" = stderr)")
 		logFormat  = flag.String("log-format", "text", "log encoding: text or json")
 		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		version    = flag.Bool("version", false, "print build provenance and exit")
@@ -145,6 +149,55 @@ func run() error {
 		Logger:            log,
 	}
 
+	// -trace-out / -span-summary attach a span tracer to the whole run;
+	// every phase (capture, train, replay, forensics, report) lands on a
+	// timed span. Absent, opts.Span stays nil and the hot paths pay
+	// nothing for the instrumentation.
+	var tracer *twolevel.SpanTracer
+	var rootSpan *twolevel.Span
+	if *traceOut != "" || *spanSum != "" {
+		tracer = twolevel.NewSpanTracer()
+		rootSpan = tracer.Root("suite")
+		opts.Span = rootSpan
+	}
+	// flushSpans closes the root span and writes the requested exports;
+	// call it once after the run body finishes.
+	flushSpans := func() error {
+		if tracer == nil {
+			return nil
+		}
+		rootSpan.End()
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			if err := tracer.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			log.Debug("trace written", "path", *traceOut)
+		}
+		if *spanSum != "" {
+			w := io.Writer(os.Stderr)
+			if *spanSum != "-" {
+				f, err := os.Create(*spanSum)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := tracer.Summary().WriteText(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	// -listen serves the live monitoring endpoints for the whole run; the
 	// monitor's final snapshot lands in the metrics document so the last
 	// scrape and metrics.json agree.
@@ -153,6 +206,9 @@ func run() error {
 	if *listen != "" {
 		monitor = twolevel.NewExperimentMonitor()
 		opts.Monitor = monitor
+		if tracer != nil {
+			monitor.AttachTracer(tracer)
+		}
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
 			return err
@@ -215,7 +271,10 @@ func run() error {
 	}
 
 	if *benchJSON != "" {
-		return runBenchJSON(*benchJSON, opts)
+		if err := runBenchJSON(*benchJSON, opts); err != nil {
+			return err
+		}
+		return flushSpans()
 	}
 	var reports []*twolevel.Report
 	var failures []error
@@ -233,6 +292,9 @@ func run() error {
 		if r != nil {
 			reports = append(reports, r)
 		}
+	}
+	if err := flushSpans(); err != nil {
+		return err
 	}
 
 	switch {
@@ -342,155 +404,24 @@ func saveScrape(url, path string) error {
 	return f.Close()
 }
 
-// suiteBench is the full-suite section of the benchmark document.
-type suiteBench struct {
-	// WallClockSeconds is the duration of one full experiment run
-	// (every table, figure and extension) with the trace cache cold.
-	WallClockSeconds float64 `json:"wall_clock_seconds"`
-	// LiveWallClockSeconds is the same full run with the trace cache
-	// disabled: every run re-executes the CPU interpreter, as the
-	// harness did before the cache existed.
-	LiveWallClockSeconds float64 `json:"live_wall_clock_seconds"`
-	// SpeedupLive is LiveWallClockSeconds over WallClockSeconds: the
-	// end-to-end suite speedup the capture cache delivers from cold.
-	SpeedupLive float64 `json:"speedup_live_over_cached"`
-	// Runs is the number of instrumented predictor runs.
-	Runs int `json:"runs"`
-	// Events is the total trace events replayed across those runs.
-	Events uint64 `json:"events"`
-	// EventsPerSec is Events over WallClockSeconds.
-	EventsPerSec float64 `json:"events_per_sec"`
-	// AllocBytes is the process heap allocation delta for the suite.
-	AllocBytes uint64 `json:"alloc_bytes"`
-	// InterpreterConstructions counts CPU interpreters built — the
-	// capture-once property bounds it by benchmarks, not runs.
-	InterpreterConstructions uint64 `json:"interpreter_constructions"`
-	// CaptureCache is the packed trace footprint after the suite.
-	CaptureCache twolevel.TraceCaptureStats `json:"capture_cache"`
-}
-
-// fig6Bench compares one multi-spec experiment across cache arms.
-type fig6Bench struct {
-	LiveSeconds       float64 `json:"live_seconds"`
-	CachedColdSeconds float64 `json:"cached_cold_seconds"`
-	CachedWarmSeconds float64 `json:"cached_warm_seconds"`
-	SpeedupCold       float64 `json:"speedup_live_over_cached_cold"`
-	SpeedupWarm       float64 `json:"speedup_live_over_cached_warm"`
-}
-
-// benchDoc is the BENCH_experiments.json schema: the perf trajectory
-// baseline for the experiment harness.
-type benchDoc struct {
-	GoMaxProcs   int        `json:"go_max_procs"`
-	Workers      int        `json:"workers"`
-	CondBranches uint64     `json:"cond_branches"`
-	Suite        suiteBench `json:"suite"`
-	Fig6         fig6Bench  `json:"fig6"`
-}
-
-// runBenchJSON executes the benchmark protocol: the full suite once with
-// a cold cache, then fig6 under live / cached-cold / cached-warm
-// regimes, and writes the document to path.
+// runBenchJSON executes the suite benchmark protocol (internal/bench)
+// and writes the BENCH_experiments.json document to path.
 func runBenchJSON(path string, opts twolevel.ExperimentOptions) error {
-	budget := opts.CondBranches
-	if budget == 0 {
-		budget = twolevel.DefaultExperimentBranches
-		opts.CondBranches = budget
-	}
-	opts.Telemetry = &twolevel.ExperimentTelemetry{}
-	opts.DisableTraceCache = false
-
-	twolevel.ResetExperimentCaches()
-	var before, after runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&before)
-	cons := cpu.Constructions()
-	start := time.Now()
-	for _, id := range twolevel.ExperimentIDs() {
-		if _, err := twolevel.RunExperiment(id, opts); err != nil {
-			return err
-		}
-	}
-	suiteSecs := time.Since(start).Seconds()
-	runtime.ReadMemStats(&after)
-
-	doc := benchDoc{
-		GoMaxProcs:   runtime.GOMAXPROCS(0),
-		Workers:      opts.Workers,
-		CondBranches: budget,
-	}
-	doc.Suite.WallClockSeconds = suiteSecs
-	doc.Suite.AllocBytes = after.TotalAlloc - before.TotalAlloc
-	doc.Suite.InterpreterConstructions = cpu.Constructions() - cons
-	doc.Suite.CaptureCache = twolevel.ExperimentCaptureStats()
-	for _, rm := range opts.Telemetry.Runs() {
-		doc.Suite.Runs++
-		doc.Suite.Events += rm.Stats.Events
-	}
-	if suiteSecs > 0 {
-		doc.Suite.EventsPerSec = float64(doc.Suite.Events) / suiteSecs
-	}
-
-	liveSuite := opts
-	liveSuite.DisableTraceCache = true
-	liveSuite.Telemetry = &twolevel.ExperimentTelemetry{}
-	twolevel.ResetExperimentCaches()
-	start = time.Now()
-	for _, id := range twolevel.ExperimentIDs() {
-		if _, err := twolevel.RunExperiment(id, liveSuite); err != nil {
-			return err
-		}
-	}
-	doc.Suite.LiveWallClockSeconds = time.Since(start).Seconds()
-	if suiteSecs > 0 {
-		doc.Suite.SpeedupLive = doc.Suite.LiveWallClockSeconds / suiteSecs
-	}
-
-	timeFig6 := func(o twolevel.ExperimentOptions) (float64, error) {
-		start := time.Now()
-		_, err := twolevel.RunExperiment("fig6", o)
-		return time.Since(start).Seconds(), err
-	}
-	fig6Opts := opts
-	fig6Opts.Telemetry = nil
-
-	var err error
-	live := fig6Opts
-	live.DisableTraceCache = true
-	twolevel.ResetExperimentCaches()
-	if doc.Fig6.LiveSeconds, err = timeFig6(live); err != nil {
+	doc, err := bench.RunProtocol(opts)
+	if err != nil {
 		return err
 	}
-	twolevel.ResetExperimentCaches()
-	if doc.Fig6.CachedColdSeconds, err = timeFig6(fig6Opts); err != nil {
-		return err
-	}
-	if doc.Fig6.CachedWarmSeconds, err = timeFig6(fig6Opts); err != nil {
-		return err
-	}
-	if doc.Fig6.CachedColdSeconds > 0 {
-		doc.Fig6.SpeedupCold = doc.Fig6.LiveSeconds / doc.Fig6.CachedColdSeconds
-	}
-	if doc.Fig6.CachedWarmSeconds > 0 {
-		doc.Fig6.SpeedupWarm = doc.Fig6.LiveSeconds / doc.Fig6.CachedWarmSeconds
-	}
-
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
+	if err := doc.Write(f); err != nil {
 		f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("suite: %.2fs cached vs %.2fs live (%.1fx), %d runs, %.1fM events/s, %d interpreters; fig6 speedup: %.1fx cold, %.1fx warm\n",
-		doc.Suite.WallClockSeconds, doc.Suite.LiveWallClockSeconds, doc.Suite.SpeedupLive,
-		doc.Suite.Runs, doc.Suite.EventsPerSec/1e6,
-		doc.Suite.InterpreterConstructions, doc.Fig6.SpeedupCold, doc.Fig6.SpeedupWarm)
+	fmt.Println(doc.Summary())
 	return nil
 }

@@ -13,6 +13,8 @@
 //	brsim -bench gcc -hot 10                     # worst-predicted branches
 //	brsim -bench gcc -explain 0x1a2c             # why does this branch mispredict?
 //	brsim -bench gcc -metrics run.json -interval 5000
+//	brsim -bench gcc -trace-out trace.json       # chrome://tracing span timeline
+//	brsim -bench gcc -span-summary -             # phase-latency tree on stderr
 //	brsim -j 4                                   # run benchmarks in parallel
 package main
 
@@ -70,6 +72,8 @@ func run() error {
 		traceReuse = flag.Bool("trace-reuse", true, "capture each training trace once and replay it for every training-based scheme")
 		timeout    = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 		explainPC  = flag.String("explain", "", "diagnose why this branch PC (hex or decimal) mispredicts: attach a forensics observer and print a post-mortem per run")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON (chrome://tracing, Perfetto) of the run's spans to this file")
+		spanSum    = flag.String("span-summary", "", "write the aggregated span-latency summary tree to this file (\"-\" = stderr)")
 		logFormat  = flag.String("log-format", "text", "log encoding: text or json")
 		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		version    = flag.Bool("version", false, "print build provenance and exit")
@@ -128,6 +132,50 @@ func run() error {
 			return err
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	// -trace-out / -span-summary attach a span tracer; each batched replay
+	// pass lands on one "replay" span under the suite root. Absent, the
+	// Span option stays nil and the replay loop pays nothing.
+	var tracer *twolevel.SpanTracer
+	var rootSpan *twolevel.Span
+	if *traceOut != "" || *spanSum != "" {
+		tracer = twolevel.NewSpanTracer()
+		rootSpan = tracer.Root("suite")
+	}
+	flushSpans := func() error {
+		if tracer == nil {
+			return nil
+		}
+		rootSpan.End()
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			if err := tracer.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		if *spanSum != "" {
+			w := io.Writer(os.Stderr)
+			if *spanSum != "-" {
+				f, err := os.Create(*spanSum)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := tracer.Summary().WriteText(w); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	// schemeOut is one (scheme, source) run's harvest; done folds it into
@@ -225,6 +273,7 @@ func run() error {
 				MaxCondBranches: *branches,
 				PipelineDepth:   *pipeline,
 				Context:         ctx,
+				Span:            rootSpan,
 			}
 			outs[i], o = instrument(o)
 			optsList[i] = o
@@ -256,6 +305,9 @@ func run() error {
 		for i, out := range outs {
 			fmt.Printf("%s on %s: %s\n", sps[i].String(), *traceFile, out.res.Accuracy)
 			done(sps[i], *traceFile, out)
+		}
+		if err := flushSpans(); err != nil {
+			return err
 		}
 		return finish(*metrics, *memProf, &doc)
 	}
@@ -368,6 +420,9 @@ func run() error {
 		}
 	}
 	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if err := flushSpans(); err != nil {
 		return err
 	}
 	return finish(*metrics, *memProf, &doc)

@@ -1,0 +1,328 @@
+// Package bench is the experiment harness's performance-regression
+// gate. It owns the suite benchmark protocol (previously embedded in
+// brexp -benchjson): one full experiment run with the trace cache cold,
+// the same run live, and fig6 under live / cached-cold / cached-warm
+// regimes. The resulting Doc is the BENCH_experiments.json schema,
+// stamped with the environment that produced it — build provenance,
+// toolchain, CPU — so a checked-in baseline is attributable to a
+// machine, and Compare diffs a fresh run against that baseline with
+// per-metric thresholds. cmd/brbench is the CLI over both halves.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"twolevel/internal/buildinfo"
+	"twolevel/internal/cpu"
+	"twolevel/internal/experiments"
+	"twolevel/internal/trace"
+)
+
+// Environment records where a benchmark document was produced. A perf
+// number is meaningless without it: the regression gate refuses nothing
+// on environment mismatch, but the fields make a cross-machine diff
+// visibly apples-to-oranges.
+type Environment struct {
+	// Build is the binary's provenance (module, version, VCS revision).
+	Build buildinfo.Info `json:"build"`
+	// GoOS and GoArch identify the platform.
+	GoOS   string `json:"goos"`
+	GoArch string `json:"goarch"`
+	// NumCPU is the machine's logical CPU count; GoMaxProcs the
+	// scheduler parallelism the run actually used.
+	NumCPU     int `json:"num_cpu"`
+	GoMaxProcs int `json:"go_max_procs"`
+	// CPUModel is the processor model name when the platform exposes
+	// one (/proc/cpuinfo on Linux), empty otherwise.
+	CPUModel string `json:"cpu_model,omitempty"`
+}
+
+// ReadEnvironment captures the current process's environment.
+func ReadEnvironment() Environment {
+	return Environment{
+		Build:      buildinfo.Read(),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+	}
+}
+
+// cpuModel reads the processor model name from /proc/cpuinfo; best
+// effort, empty on platforms without it.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}
+
+// SuiteBench is the full-suite section of the benchmark document.
+type SuiteBench struct {
+	// WallClockSeconds is the duration of one full experiment run
+	// (every table, figure and extension) with the trace cache cold.
+	WallClockSeconds float64 `json:"wall_clock_seconds"`
+	// LiveWallClockSeconds is the same full run with the trace cache
+	// disabled: every run re-executes the CPU interpreter, as the
+	// harness did before the cache existed.
+	LiveWallClockSeconds float64 `json:"live_wall_clock_seconds"`
+	// SpeedupLive is LiveWallClockSeconds over WallClockSeconds: the
+	// end-to-end suite speedup the capture cache delivers from cold.
+	SpeedupLive float64 `json:"speedup_live_over_cached"`
+	// Runs is the number of instrumented predictor runs.
+	Runs int `json:"runs"`
+	// Events is the total trace events replayed across those runs.
+	Events uint64 `json:"events"`
+	// EventsPerSec is Events over WallClockSeconds.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// AllocBytes is the process heap allocation delta for the suite.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// InterpreterConstructions counts CPU interpreters built — the
+	// capture-once property bounds it by benchmarks, not runs.
+	InterpreterConstructions uint64 `json:"interpreter_constructions"`
+	// CaptureCache is the packed trace footprint after the suite.
+	CaptureCache trace.CaptureStats `json:"capture_cache"`
+}
+
+// Fig6Bench compares one multi-spec experiment across cache arms.
+type Fig6Bench struct {
+	LiveSeconds       float64 `json:"live_seconds"`
+	CachedColdSeconds float64 `json:"cached_cold_seconds"`
+	CachedWarmSeconds float64 `json:"cached_warm_seconds"`
+	SpeedupCold       float64 `json:"speedup_live_over_cached_cold"`
+	SpeedupWarm       float64 `json:"speedup_live_over_cached_warm"`
+}
+
+// Doc is the BENCH_experiments.json schema: the perf trajectory
+// baseline for the experiment harness.
+type Doc struct {
+	Environment  Environment `json:"environment"`
+	GoMaxProcs   int         `json:"go_max_procs"`
+	Workers      int         `json:"workers"`
+	CondBranches uint64      `json:"cond_branches"`
+	Suite        SuiteBench  `json:"suite"`
+	Fig6         Fig6Bench   `json:"fig6"`
+}
+
+// RunProtocol executes the benchmark protocol — the full suite once
+// with a cold cache, the same suite live, then fig6 under live /
+// cached-cold / cached-warm regimes — and returns the document. The
+// shared capture cache is reset around each arm; callers running
+// experiments afterwards should reset it again.
+func RunProtocol(opts experiments.Options) (Doc, error) {
+	budget := opts.CondBranches
+	if budget == 0 {
+		budget = experiments.DefaultCondBranches
+		opts.CondBranches = budget
+	}
+	opts.Telemetry = &experiments.Telemetry{}
+	opts.DisableTraceCache = false
+
+	doc := Doc{
+		Environment:  ReadEnvironment(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Workers:      opts.Workers,
+		CondBranches: budget,
+	}
+	if doc.Workers == 0 {
+		doc.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	experiments.ResetCaches()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	cons := cpu.Constructions()
+	start := time.Now()
+	for _, id := range experiments.IDs() {
+		if _, err := experiments.Run(id, opts); err != nil {
+			return doc, err
+		}
+	}
+	suiteSecs := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+
+	doc.Suite.WallClockSeconds = suiteSecs
+	doc.Suite.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	doc.Suite.InterpreterConstructions = cpu.Constructions() - cons
+	doc.Suite.CaptureCache = experiments.CaptureCacheStats()
+	for _, rm := range opts.Telemetry.Runs() {
+		doc.Suite.Runs++
+		doc.Suite.Events += rm.Stats.Events
+	}
+	if suiteSecs > 0 {
+		doc.Suite.EventsPerSec = float64(doc.Suite.Events) / suiteSecs
+	}
+
+	liveSuite := opts
+	liveSuite.DisableTraceCache = true
+	liveSuite.Telemetry = &experiments.Telemetry{}
+	experiments.ResetCaches()
+	start = time.Now()
+	for _, id := range experiments.IDs() {
+		if _, err := experiments.Run(id, liveSuite); err != nil {
+			return doc, err
+		}
+	}
+	doc.Suite.LiveWallClockSeconds = time.Since(start).Seconds()
+	if suiteSecs > 0 {
+		doc.Suite.SpeedupLive = doc.Suite.LiveWallClockSeconds / suiteSecs
+	}
+
+	timeFig6 := func(o experiments.Options) (float64, error) {
+		start := time.Now()
+		_, err := experiments.Run("fig6", o)
+		return time.Since(start).Seconds(), err
+	}
+	fig6Opts := opts
+	fig6Opts.Telemetry = nil
+
+	var err error
+	live := fig6Opts
+	live.DisableTraceCache = true
+	experiments.ResetCaches()
+	if doc.Fig6.LiveSeconds, err = timeFig6(live); err != nil {
+		return doc, err
+	}
+	experiments.ResetCaches()
+	if doc.Fig6.CachedColdSeconds, err = timeFig6(fig6Opts); err != nil {
+		return doc, err
+	}
+	if doc.Fig6.CachedWarmSeconds, err = timeFig6(fig6Opts); err != nil {
+		return doc, err
+	}
+	if doc.Fig6.CachedColdSeconds > 0 {
+		doc.Fig6.SpeedupCold = doc.Fig6.LiveSeconds / doc.Fig6.CachedColdSeconds
+	}
+	if doc.Fig6.CachedWarmSeconds > 0 {
+		doc.Fig6.SpeedupWarm = doc.Fig6.LiveSeconds / doc.Fig6.CachedWarmSeconds
+	}
+	return doc, nil
+}
+
+// Summary renders the one-line human digest brexp -benchjson prints.
+func (d Doc) Summary() string {
+	return fmt.Sprintf("suite: %.2fs cached vs %.2fs live (%.1fx), %d runs, %.1fM events/s, %d interpreters; fig6 speedup: %.1fx cold, %.1fx warm",
+		d.Suite.WallClockSeconds, d.Suite.LiveWallClockSeconds, d.Suite.SpeedupLive,
+		d.Suite.Runs, d.Suite.EventsPerSec/1e6,
+		d.Suite.InterpreterConstructions, d.Fig6.SpeedupCold, d.Fig6.SpeedupWarm)
+}
+
+// Write renders the document as indented JSON.
+func (d Doc) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ReadDoc loads a benchmark document from path.
+func ReadDoc(path string) (Doc, error) {
+	var d Doc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(data, &d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// Thresholds configures the regression gate: each metric may drop by
+// its fraction (0.2 = 20%) before Compare flags it. Default applies to
+// metrics without an explicit entry; zero means "use DefaultThreshold".
+type Thresholds struct {
+	Default   float64
+	PerMetric map[string]float64
+}
+
+// DefaultThreshold is the allowed fractional drop when none is given.
+// Wall-clock benchmarks on shared machines are noisy; 20% rejects real
+// regressions while tolerating scheduler jitter.
+const DefaultThreshold = 0.2
+
+func (t Thresholds) limit(metric string) float64 {
+	if v, ok := t.PerMetric[metric]; ok {
+		return v
+	}
+	if t.Default > 0 {
+		return t.Default
+	}
+	return DefaultThreshold
+}
+
+// Regression is one metric that dropped past its threshold.
+type Regression struct {
+	// Metric is the dotted document path of the value.
+	Metric string `json:"metric"`
+	// Baseline and Current are the compared values (higher is better).
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	// Drop is the fractional decline, Threshold what was allowed.
+	Drop      float64 `json:"drop"`
+	Threshold float64 `json:"threshold"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.3g -> %.3g (-%.1f%%, allowed %.1f%%)",
+		r.Metric, r.Baseline, r.Current, 100*r.Drop, 100*r.Threshold)
+}
+
+// gatedMetrics extracts the higher-is-better values the gate watches.
+// Wall-clock seconds are deliberately excluded as absolutes — they are
+// gated through the throughput and speedup ratios, which cancel
+// machine-speed differences a little better.
+func gatedMetrics(d Doc) map[string]float64 {
+	return map[string]float64{
+		"suite.events_per_sec":           d.Suite.EventsPerSec,
+		"suite.speedup_live_over_cached": d.Suite.SpeedupLive,
+		"fig6.speedup_cold":              d.Fig6.SpeedupCold,
+		"fig6.speedup_warm":              d.Fig6.SpeedupWarm,
+	}
+}
+
+// Compare diffs current against baseline and returns every gated
+// metric whose drop exceeds its threshold, in stable metric order.
+// Metrics absent (zero) in the baseline are skipped — an older
+// baseline must not fail a newer binary.
+func Compare(baseline, current Doc, th Thresholds) []Regression {
+	base := gatedMetrics(baseline)
+	cur := gatedMetrics(current)
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []Regression
+	for _, name := range names {
+		b := base[name]
+		if b <= 0 {
+			continue
+		}
+		c := cur[name]
+		drop := (b - c) / b
+		if allowed := th.limit(name); drop > allowed {
+			out = append(out, Regression{
+				Metric: name, Baseline: b, Current: c,
+				Drop: drop, Threshold: allowed,
+			})
+		}
+	}
+	return out
+}

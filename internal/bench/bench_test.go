@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"twolevel/internal/experiments"
+)
+
+// sampleDoc is a plausible baseline for gate tests.
+func sampleDoc() Doc {
+	d := Doc{GoMaxProcs: 8, Workers: 8, CondBranches: 100_000}
+	d.Environment = ReadEnvironment()
+	d.Suite.WallClockSeconds = 2.0
+	d.Suite.LiveWallClockSeconds = 6.0
+	d.Suite.SpeedupLive = 3.0
+	d.Suite.Runs = 100
+	d.Suite.Events = 200_000_000
+	d.Suite.EventsPerSec = 100_000_000
+	d.Fig6.LiveSeconds = 1.0
+	d.Fig6.CachedColdSeconds = 0.5
+	d.Fig6.CachedWarmSeconds = 0.25
+	d.Fig6.SpeedupCold = 2.0
+	d.Fig6.SpeedupWarm = 4.0
+	return d
+}
+
+// TestCompareDetectsInjectedRegression is the gate's acceptance test: a
+// synthetic 20% events/sec drop must trip a 10% threshold and pass a
+// 30% one.
+func TestCompareDetectsInjectedRegression(t *testing.T) {
+	base := sampleDoc()
+	cur := base
+	cur.Suite.EventsPerSec = base.Suite.EventsPerSec * 0.8 // injected -20%
+
+	regs := Compare(base, cur, Thresholds{Default: 0.1})
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want exactly the injected one: %v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.Metric != "suite.events_per_sec" {
+		t.Errorf("metric = %q", r.Metric)
+	}
+	if r.Drop < 0.19 || r.Drop > 0.21 {
+		t.Errorf("drop = %v, want ~0.2", r.Drop)
+	}
+	if !strings.Contains(r.String(), "suite.events_per_sec") {
+		t.Errorf("render: %s", r)
+	}
+
+	if regs := Compare(base, cur, Thresholds{Default: 0.3}); len(regs) != 0 {
+		t.Errorf("30%% threshold flagged a 20%% drop: %v", regs)
+	}
+}
+
+func TestComparePerMetricThresholdAndMissingBaseline(t *testing.T) {
+	base := sampleDoc()
+	cur := base
+	cur.Fig6.SpeedupWarm = base.Fig6.SpeedupWarm * 0.5
+	cur.Suite.SpeedupLive = base.Suite.SpeedupLive * 0.5
+
+	th := Thresholds{Default: 0.2, PerMetric: map[string]float64{"fig6.speedup_warm": 0.6}}
+	regs := Compare(base, cur, th)
+	if len(regs) != 1 || regs[0].Metric != "suite.speedup_live_over_cached" {
+		t.Fatalf("per-metric override not honoured: %v", regs)
+	}
+
+	// Metrics the baseline never measured (zero) are skipped.
+	empty := Doc{}
+	if regs := Compare(empty, cur, Thresholds{}); len(regs) != 0 {
+		t.Errorf("empty baseline produced regressions: %v", regs)
+	}
+
+	// Improvements never trip the gate.
+	better := base
+	better.Suite.EventsPerSec *= 2
+	if regs := Compare(base, better, Thresholds{Default: 0.01}); len(regs) != 0 {
+		t.Errorf("improvement flagged: %v", regs)
+	}
+}
+
+func TestEnvironmentAndDocRoundTrip(t *testing.T) {
+	env := ReadEnvironment()
+	if env.Build.GoVersion == "" || env.GoOS == "" || env.GoArch == "" {
+		t.Fatalf("environment underpopulated: %+v", env)
+	}
+	if env.NumCPU < 1 || env.GoMaxProcs < 1 {
+		t.Fatalf("cpu counts: %+v", env)
+	}
+	d := sampleDoc()
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The historical field names survive the move out of brexp.
+	for _, key := range []string{`"go_max_procs"`, `"workers"`, `"cond_branches"`,
+		`"events_per_sec"`, `"speedup_live_over_cached"`, `"environment"`, `"go_version"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("document missing %s:\n%s", key, buf.String())
+		}
+	}
+	var back Doc
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Suite.EventsPerSec != d.Suite.EventsPerSec || back.Environment.GoOS != d.Environment.GoOS {
+		t.Fatalf("round trip mutated the document:\n%+v\n%+v", back, d)
+	}
+}
+
+// TestRunProtocolSmoke runs the real protocol at a tiny budget: the
+// document must come back internally consistent and environment-stamped.
+func TestRunProtocolSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full protocol run in -short mode")
+	}
+	t.Cleanup(experiments.ResetCaches)
+	doc, err := RunProtocol(experiments.Options{CondBranches: 500, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.CondBranches != 500 || doc.Workers != 2 {
+		t.Fatalf("config not recorded: %+v", doc)
+	}
+	if doc.Suite.Runs == 0 || doc.Suite.Events == 0 || doc.Suite.EventsPerSec <= 0 {
+		t.Fatalf("suite section empty: %+v", doc.Suite)
+	}
+	if doc.Suite.WallClockSeconds <= 0 || doc.Suite.LiveWallClockSeconds <= 0 {
+		t.Fatalf("wall clocks missing: %+v", doc.Suite)
+	}
+	if doc.Fig6.LiveSeconds <= 0 || doc.Fig6.CachedColdSeconds <= 0 || doc.Fig6.CachedWarmSeconds <= 0 {
+		t.Fatalf("fig6 section empty: %+v", doc.Fig6)
+	}
+	if doc.Environment.Build.GoVersion == "" {
+		t.Fatalf("environment not stamped: %+v", doc.Environment)
+	}
+	if !strings.Contains(doc.Summary(), "fig6 speedup") {
+		t.Errorf("summary: %s", doc.Summary())
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"twolevel/internal/predictor"
 	"twolevel/internal/prog"
 	"twolevel/internal/sim"
+	"twolevel/internal/span"
 	"twolevel/internal/spec"
 	"twolevel/internal/stats"
 	"twolevel/internal/telemetry"
@@ -95,6 +96,14 @@ type Options struct {
 	// backs the /metrics, /progress and /debug/pprof endpoints served by
 	// brexp -listen.
 	Monitor *Monitor
+	// Span, when non-nil, is the parent span experiment latency is
+	// attributed under: Run opens an "exp:<id>" child, the grid
+	// scheduler opens task/cell children tagged with benchmark, spec,
+	// worker id and retry count, and captures, replay passes and
+	// forensics assembly open phase children below those. A nil Span
+	// disables tracing at zero cost (the telemetry nil-guard contract).
+	// brexp -trace-out / -span-summary wire it to a root "suite" span.
+	Span *span.Span
 
 	// openSource, when non-nil, replaces the live interpreter source
 	// constructor — the fault-injection seam the chaos tests use. It
@@ -105,6 +114,10 @@ type Options struct {
 	// measured grid run — the chaos tests inject panicking observers
 	// through it.
 	cellObserver func(sp spec.Spec, b *prog.Benchmark) telemetry.Observer
+	// worker is the grid-pool worker index executing the current task;
+	// the scheduler stamps it into task spans so a trace file shows the
+	// pool's real concurrency.
+	worker int
 }
 
 // DefaultCondBranches is the default per-benchmark conditional branch
@@ -292,7 +305,7 @@ func (o Options) source(b *prog.Benchmark, ds prog.DataSet, n uint64) (trace.Sou
 		return o.liveSource(b, ds)
 	}
 	key := b.Name + "\x00" + ds.Name
-	snap, hit, err := captureCache.CaptureWithStatus(o.Context, key, n, func() (trace.Source, error) {
+	snap, hit, err := captureCache.CaptureTraced(o.Context, key, n, o.Span, func() (trace.Source, error) {
 		return o.liveSource(b, ds)
 	})
 	if err != nil {
@@ -328,6 +341,11 @@ func trainingData(sp spec.Spec, b *prog.Benchmark, o Options) (*spec.TrainingDat
 	src, err := o.source(b, b.Training, budget)
 	if err != nil {
 		return nil, err
+	}
+	if parent := o.Span; parent != nil {
+		tsp := parent.Child("train",
+			span.Str("bench", b.Name), span.Uint64("budget", budget))
+		defer tsp.End()
 	}
 	limited := &trace.LimitSource{Src: src, N: budget}
 	td := &spec.TrainingData{}
@@ -378,6 +396,7 @@ func runSpec(sp spec.Spec, b *prog.Benchmark, o Options) (sim.Result, error) {
 		ContextSwitches: sp.ContextSwitch,
 		MaxCondBranches: o.CondBranches,
 		Context:         o.Context,
+		Span:            o.Span,
 	}
 	var record recordFunc
 	if o.Telemetry != nil {
@@ -451,6 +470,7 @@ func accuracyReport(id, title string, rows []labeledSpec, o Options) (*Report, e
 			failed[ce.Spec+"\x00"+ce.Benchmark] = true
 		}
 	}
+	rsp := o.Span.Child("report", span.Str("exp", id))
 	r := &Report{ID: id, Title: title, Columns: benchColumns(o.Benchmarks), Percent: true}
 	for ri, row := range rows {
 		values := make([]float64, len(o.Benchmarks))
@@ -473,6 +493,7 @@ func accuracyReport(id, title string, rows []labeledSpec, o Options) (*Report, e
 			stats.GeoMean(append(append([]float64{}, intAcc...), fpAcc...)))
 		r.Series = append(r.Series, Series{Label: row.label, Values: values})
 	}
+	rsp.End()
 	return r, err
 }
 
@@ -546,6 +567,11 @@ func Run(id string, o Options) (*Report, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	if parent := o.Span; parent != nil {
+		sp := parent.Child("exp:" + id)
+		o.Span = sp
+		defer sp.End()
 	}
 	t := o.Telemetry
 	if t == nil {

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"twolevel/internal/sim"
+	"twolevel/internal/span"
 	"twolevel/internal/trace"
 )
 
@@ -39,6 +40,15 @@ type Monitor struct {
 	batchFallbacks    atomic.Uint64
 	checkpointFlushes atomic.Uint64
 	events            atomic.Uint64
+
+	// cellTimes holds measured per-cell wall time (batched cells are
+	// charged an equal share of their pass). It backs the /progress
+	// latency percentiles and the measured-latency ETA.
+	cellTimes span.Histogram
+
+	// tracer, when attached, backs the /spans endpoint with the live
+	// span summary tree of the running suite.
+	tracer atomic.Pointer[span.Tracer]
 
 	workerMu sync.Mutex
 	workers  []*atomic.Pointer[string]
@@ -99,6 +109,33 @@ func (m *Monitor) checkpointFlush() {
 	}
 }
 
+// observeCells records n cells completing with per-cell duration d each
+// (a batched pass charges every member an equal share of the pass).
+func (m *Monitor) observeCells(d time.Duration, n int) {
+	if m == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		m.cellTimes.Observe(d)
+	}
+}
+
+// AttachTracer publishes tr on the monitor's /spans endpoint. Safe to
+// call on a nil monitor or with a nil tracer (detaches).
+func (m *Monitor) AttachTracer(tr *span.Tracer) {
+	if m != nil {
+		m.tracer.Store(tr)
+	}
+}
+
+// tracerOrNil returns the attached tracer, nil-monitor safe.
+func (m *Monitor) tracerOrNil() *span.Tracer {
+	if m == nil {
+		return nil
+	}
+	return m.tracer.Load()
+}
+
 // idleState is the worker state outside a task.
 var idleState = "idle"
 
@@ -150,11 +187,22 @@ type MonitorSnapshot struct {
 	// (restored cells contribute none — they were not re-simulated).
 	Events uint64 `json:"events"`
 	// ElapsedSeconds is the monitor's age; EventsPerSec is Events over
-	// it. ETASeconds extrapolates the remaining cells from the completed
-	// cell rate, -1 while unknown (nothing completed yet).
+	// it. ETASeconds extrapolates the remaining cells from measured
+	// per-cell latency spread over the live workers when latency has
+	// been observed, falling back to the completed-cell rate otherwise;
+	// -1 while unknown (nothing completed yet).
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	EventsPerSec   float64 `json:"events_per_sec"`
 	ETASeconds     float64 `json:"eta_seconds"`
+	// CellSeconds* summarise measured per-cell wall time (batched cells
+	// are charged an equal share of their replay pass): the mean, the
+	// log-bucketed p50/p95 (upper bounds, ≤2x error) and the exact max.
+	// All zero until a cell completes live (restored cells contribute
+	// nothing — they were not re-simulated).
+	CellSecondsMean float64 `json:"cell_seconds_mean"`
+	CellSecondsP50  float64 `json:"cell_seconds_p50"`
+	CellSecondsP95  float64 `json:"cell_seconds_p95"`
+	CellSecondsMax  float64 `json:"cell_seconds_max"`
 	// TraceCache is the capture cache's footprint and hit/miss counters.
 	TraceCache trace.CaptureStats `json:"trace_cache"`
 	// Workers is each pool worker's current activity.
@@ -182,18 +230,35 @@ func (m *Monitor) Snapshot() MonitorSnapshot {
 	if s.ElapsedSeconds > 0 {
 		s.EventsPerSec = float64(s.Events) / s.ElapsedSeconds
 	}
-	settled := s.CellsDone + s.CellsRestored + s.CellsFailed
-	if s.CellsDone > 0 && s.CellsPlanned > settled {
-		perCell := s.ElapsedSeconds / float64(s.CellsDone)
-		s.ETASeconds = perCell * float64(s.CellsPlanned-settled)
-	} else if s.CellsPlanned > 0 && s.CellsPlanned == settled {
-		s.ETASeconds = 0
+	if m.cellTimes.Count() > 0 {
+		s.CellSecondsMean = m.cellTimes.Mean().Seconds()
+		s.CellSecondsP50 = m.cellTimes.Quantile(0.5).Seconds()
+		s.CellSecondsP95 = m.cellTimes.Quantile(0.95).Seconds()
+		s.CellSecondsMax = m.cellTimes.Max().Seconds()
 	}
 	m.workerMu.Lock()
+	live := 0
 	for _, p := range m.workers {
-		s.Workers = append(s.Workers, *p.Load())
+		st := *p.Load()
+		s.Workers = append(s.Workers, st)
+		if st != "done" {
+			live++
+		}
 	}
 	m.workerMu.Unlock()
+	settled := s.CellsDone + s.CellsRestored + s.CellsFailed
+	switch {
+	case s.CellsPlanned > 0 && s.CellsPlanned == settled:
+		s.ETASeconds = 0
+	case s.CellsPlanned > settled && m.cellTimes.Count() > 0:
+		// Measured latency spread over the live workers beats the
+		// elapsed/done ratio: restored cells and startup overhead do
+		// not dilute it, and it adapts as slow cells land.
+		s.ETASeconds = s.CellSecondsMean * float64(s.CellsPlanned-settled) / float64(max(1, live))
+	case s.CellsPlanned > settled && s.CellsDone > 0:
+		perCell := s.ElapsedSeconds / float64(s.CellsDone)
+		s.ETASeconds = perCell * float64(s.CellsPlanned-settled)
+	}
 	return s
 }
 
@@ -217,6 +282,10 @@ func (s MonitorSnapshot) WritePrometheus(w io.Writer) error {
 	gauge("twolevel_sim_events_per_second", "Simulator event throughput since the monitor started.", s.EventsPerSec)
 	gauge("twolevel_elapsed_seconds", "Seconds since the monitor started.", s.ElapsedSeconds)
 	gauge("twolevel_eta_seconds", "Estimated seconds to finish the planned cells (-1 unknown).", s.ETASeconds)
+	gauge("twolevel_cell_seconds_mean", "Mean measured per-cell wall time.", s.CellSecondsMean)
+	gauge("twolevel_cell_seconds_p50", "Median measured per-cell wall time (log-bucketed upper bound).", s.CellSecondsP50)
+	gauge("twolevel_cell_seconds_p95", "95th-percentile per-cell wall time (log-bucketed upper bound).", s.CellSecondsP95)
+	gauge("twolevel_cell_seconds_max", "Slowest measured cell wall time.", s.CellSecondsMax)
 	counter("twolevel_trace_cache_hits_total", "Capture cache requests served from stored events.", s.TraceCache.Hits)
 	counter("twolevel_trace_cache_misses_total", "Capture cache requests that opened or extended a capture.", s.TraceCache.Misses)
 	gauge("twolevel_trace_cache_hit_ratio", "Capture cache hit ratio.", s.TraceCache.HitRatio())
@@ -272,6 +341,15 @@ func (m *Monitor) Handler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(m.Snapshot())
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		tr := m.tracerOrNil()
+		if tr == nil {
+			fmt.Fprintln(w, "no tracer attached (run with -trace-out or -span-summary)")
+			return
+		}
+		tr.Summary().WriteText(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -8,11 +8,15 @@ package experiments
 import (
 	"bufio"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
+
+	"twolevel/internal/span"
 )
 
 func TestNilMonitorIsNoop(t *testing.T) {
@@ -24,6 +28,11 @@ func TestNilMonitorIsNoop(t *testing.T) {
 	m.cellRetried()
 	m.batchFallback()
 	m.checkpointFlush()
+	m.observeCells(time.Second, 2)
+	m.AttachTracer(span.New())
+	if tr := m.tracerOrNil(); tr != nil {
+		t.Fatalf("nil monitor kept a tracer: %v", tr)
+	}
 	setWorkerState(m.workerHandle(0), "busy")
 	if s := m.Snapshot(); s.CellsDone != 0 || s.ETASeconds != -1 {
 		t.Fatalf("nil monitor snapshot = %+v", s)
@@ -94,11 +103,15 @@ func TestMonitorEndToEndMetricsAgree(t *testing.T) {
 	o := chaosOptions(benchmarks)
 	o.Monitor = NewMonitor()
 	o.Telemetry = &Telemetry{HotK: 4, ForensicsTopK: 4}
+	tracer := span.New()
+	o.Span = tracer.Root("suite")
+	o.Monitor.AttachTracer(tracer)
 	ResetCaches()
 	t.Cleanup(ResetCaches)
 	if _, err := runGrid(chaosRows, o); err != nil {
 		t.Fatal(err)
 	}
+	o.Span.End()
 
 	srv := httptest.NewServer(o.Monitor.Handler())
 	defer srv.Close()
@@ -156,6 +169,31 @@ func TestMonitorEndToEndMetricsAgree(t *testing.T) {
 	}
 	if prog.ETASeconds != 0 {
 		t.Errorf("ETA after completion = %v, want 0", prog.ETASeconds)
+	}
+	// Measured per-cell latency rode along: the percentiles are
+	// populated and ordered (p95 and max are bucket-upper/exact reads
+	// of the same histogram, so only weak ordering holds between them).
+	if prog.CellSecondsMean <= 0 || prog.CellSecondsP50 <= 0 || prog.CellSecondsMax <= 0 {
+		t.Errorf("cell latency stats unpopulated: %+v", prog)
+	}
+	if prog.CellSecondsP95 < prog.CellSecondsP50 {
+		t.Errorf("p95 %v < p50 %v", prog.CellSecondsP95, prog.CellSecondsP50)
+	}
+
+	// /spans serves the live summary tree of the attached tracer.
+	sp, err := http.Get(srv.URL + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spansBody, err := io.ReadAll(sp.Body)
+	sp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"suite", "task", "replay"} {
+		if !strings.Contains(string(spansBody), want) {
+			t.Errorf("/spans missing %q:\n%s", want, spansBody)
+		}
 	}
 
 	// pprof is mounted.

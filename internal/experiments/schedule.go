@@ -29,6 +29,7 @@ import (
 	"twolevel/internal/predictor"
 	"twolevel/internal/prog"
 	"twolevel/internal/sim"
+	"twolevel/internal/span"
 	"twolevel/internal/spec"
 	"twolevel/internal/telemetry"
 )
@@ -95,10 +96,14 @@ func runGrid(rows []labeledSpec, o Options) ([][]sim.Result, error) {
 			defer wg.Done()
 			state := o.Monitor.workerHandle(w)
 			defer setWorkerState(state, "done")
+			// Each worker carries its index so task spans land on a
+			// per-worker trace lane.
+			wo := o
+			wo.worker = w
 			for ti := range work {
 				t := tasks[ti]
 				setWorkerState(state, fmt.Sprintf("%s (%d rows)", o.Benchmarks[t.bi].Name, len(t.rows)))
-				cellErrs[ti] = runTask(t, rows, grid, o)
+				cellErrs[ti] = runTask(t, rows, grid, wo)
 				if len(cellErrs[ti]) > 0 {
 					failed.Store(true)
 					o.Monitor.cellsFailedAdd(len(cellErrs[ti]))
@@ -174,6 +179,13 @@ func runTask(t gridTask, rows []labeledSpec, grid [][]sim.Result, o Options) []*
 			return cancelErrors(t, rows, b, err)
 		}
 	}
+	if parent := o.Span; parent != nil {
+		tsp := parent.Child("task",
+			span.Str("bench", b.Name), span.Int("rows", len(t.rows)), span.Int("worker", o.worker))
+		tsp.SetTID(o.worker + 1)
+		o.Span = tsp
+		defer tsp.End()
+	}
 	batch := make([]labeledSpec, len(t.rows))
 	for i, ri := range t.rows {
 		batch[i] = rows[ri]
@@ -182,6 +194,9 @@ func runTask(t gridTask, rows []labeledSpec, grid [][]sim.Result, o Options) []*
 	res, err := runBatchGuarded(batch, b, o)
 	if err == nil {
 		dur := time.Since(start) //lint:allow determinism wall-clock cell timing for logs only; never reaches report bytes
+		// Batched cells share one replay pass, so each is charged an
+		// equal share of the pass for latency percentiles and ETA.
+		o.Monitor.observeCells(dur/time.Duration(len(batch)), len(batch))
 		for i, ri := range t.rows {
 			grid[ri][t.bi] = res[i]
 			recordCell(rows[ri].sp, b, res[i], o)
@@ -202,16 +217,32 @@ func runTask(t gridTask, rows []labeledSpec, grid [][]sim.Result, o Options) []*
 	var errs []*CellError
 	for _, ri := range t.rows {
 		start := time.Now() //lint:allow determinism wall-clock cell timing for logs only; never reaches report bytes
-		res, attempts, cerr := runCellAttempts(rows[ri], b, o)
+		co := o
+		var csp *span.Span
+		if o.Span != nil {
+			csp = o.Span.Child("cell",
+				span.Str("spec", rows[ri].label), span.Str("bench", b.Name))
+			co.Span = csp
+		}
+		res, attempts, cerr := runCellAttempts(rows[ri], b, co)
+		if csp != nil {
+			csp.SetAttr(span.Int("attempts", attempts))
+			if cerr != nil {
+				csp.SetAttr(span.Str("error", cerr.Error()))
+			}
+			csp.End()
+		}
 		if cerr != nil {
 			errs = append(errs, &CellError{Spec: rows[ri].label, Benchmark: b.Name, Attempts: attempts, Err: cerr})
 			log.Error("cell failed", "spec", rows[ri].label, "bench", b.Name,
 				"attempt", attempts, "err", cerr)
 			continue
 		}
+		dur := time.Since(start) //lint:allow determinism wall-clock cell timing for logs only; never reaches report bytes
+		o.Monitor.observeCells(dur, 1)
 		grid[ri][t.bi] = res
 		recordCell(rows[ri].sp, b, res, o)
-		logCellDone(log, rows[ri].label, b, res, time.Since(start), attempts, 1) //lint:allow determinism wall-clock cell timing for logs only; never reaches report bytes
+		logCellDone(log, rows[ri].label, b, res, dur, attempts, 1)
 	}
 	return errs
 }
@@ -356,6 +387,7 @@ func runBatch(rows []labeledSpec, b *prog.Benchmark, o Options) ([]sim.Result, e
 			ContextSwitches: row.sp.ContextSwitch,
 			MaxCondBranches: o.CondBranches,
 			Context:         o.Context,
+			Span:            o.Span,
 		}
 		if o.Telemetry != nil {
 			simOpts[i].Observer, records[i] = o.Telemetry.instrument(o.CondBranches)
@@ -374,10 +406,15 @@ func runBatch(rows []labeledSpec, b *prog.Benchmark, o Options) ([]sim.Result, e
 	if err != nil {
 		return results, fmt.Errorf("%s: %w", b.Name, err)
 	}
+	var fsp *span.Span
+	if o.Telemetry != nil {
+		fsp = o.Span.Child("forensics", span.Int("batch", len(records)))
+	}
 	for i, rec := range records {
 		if rec != nil {
 			rec(rows[i].sp, b, results[i], len(rows))
 		}
 	}
+	fsp.End()
 	return results, nil
 }

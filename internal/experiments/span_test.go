@@ -1,0 +1,147 @@
+package experiments
+
+// Span-threading suite: the grid scheduler and experiment entry points
+// attribute their latency under the caller's span — task spans on
+// per-worker lanes, capture/replay/forensics phase spans below them —
+// deterministically enough that two identical single-worker runs under
+// a fake clock render byte-identical summary trees, and completely
+// enough that the phase spans of a real fig6 run account for nearly all
+// of its wall clock.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"twolevel/internal/span"
+)
+
+// spanFakeClock returns a deterministic clock stepping 1ms per reading.
+func spanFakeClock() func() time.Time {
+	base := time.Unix(0, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+// spanAttr returns the value of the named attr, "" when absent.
+func spanAttr(attrs []span.Attr, key string) string {
+	for _, a := range attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+func TestGridSpanStructure(t *testing.T) {
+	benchmarks := chaosBenchmarks("alpha", "beta")
+	o := chaosOptions(benchmarks)
+	o.Telemetry = &Telemetry{HotK: 4, ForensicsTopK: 4}
+	tr := span.New()
+	root := tr.Root("suite")
+	o.Span = root
+	if _, err := chaosGrid(t, chaosRows, o); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	recs := tr.Snapshot()
+	count := map[string]int{}
+	for _, r := range recs {
+		count[r.Name]++
+		if r.Name != "suite" && !strings.HasPrefix(r.Path, "suite/") {
+			t.Errorf("span %q not rooted under suite: path %q", r.Name, r.Path)
+		}
+		if r.End < r.Start {
+			t.Errorf("span %q ends before it starts: %+v", r.Name, r)
+		}
+		switch r.Name {
+		case "task":
+			if r.TID < 1 {
+				t.Errorf("task span on tid %d, want >= 1 (worker lane)", r.TID)
+			}
+			if spanAttr(r.Attrs, "bench") == "" || spanAttr(r.Attrs, "worker") == "" {
+				t.Errorf("task span missing bench/worker attrs: %+v", r.Attrs)
+			}
+		case "capture":
+			if got := spanAttr(r.Attrs, "hit"); got != "true" && got != "false" {
+				t.Errorf("capture span hit attr = %q", got)
+			}
+		case "replay":
+			if got := spanAttr(r.Attrs, "batch"); got != "2" {
+				t.Errorf("replay batch attr = %q, want 2 (two rows per pass)", got)
+			}
+		}
+	}
+	// 2 benchmarks, 2 workers: one task per benchmark, each a batched
+	// pass with its own capture, replay and forensics phase.
+	if count["task"] != 2 || count["capture"] != 2 || count["replay"] != 2 || count["forensics"] != 2 {
+		t.Fatalf("span counts = %v, want 2 each of task/capture/replay/forensics", count)
+	}
+}
+
+// TestGridSpanSummaryDeterministic: two identical single-worker runs
+// under deterministic clocks render byte-identical summary trees.
+func TestGridSpanSummaryDeterministic(t *testing.T) {
+	benchmarks := chaosBenchmarks("alpha", "beta")
+	render := func() string {
+		ResetCaches()
+		tr := span.NewWithClock(spanFakeClock())
+		root := tr.Root("suite")
+		o := chaosOptions(benchmarks)
+		o.Workers = 1
+		o.Span = root
+		if _, err := runGrid(chaosRows, o); err != nil {
+			t.Fatal(err)
+		}
+		root.End()
+		var buf bytes.Buffer
+		if err := tr.Summary().WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	t.Cleanup(ResetCaches)
+	first, second := render(), render()
+	if first != second {
+		t.Errorf("summaries differ:\n%s\n---\n%s", first, second)
+	}
+	if !strings.Contains(first, "replay") || !strings.Contains(first, "2x") {
+		t.Errorf("summary missing aggregated replay line:\n%s", first)
+	}
+}
+
+// TestSpanCoverageFig6 is the tentpole's accounting acceptance: on a
+// real (budget-reduced) fig6 run the phase spans — capture, replay,
+// train, forensics, report — must account for at least 95% of the
+// suite's wall clock, so a trace answers "where did the time go"
+// rather than leaving it in untracked gaps.
+func TestSpanCoverageFig6(t *testing.T) {
+	ResetCaches()
+	t.Cleanup(ResetCaches)
+	tr := span.New()
+	root := tr.Root("suite")
+	o := Options{CondBranches: 30_000, Workers: 1, Span: root}
+	if _, err := Run("fig6", o); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	var wall, phases time.Duration
+	for _, r := range tr.Snapshot() {
+		switch r.Name {
+		case "suite":
+			wall = r.Duration()
+		case "capture", "replay", "train", "forensics", "report":
+			phases += r.Duration()
+		}
+	}
+	if wall <= 0 {
+		t.Fatal("suite span has no duration")
+	}
+	if cov := float64(phases) / float64(wall); cov < 0.95 {
+		t.Errorf("phase spans cover %.1f%% of wall clock, want >= 95%%", 100*cov)
+	}
+}

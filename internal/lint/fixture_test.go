@@ -110,6 +110,10 @@ func TestObsNilGuardFixture(t *testing.T) {
 	runFixture(t, ObsNilGuard, "obsnilguard/sim")
 }
 
+func TestSpanNilGuardFixture(t *testing.T) {
+	runFixture(t, SpanNilGuard, "spannilguard/sim")
+}
+
 func TestCtxPollFixture(t *testing.T) {
 	runFixture(t, CtxPoll, "ctxpoll/trace")
 }

@@ -1,8 +1,9 @@
-// Package lint is the repository's invariant-checker suite: five custom
+// Package lint is the repository's invariant-checker suite: six custom
 // static analyzers that mechanically enforce contracts earlier PRs
 // established by hand — deterministic report output, error-not-panic
-// public constructors, nil-guarded observer hooks, cancellation-polled
-// event loops, and atomics-only monitor counters. The cmd/brlint binary
+// public constructors, nil-guarded observer hooks, nil-guarded span
+// tracing, cancellation-polled event loops, and atomics-only monitor
+// counters. The cmd/brlint binary
 // runs the suite over the module; CI runs it as part of tier-1
 // verification.
 //
@@ -92,6 +93,7 @@ var Analyzers = []*Analyzer{
 	Determinism,
 	NoPanic,
 	ObsNilGuard,
+	SpanNilGuard,
 	CtxPoll,
 	AtomicCounter,
 }

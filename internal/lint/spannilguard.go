@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// SpanNilGuard extends the zero-cost-when-nil contract to the span
+// tracer: the replay hot paths (packages sim and trace) invoke span
+// methods through nillable *span.Span / *span.Tracer values, and every
+// such call must either be dominated by a nil check on the same
+// expression or go through a span derived from another span call in
+// the same function (e.g. `sp := parent.Child(...)`; the guard
+// obligation sits at the derivation site, and the span package's
+// methods are themselves nil-receiver safe). Without the guard a
+// disabled tracer would still pay attr-slice allocations per call.
+var SpanNilGuard = &Analyzer{
+	Name: "spannilguard",
+	Doc: "calls through a *span.Span or *span.Tracer value in replay hot " +
+		"paths must be dominated by a nil check or derive from a span call " +
+		"(zero-cost-when-nil tracing contract)",
+	Packages: []string{"sim", "trace"},
+	Run:      runSpanNilGuard,
+}
+
+func runSpanNilGuard(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !isSpanValue(pass, sel.X) {
+				return true
+			}
+			if isDerivedSpan(pass, sel.X, stack) {
+				return true
+			}
+			if !nilGuarded(pass, sel.X, call, stack) {
+				diags = append(diags, Diagnostic{
+					Pos: call.Pos(),
+					Message: fmt.Sprintf("span call %s.%s is not dominated by a nil check "+
+						"and does not derive from a span call; a nil span must cost nothing "+
+						"(zero-cost tracing contract)", exprKey(sel.X), sel.Sel.Name),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isSpanValue reports whether e is a pointer to the span package's Span
+// or Tracer type (matched structurally by definition name and defining
+// package name so fixtures can supply their own span package).
+func isSpanValue(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "span" {
+		return false
+	}
+	return obj.Name() == "Span" || obj.Name() == "Tracer"
+}
+
+// isDerivedSpan reports whether receiver is a local variable assigned,
+// anywhere in the enclosing function, from a method call on a span
+// value — `sp := parent.Child(...)` or `passSpan = parent.Child(...)`.
+// Calls on a derived span are exempt: the span package's methods are
+// nil-receiver safe, and the guard obligation was discharged where the
+// parent was dereferenced (that call is itself checked).
+func isDerivedSpan(pass *Pass, receiver ast.Expr, stack []ast.Node) bool {
+	id, ok := ast.Unparen(receiver).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	body := enclosingFunc(stack)
+	if body == nil {
+		return false
+	}
+	derived := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if derived {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			lid, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			// Match the same object whether this assignment defines it
+			// (:=) or updates it (=).
+			if pass.TypesInfo.Defs[lid] != obj && pass.TypesInfo.Uses[lid] != obj {
+				continue
+			}
+			if rhsCall, ok := ast.Unparen(assign.Rhs[i]).(*ast.CallExpr); ok {
+				if rsel, ok := ast.Unparen(rhsCall.Fun).(*ast.SelectorExpr); ok && isSpanValue(pass, rsel.X) {
+					derived = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return derived
+}

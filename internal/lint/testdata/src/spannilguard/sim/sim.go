@@ -1,0 +1,95 @@
+// Fixture for the spannilguard analyzer: calls through *span.Span and
+// *span.Tracer values in package sim must be dominated by a nil check
+// or derive from a span call in the same function.
+package sim
+
+import "spannilguard/span"
+
+// Options mirrors the simulator's option struct.
+type Options struct{ Span *span.Span }
+
+// goodGuarded is the plain hot-path idiom.
+func goodGuarded(o Options) {
+	if o.Span != nil {
+		o.Span.End()
+	}
+}
+
+// goodInitGuardAndDerived is sim.Run's shape: the parent is guarded by
+// the if-init form and the child span is derived, so its End needs no
+// second guard.
+func goodInitGuardAndDerived(o Options) {
+	if parent := o.Span; parent != nil {
+		sp := parent.Child("replay")
+		defer sp.End()
+	}
+}
+
+// goodDerivedAssignment is RunMany's shape: the span is declared ahead
+// and assigned (plain =) from a span call inside the guard; the later
+// calls on it are derivation-exempt.
+func goodDerivedAssignment(opts []Options) {
+	var passSpan *span.Span
+	for i := range opts {
+		if parent := opts[i].Span; parent != nil {
+			passSpan = parent.Child("replay")
+			break
+		}
+	}
+	passSpan.SetAttr(span.Attr{Key: "batch"})
+	defer passSpan.End()
+}
+
+// goodEarlyReturn guards with an early return.
+func goodEarlyReturn(sp *span.Span) {
+	if sp == nil {
+		return
+	}
+	sp.End()
+}
+
+// badUnguarded calls through the field with no dominating check.
+func badUnguarded(o Options) {
+	o.Span.End() // want "not dominated by a nil check"
+}
+
+// badParameter: parameters are not derived; they need a guard.
+func badParameter(sp *span.Span) {
+	sp.SetAttr(span.Attr{Key: "hit"}) // want "not dominated by a nil check"
+}
+
+// badTracer: tracer methods carry the same contract.
+func badTracer(tr *span.Tracer) *span.Span {
+	return tr.Root("suite") // want "not dominated by a nil check"
+}
+
+// badWrongGuard checks a different expression than it calls through.
+func badWrongGuard(a, b Options) {
+	if a.Span != nil {
+		b.Span.End() // want "not dominated by a nil check"
+	}
+}
+
+// badGuardDoesNotCrossFunc: a closure does not inherit the enclosing
+// guard — it may run later, after the field changed.
+func badGuardDoesNotCrossFunc(o Options) func() {
+	if o.Span != nil {
+		return func() {
+			o.Span.End() // want "not dominated by a nil check"
+		}
+	}
+	return nil
+}
+
+// badDerivationIsChecked: deriving from an unguarded parent exempts the
+// derived span, but the derivation call itself is still a finding — the
+// guard obligation moves, it does not vanish.
+func badDerivationIsChecked(o Options) {
+	sp := o.Span.Child("replay") // want "not dominated by a nil check"
+	sp.End()
+}
+
+// allowedUnguarded carries an auditable suppression.
+func allowedUnguarded(sp *span.Span) {
+	sp.End() //lint:allow spannilguard fixture: caller guarantees non-nil
+}

@@ -1,0 +1,42 @@
+// Fixture stand-in for the real span package: nillable tracer and span
+// types whose methods are nil-receiver safe.
+package span
+
+// Attr is one key/value span annotation.
+type Attr struct{ Key, Value string }
+
+// Tracer hands out spans.
+type Tracer struct{ n int }
+
+// Root opens a top-level span; nil tracers return nil spans.
+func (t *Tracer) Root(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{}
+}
+
+// Span is one timed region.
+type Span struct{ n int }
+
+// Child opens a sub-span; nil spans return nil children.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{}
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(a Attr) {
+	if s != nil {
+		s.n++
+	}
+}
+
+// End closes the span.
+func (s *Span) End() {
+	if s != nil {
+		s.n++
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 
 	"twolevel/internal/predictor"
+	"twolevel/internal/span"
 	"twolevel/internal/telemetry"
 	"twolevel/internal/trace"
 )
@@ -35,6 +36,17 @@ func RunMany(preds []predictor.Predictor, src trace.Source, opts []Options) ([]R
 	}
 	runners := make([]runner, len(preds))
 	var ctxs []context.Context
+	// The pass is shared, so one "replay" span covers it: the first
+	// non-nil parent among the option sets adopts it (the experiment
+	// scheduler hands every batch member the same parent).
+	var passSpan *span.Span
+	for i := range opts {
+		if parent := opts[i].Span; parent != nil {
+			passSpan = parent.Child("replay", span.Int("batch", len(preds)))
+			break
+		}
+	}
+	defer passSpan.End()
 	for i, p := range preds {
 		runners[i] = newRunner(p, opts[i])
 		if obs := opts[i].Observer; obs != nil {

@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"twolevel/internal/predictor"
+	"twolevel/internal/span"
 	"twolevel/internal/stats"
 	"twolevel/internal/telemetry"
 	"twolevel/internal/trace"
@@ -57,6 +58,13 @@ type Options struct {
 	// result collected so far) once it is cancelled or past its
 	// deadline. A nil Context adds no measurable work to the hot loop.
 	Context context.Context
+	// Span, when non-nil, is the parent span the run attributes its
+	// latency under: Run opens one "replay" child covering the whole
+	// pass (RunMany opens one per shared pass, tagged with the batch
+	// size). A nil Span adds no allocations and no work — the same
+	// zero-cost-when-nil contract the Observer field carries, enforced
+	// by the spannilguard analyzer and an allocation test.
+	Span *span.Span
 }
 
 // Result aggregates a simulation run.
@@ -111,6 +119,10 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) 
 	if obs := opts.Observer; obs != nil {
 		obs.Start(telemetry.RunInfo{Predictor: p})
 		defer obs.Finish()
+	}
+	if parent := opts.Span; parent != nil {
+		sp := parent.Child("replay", span.Uint64("budget", opts.MaxCondBranches))
+		defer sp.End()
 	}
 	r := newRunner(p, opts)
 	ctx := opts.Context

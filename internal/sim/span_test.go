@@ -1,0 +1,104 @@
+package sim
+
+// Span-threading suite: Run and RunMany attribute replay latency under
+// the caller's parent span, and the nil-span path stays allocation-free
+// — the same zero-cost-when-nil contract the Observer field carries.
+
+import (
+	"testing"
+
+	"twolevel/internal/predictor"
+	"twolevel/internal/span"
+)
+
+func TestRunEmitsReplaySpan(t *testing.T) {
+	tr := span.New()
+	root := tr.Root("suite")
+	p := observerTestPredictor(t)
+	src := observerTrace(2000).Reader()
+	if _, err := Run(p, src, Options{MaxCondBranches: 500, Span: root}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	recs := tr.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want root + replay", len(recs))
+	}
+	var found bool
+	for _, r := range recs {
+		if r.Name != "replay" {
+			continue
+		}
+		found = true
+		if r.Path != "suite/replay" {
+			t.Errorf("replay path = %q", r.Path)
+		}
+		if got := attrValue(r.Attrs, "budget"); got != "500" {
+			t.Errorf("budget attr = %q, want 500", got)
+		}
+	}
+	if !found {
+		t.Fatalf("no replay span recorded: %+v", recs)
+	}
+}
+
+// TestRunManySingleReplaySpan: a batched pass is one shared replay, so
+// exactly one span covers it no matter how many option sets carry the
+// parent.
+func TestRunManySingleReplaySpan(t *testing.T) {
+	tr := span.New()
+	root := tr.Root("suite")
+	const n = 3
+	preds := make([]predictor.Predictor, n)
+	opts := make([]Options, n)
+	for i := range preds {
+		preds[i] = observerTestPredictor(t)
+		opts[i] = Options{MaxCondBranches: 500, Span: root}
+	}
+	if _, err := RunMany(preds, observerTrace(2000).Reader(), opts); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	replays := 0
+	for _, r := range tr.Snapshot() {
+		if r.Name == "replay" {
+			replays++
+			if got := attrValue(r.Attrs, "batch"); got != "3" {
+				t.Errorf("batch attr = %q, want 3", got)
+			}
+		}
+	}
+	if replays != 1 {
+		t.Fatalf("got %d replay spans for one shared pass, want 1", replays)
+	}
+}
+
+// TestNilSpanAllocationFree extends the nil-observer contract to the
+// Span field: leaving it nil must add no allocations to a run.
+func TestNilSpanAllocationFree(t *testing.T) {
+	tr := observerTrace(4096)
+	p := observerTestPredictor(t)
+	rd := tr.Reader()
+	if _, err := Run(p, rd, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		rd.Reset()
+		if _, err := Run(p, rd, Options{Span: nil}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-span sim.Run allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// attrValue returns the value of the named attr, "" when absent.
+func attrValue(attrs []span.Attr, key string) string {
+	for _, a := range attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}

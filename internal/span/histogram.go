@@ -1,0 +1,150 @@
+package span
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers every representable duration: bucket i holds
+// durations d with 2^(i-1) ns < d <= 2^i ns (bucket 0 holds 0 and 1 ns).
+const numBuckets = 64
+
+// Histogram is a log-bucketed latency histogram: durations land in
+// power-of-two nanosecond buckets, so 64 counters cover nanoseconds to
+// centuries with bounded (2x) quantile error. All state is atomic — grid
+// workers observe concurrently with /progress snapshots reading — and a
+// nil *Histogram is a valid no-op receiver, matching the package's
+// nil-guard contract.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	max     atomic.Uint64 // nanoseconds
+}
+
+// bucketOf returns the bucket index for a duration.
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(d)) - 1
+	// Exact powers of two belong to their own bucket; everything between
+	// 2^b and 2^(b+1) rounds up.
+	if uint64(d)&(uint64(d)-1) != 0 {
+		b++
+	}
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i.
+func bucketUpper(i int) time.Duration {
+	if i >= 63 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(uint64(1) << uint(i))
+}
+
+// Observe records one duration. Negative durations count as zero. No-op
+// on nil.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(d))
+	for {
+		cur := h.max.Load()
+		if uint64(d) <= cur || h.max.CompareAndSwap(cur, uint64(d)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed duration (0 on nil).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Max returns the largest observation (0 on nil). Exact, not bucketed.
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Mean returns the exact arithmetic mean (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / time.Duration(n)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) as the upper bound of
+// the bucket containing the q-th observation — an overestimate by at most
+// 2x, the precision log buckets buy their 64-counter footprint with. 0
+// when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation.
+	rank := uint64(q*float64(n-1)) + 1
+	var seen uint64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return h.Max()
+}
+
+// Buckets returns the non-empty buckets as (upper bound, count) pairs in
+// ascending order — the summary tree and tests read them.
+func (h *Histogram) Buckets() []BucketCount {
+	if h == nil {
+		return nil
+	}
+	var out []BucketCount
+	for i := 0; i < numBuckets; i++ {
+		if c := h.buckets[i].Load(); c > 0 {
+			out = append(out, BucketCount{Upper: bucketUpper(i), Count: c})
+		}
+	}
+	return out
+}
+
+// BucketCount is one non-empty histogram bucket.
+type BucketCount struct {
+	Upper time.Duration
+	Count uint64
+}

@@ -1,0 +1,242 @@
+// Package span is the latency-observability layer of the repository: a
+// hierarchical span tracer that attributes wall-clock time to pipeline
+// phases the same way PR 4's forensics attributes mispredicts to static
+// branches. A suite run opens a root span; experiments, grid tasks,
+// captures, replay passes, forensics and report assembly open children;
+// every finished span lands in the tracer with its phase name, duration
+// and attributes (cell key, cache hit/miss, retry count, worker id).
+//
+// The collected spans serve three consumers: a deterministic text summary
+// tree with per-phase log-bucketed latency histograms (Summary), a Chrome
+// trace-event JSON export loadable in Perfetto or chrome://tracing
+// (WriteChromeTrace), and the live /spans endpoint of the experiment
+// monitor.
+//
+// Tracing follows the telemetry-observer nil-guard contract from PR 1: a
+// nil *Tracer and a nil *Span are valid no-op receivers, and call sites in
+// hot-path packages (sim, trace) must be dominated by a nil check so a
+// run without tracing pays no attribute construction and no calls — the
+// spannilguard analyzer in internal/lint enforces this, and allocation
+// tests in package sim pin it.
+package span
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are strings so
+// records marshal and render without reflection surprises; use the typed
+// constructors for non-string values.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Str returns a string attribute.
+func Str(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int returns an integer attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, Value: itoa(int64(v))} }
+
+// Uint64 returns an unsigned integer attribute.
+func Uint64(key string, v uint64) Attr { return Attr{Key: key, Value: utoa(v)} }
+
+// Bool returns a boolean attribute.
+func Bool(key string, v bool) Attr {
+	if v {
+		return Attr{Key: key, Value: "true"}
+	}
+	return Attr{Key: key, Value: "false"}
+}
+
+// itoa/utoa avoid strconv in the one place attrs are built; they are not
+// hot (spans are per-cell, not per-event) but keep the package's import
+// surface minimal.
+func itoa(v int64) string {
+	if v < 0 {
+		return "-" + utoa(uint64(-v))
+	}
+	return utoa(uint64(v))
+}
+
+func utoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Record is one finished span as stored by the tracer.
+type Record struct {
+	// ID and Parent identify the span and its parent (Parent 0 = root).
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// TID is the lane the span renders on in the Chrome trace view;
+	// grid workers stamp their worker id so one trace file shows the
+	// pool's true concurrency. Children inherit their parent's lane.
+	TID int `json:"tid"`
+	// Name is the phase name ("capture", "replay", "exp:fig6", ...).
+	Name string `json:"name"`
+	// Path is the "/"-joined phase path from the root, the key the
+	// summary tree aggregates on.
+	Path string `json:"path"`
+	// Start and End are offsets from the tracer's epoch.
+	Start time.Duration `json:"start"`
+	End   time.Duration `json:"end"`
+	// Attrs are the span's annotations in the order they were set.
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Duration is the span's wall-clock extent.
+func (r Record) Duration() time.Duration { return r.End - r.Start }
+
+// Tracer collects finished spans. The zero value is not usable; construct
+// with New (wall clock) or NewWithClock (injected clock, for
+// byte-identical summaries in tests). A nil *Tracer is a valid no-op
+// receiver: Root returns a nil *Span and every method on it no-ops, so
+// tracing costs nothing when disabled.
+//
+// Tracers are safe for concurrent use: grid workers finish spans in
+// parallel. Individual spans are not — each span must be started,
+// annotated and ended by one goroutine, the same single-goroutine
+// contract telemetry observers have.
+type Tracer struct {
+	mu     sync.Mutex
+	now    func() time.Time
+	epoch  time.Time
+	nextID uint64
+	done   []Record
+}
+
+// New returns a tracer reading the wall clock.
+func New() *Tracer { return NewWithClock(time.Now) }
+
+// NewWithClock returns a tracer reading the given clock. Determinism
+// tests inject a counter clock so two identical runs produce
+// byte-identical summaries and exports.
+func NewWithClock(now func() time.Time) *Tracer {
+	return &Tracer{now: now, epoch: now()}
+}
+
+// stamp returns the current epoch offset and a fresh span ID.
+func (t *Tracer) stamp() (time.Duration, uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	return t.now().Sub(t.epoch), t.nextID
+}
+
+// Root opens a top-level span. A nil tracer returns a nil span.
+func (t *Tracer) Root(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	start, id := t.stamp()
+	return &Span{t: t, id: id, name: name, path: name, start: start, attrs: attrs}
+}
+
+// Snapshot returns the finished spans recorded so far, sorted by start
+// offset then ID — a stable total order, so exports and summaries are
+// deterministic no matter how worker goroutines interleaved their End
+// calls. In-flight spans are not included.
+func (t *Tracer) Snapshot() []Record {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Record(nil), t.done...)
+	t.mu.Unlock()
+	sortRecords(out)
+	return out
+}
+
+// Span is one open phase. A nil *Span is a valid no-op receiver: Child
+// returns nil, SetAttr/SetTID/End do nothing — the disabled-tracing fast
+// path. Spans must be used from a single goroutine.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	tid    int
+	name   string
+	path   string
+	start  time.Duration
+	attrs  []Attr
+}
+
+// Child opens a sub-span. A nil receiver returns nil, so whole span trees
+// vanish when tracing is off.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	start, id := s.t.stamp()
+	return &Span{
+		t:      s.t,
+		id:     id,
+		parent: s.id,
+		tid:    s.tid,
+		name:   name,
+		path:   s.path + "/" + name,
+		start:  start,
+		attrs:  attrs,
+	}
+}
+
+// SetAttr appends an annotation (e.g. a cache hit/miss flag known only
+// after the phase ran). No-op on nil.
+func (s *Span) SetAttr(a Attr) {
+	if s != nil {
+		s.attrs = append(s.attrs, a)
+	}
+}
+
+// SetTID assigns the span (and the children opened after the call) to a
+// display lane; grid workers stamp their worker id. No-op on nil.
+func (s *Span) SetTID(tid int) {
+	if s != nil {
+		s.tid = tid
+	}
+}
+
+// End finishes the span and records it in the tracer. No-op on nil. A
+// span must be ended exactly once; ending it again records a duplicate.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end, _ := s.t.stamp()
+	rec := Record{
+		ID:     s.id,
+		Parent: s.parent,
+		TID:    s.tid,
+		Name:   s.name,
+		Path:   s.path,
+		Start:  s.start,
+		End:    end,
+		Attrs:  s.attrs,
+	}
+	s.t.mu.Lock()
+	s.t.done = append(s.t.done, rec)
+	s.t.mu.Unlock()
+}
+
+// sortRecords orders records by (start, ID): ID is allocation order, so
+// ties (possible under a coarse or fake clock) break deterministically.
+func sortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Start != recs[j].Start {
+			return recs[i].Start < recs[j].Start
+		}
+		return recs[i].ID < recs[j].ID
+	})
+}

@@ -1,0 +1,311 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a deterministic clock stepping 1ms per reading.
+func fakeClock() func() time.Time {
+	base := time.Unix(0, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+func TestNilTracerAndSpanAreNoops(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Root("suite", Str("k", "v"))
+	if sp != nil {
+		t.Fatalf("nil tracer Root = %v, want nil", sp)
+	}
+	child := sp.Child("phase", Int("n", 3))
+	if child != nil {
+		t.Fatalf("nil span Child = %v, want nil", child)
+	}
+	child.SetAttr(Bool("hit", true))
+	child.SetTID(7)
+	child.End()
+	sp.End()
+	if recs := tr.Snapshot(); recs != nil {
+		t.Fatalf("nil tracer Snapshot = %v, want nil", recs)
+	}
+	if err := tr.Summary().WriteText(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChromeTrace(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNilSpanZeroAllocations pins the zero-cost-when-nil contract at the
+// package level: the guarded call pattern the hot paths use must not
+// allocate when tracing is disabled.
+func TestNilSpanZeroAllocations(t *testing.T) {
+	var parent *Span
+	allocs := testing.AllocsPerRun(100, func() {
+		if parent != nil {
+			sp := parent.Child("replay", Int("batch", 9))
+			sp.End()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-guarded span pattern allocated %.1f times, want 0", allocs)
+	}
+}
+
+func TestSpanTreeRecordsHierarchy(t *testing.T) {
+	tr := NewWithClock(fakeClock())
+	root := tr.Root("suite")
+	exp := root.Child("exp:fig6", Str("bench", "all"))
+	cap1 := exp.Child("capture", Str("key", "gcc"), Bool("hit", false))
+	cap1.End()
+	rep := exp.Child("replay", Int("batch", 9))
+	rep.SetTID(3)
+	rep.End()
+	exp.End()
+	root.End()
+
+	recs := tr.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	byName := map[string]Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if byName["capture"].Path != "suite/exp:fig6/capture" {
+		t.Errorf("capture path = %q", byName["capture"].Path)
+	}
+	if byName["capture"].Parent != byName["exp:fig6"].ID {
+		t.Errorf("capture parent = %d, want %d", byName["capture"].Parent, byName["exp:fig6"].ID)
+	}
+	if byName["replay"].TID != 3 {
+		t.Errorf("replay tid = %d, want 3", byName["replay"].TID)
+	}
+	if d := byName["suite"].Duration(); d <= 0 {
+		t.Errorf("suite duration = %v, want > 0", d)
+	}
+	// The root must enclose its children.
+	if byName["suite"].Start > byName["capture"].Start || byName["suite"].End < byName["replay"].End {
+		t.Errorf("root does not enclose children: %+v", recs)
+	}
+}
+
+// buildTree records an identical span structure on tr — the workload for
+// the determinism tests.
+func buildTree(tr *Tracer) {
+	root := tr.Root("suite")
+	for _, id := range []string{"fig5", "fig6"} {
+		exp := root.Child("exp:" + id)
+		for i := 0; i < 3; i++ {
+			c := exp.Child("capture", Bool("hit", i > 0))
+			c.End()
+			r := exp.Child("replay", Int("batch", 9))
+			r.End()
+		}
+		exp.End()
+	}
+	root.Child("report").End()
+	root.End()
+}
+
+// TestSummaryDeterministic is the byte-identity half of the tentpole
+// contract: two identical runs under deterministic clocks produce
+// byte-identical summary trees and Chrome exports.
+func TestSummaryDeterministic(t *testing.T) {
+	render := func() (string, string) {
+		tr := NewWithClock(fakeClock())
+		buildTree(tr)
+		var sum, chrome bytes.Buffer
+		if err := tr.Summary().WriteText(&sum); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.WriteChromeTrace(&chrome); err != nil {
+			t.Fatal(err)
+		}
+		return sum.String(), chrome.String()
+	}
+	sum1, chrome1 := render()
+	sum2, chrome2 := render()
+	if sum1 != sum2 {
+		t.Errorf("summaries differ:\n%s\n---\n%s", sum1, sum2)
+	}
+	if chrome1 != chrome2 {
+		t.Errorf("chrome exports differ:\n%s\n---\n%s", chrome1, chrome2)
+	}
+	if !strings.Contains(sum1, "capture") || !strings.Contains(sum1, "3x") {
+		t.Errorf("summary missing aggregated capture line:\n%s", sum1)
+	}
+}
+
+func TestSummaryAggregatesByPath(t *testing.T) {
+	tr := NewWithClock(fakeClock())
+	buildTree(tr)
+	root := tr.Summary()
+	suite := root.Find("suite")
+	if suite == nil {
+		t.Fatal("no suite node")
+	}
+	cap6 := root.Find("suite/exp:fig6/capture")
+	if cap6 == nil || cap6.Count != 3 {
+		t.Fatalf("fig6 capture node = %+v, want count 3", cap6)
+	}
+	if cap6.Hist.Count() != 3 {
+		t.Errorf("capture hist count = %d, want 3", cap6.Hist.Count())
+	}
+	if got := len(suite.Children); got != 3 { // exp:fig5, exp:fig6, report
+		t.Errorf("suite children = %d, want 3", got)
+	}
+	// Children sorted by name.
+	for i := 1; i < len(suite.Children); i++ {
+		if suite.Children[i-1].Name > suite.Children[i].Name {
+			t.Errorf("children unsorted: %s > %s", suite.Children[i-1].Name, suite.Children[i].Name)
+		}
+	}
+}
+
+// TestSummaryOrphanLeaves: leaves whose interior spans never ended still
+// aggregate under materialised interior nodes.
+func TestSummaryOrphanLeaves(t *testing.T) {
+	tr := NewWithClock(fakeClock())
+	root := tr.Root("suite")
+	exp := root.Child("exp:fig5")
+	exp.Child("capture").End()
+	// exp and root never End (still in flight at snapshot time).
+	sum := tr.Summary()
+	n := sum.Find("suite/exp:fig5/capture")
+	if n == nil || n.Count != 1 {
+		t.Fatalf("orphan leaf node = %+v, want count 1", n)
+	}
+	if interior := sum.Find("suite/exp:fig5"); interior == nil || interior.Count != 0 {
+		t.Fatalf("interior node = %+v, want materialised zero-count", interior)
+	}
+	_ = exp
+	_ = root
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	tr := NewWithClock(fakeClock())
+	buildTree(tr)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			PID  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 16 { // 1 root + 2 exp + 12 leaves + 1 report
+		t.Fatalf("got %d events, want 16", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.PID != 1 {
+			t.Errorf("event %q: ph=%q pid=%d, want X/1", ev.Name, ev.Ph, ev.PID)
+		}
+		if ev.Args["path"] == "" {
+			t.Errorf("event %q carries no path arg", ev.Name)
+		}
+	}
+	// Events sorted by start.
+	for i := 1; i < len(doc.TraceEvents); i++ {
+		if doc.TraceEvents[i-1].TS > doc.TraceEvents[i].TS {
+			t.Errorf("events unsorted at %d", i)
+		}
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must read zero")
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Errorf("max = %v, want exact 100ms", got)
+	}
+	if got, want := h.Mean(), 19*time.Millisecond; got != want {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	// p50 lands in the 10ms bucket: upper bound 2^24 ns ≈ 16.8ms.
+	if p50 := h.Quantile(0.5); p50 < 10*time.Millisecond || p50 > 20*time.Millisecond {
+		t.Errorf("p50 = %v, want within 2x of 10ms", p50)
+	}
+	// p95 lands in the 100ms bucket: upper bound 2^27 ns ≈ 134ms.
+	if p95 := h.Quantile(0.95); p95 < 100*time.Millisecond || p95 > 200*time.Millisecond {
+		t.Errorf("p95 = %v, want within 2x of 100ms", p95)
+	}
+	if b := h.Buckets(); len(b) != 2 || b[0].Count != 90 || b[1].Count != 10 {
+		t.Errorf("buckets = %+v", b)
+	}
+	var nilH *Histogram
+	nilH.Observe(time.Second)
+	if nilH.Count() != 0 || nilH.Buckets() != nil {
+		t.Error("nil histogram must no-op")
+	}
+}
+
+func TestHistogramEdgeBuckets(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(-time.Second) // clamps to zero
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(2) // exact power of two stays in its own bucket
+	h.Observe(3)
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	b := h.Buckets()
+	// 0,0,1 → bucket 0 (upper 1ns); 2 → bucket 1 (upper 2ns); 3 → bucket 2.
+	if len(b) != 3 || b[0].Count != 3 || b[0].Upper != 1 || b[1].Upper != 2 || b[2].Upper != 4 {
+		t.Fatalf("buckets = %+v", b)
+	}
+	if h.Quantile(1) < 3 {
+		t.Errorf("p100 = %v, want >= 3ns", h.Quantile(1))
+	}
+}
+
+func TestAttrConstructors(t *testing.T) {
+	cases := []struct {
+		got  Attr
+		want Attr
+	}{
+		{Str("a", "b"), Attr{"a", "b"}},
+		{Int("n", -42), Attr{"n", "-42"}},
+		{Int("z", 0), Attr{"z", "0"}},
+		{Uint64("u", 18446744073709551615), Attr{"u", "18446744073709551615"}},
+		{Bool("t", true), Attr{"t", "true"}},
+		{Bool("f", false), Attr{"f", "false"}},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("attr = %+v, want %+v", c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package span
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Node is one phase of the summary tree: every span sharing a path
+// aggregates into one node, so "capture" under "suite/exp:fig6" is a
+// single line no matter how many benchmarks captured. Children are sorted
+// by name and the rendering carries no wall-clock stamps beyond the
+// aggregated durations themselves, so a tracer with an injected
+// deterministic clock summarises byte-identically across runs.
+type Node struct {
+	// Name is the phase name; Path the "/"-joined path from the root.
+	Name string
+	Path string
+	// Count is the number of finished spans on this path; Total their
+	// summed duration; Hist the log-bucketed latency distribution.
+	Count int
+	Total time.Duration
+	Hist  *Histogram
+	// Children are the sub-phases, sorted by name.
+	Children []*Node
+}
+
+// Summary aggregates the tracer's finished spans into a phase tree.
+// Returns an empty root on a nil tracer. Spans whose parents never ended
+// (or are still open) still appear: the tree is keyed by path, not by
+// span identity.
+func (t *Tracer) Summary() *Node {
+	root := &Node{}
+	index := map[string]*Node{}
+	node := func(path string) *Node {
+		if n, ok := index[path]; ok {
+			return n
+		}
+		n := &Node{Path: path, Hist: &Histogram{}}
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			n.Name = path[i+1:]
+		} else {
+			n.Name = path
+		}
+		index[path] = n
+		return n
+	}
+	for _, r := range t.Snapshot() {
+		n := node(r.Path)
+		n.Count++
+		n.Total += r.Duration()
+		n.Hist.Observe(r.Duration())
+	}
+	// Materialise every ancestor: a path whose interior spans never
+	// ended still needs zero-count interior nodes to hang its leaves on.
+	for _, p := range keys(index) {
+		for i := strings.LastIndexByte(p, '/'); i >= 0; i = strings.LastIndexByte(p, '/') {
+			p = p[:i]
+			node(p)
+		}
+	}
+	// Link children to parents, in sorted path order for determinism.
+	for _, p := range keys(index) {
+		n := index[p]
+		parent := root
+		if i := strings.LastIndexByte(p, '/'); i >= 0 {
+			parent = index[p[:i]]
+		}
+		parent.Children = append(parent.Children, n)
+	}
+	var sortTree func(n *Node)
+	sortTree = func(n *Node) {
+		sort.Slice(n.Children, func(i, j int) bool { return n.Children[i].Name < n.Children[j].Name })
+		for _, c := range n.Children {
+			sortTree(c)
+		}
+	}
+	sortTree(root)
+	return root
+}
+
+// WriteText renders the tree as an indented summary, one line per phase:
+//
+//	suite                 1x total=4.57s
+//	  exp:fig6            1x total=602ms
+//	    capture           9x total=180ms mean=20ms p50=33.5ms p95=67.1ms max=41ms
+//
+// p50/p95 are log-bucket upper bounds (at most 2x above the true
+// quantile); mean and max are exact. Phases seen once print only their
+// total. Output is deterministic for a deterministic clock.
+func (n *Node) WriteText(w io.Writer) error {
+	var walk func(n *Node, depth int) error
+	walk = func(n *Node, depth int) error {
+		if n.Name != "" { // the synthetic root renders nothing
+			pad := strings.Repeat("  ", depth)
+			label := fmt.Sprintf("%s%s", pad, n.Name)
+			line := fmt.Sprintf("%-36s %dx total=%s", label, n.Count, n.Total)
+			if n.Count > 1 {
+				line += fmt.Sprintf(" mean=%s p50=%s p95=%s max=%s",
+					n.Hist.Mean(), n.Hist.Quantile(0.50), n.Hist.Quantile(0.95), n.Hist.Max())
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+			depth++
+		}
+		for _, c := range n.Children {
+			if err := walk(c, depth); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(n, 0)
+}
+
+// keys returns the map's keys in sorted order.
+func keys(m map[string]*Node) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Find returns the descendant at the "/"-joined relative path, or nil.
+// The empty path returns n itself.
+func (n *Node) Find(path string) *Node {
+	if path == "" {
+		return n
+	}
+	cur := n
+	for _, part := range strings.Split(path, "/") {
+		var next *Node
+		for _, c := range cur.Children {
+			if c.Name == part {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		cur = next
+	}
+	return cur
+}

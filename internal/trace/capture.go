@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+
+	"twolevel/internal/span"
 )
 
 // Packed is a memory-compact, append-only event store. Events are held in
@@ -312,6 +314,27 @@ func (c *CaptureCache) CaptureWithStatus(ctx context.Context, key string, conds 
 		c.hits.Add(1)
 	}
 	return e.packed.View(e.packed.eventsForConds(conds)), !extended, nil
+}
+
+// CaptureTraced is CaptureWithStatus with latency attribution: the whole
+// capture request — single-flight lock wait plus any source extension —
+// is recorded as a "capture" child span of parent, with the key, the
+// requested budget and the hit/miss outcome as attributes. A nil parent
+// is exactly CaptureWithStatus: no span is opened and no attribute is
+// built (the nil guard below is the zero-cost-when-disabled contract the
+// spannilguard analyzer enforces in this package).
+func (c *CaptureCache) CaptureTraced(ctx context.Context, key string, conds uint64, parent *span.Span, open func() (Source, error)) (Snapshot, bool, error) {
+	if parent == nil {
+		return c.CaptureWithStatus(ctx, key, conds, open)
+	}
+	sp := parent.Child("capture", span.Str("key", key), span.Uint64("conds", conds))
+	snap, hit, err := c.CaptureWithStatus(ctx, key, conds, open)
+	sp.SetAttr(span.Bool("hit", hit))
+	if err != nil {
+		sp.SetAttr(span.Str("error", err.Error()))
+	}
+	sp.End()
+	return snap, hit, err
 }
 
 // CaptureStats summarises a cache's contents.

@@ -62,6 +62,7 @@ import (
 	"twolevel/internal/predictor"
 	"twolevel/internal/prog"
 	"twolevel/internal/sim"
+	"twolevel/internal/span"
 	"twolevel/internal/spec"
 	"twolevel/internal/telemetry"
 	"twolevel/internal/trace"
@@ -500,6 +501,17 @@ type (
 	// revision); it stamps metrics and forensics documents and backs the
 	// -version flag of every binary.
 	BuildInfo = buildinfo.Info
+
+	// SpanTracer collects hierarchical timed spans across a run; hand its
+	// root span to SimOptions.Span or ExperimentOptions.Span and it costs
+	// nothing when absent (nil spans no-op). Behind brexp/brsim
+	// -trace-out and -span-summary.
+	SpanTracer = span.Tracer
+	// Span is one timed region of a traced run; children nest
+	// (suite → exp → task → capture/train/replay/forensics → report).
+	Span = span.Span
+	// SpanAttr is one key/value annotation on a Span.
+	SpanAttr = span.Attr
 )
 
 // NewForensics returns a mispredict-forensics observer.
@@ -512,6 +524,12 @@ func ExplainBranch(p PCForensics) BranchExplanation { return analysis.Explain(p)
 // NewExperimentMonitor returns a live grid monitor with its clock
 // started.
 func NewExperimentMonitor() *ExperimentMonitor { return experiments.NewMonitor() }
+
+// NewSpanTracer returns a span tracer; open a root span with Root and
+// thread it through SimOptions.Span / ExperimentOptions.Span, then
+// export with WriteChromeTrace (chrome://tracing JSON) or
+// Summary().WriteText (aggregated phase-latency tree).
+func NewSpanTracer() *SpanTracer { return span.New() }
 
 // ReadBuildInfo reports the running binary's build provenance. It never
 // fails: without embedded build info every field falls back to
