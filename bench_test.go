@@ -264,6 +264,82 @@ func BenchmarkPredictPAp(b *testing.B) {
 }
 func BenchmarkPredictBTB(b *testing.B) { benchPredictor(b, "BTB(BHT(512,4,A2),)") }
 
+// BenchmarkKernelVsRunner compares the flat replay kernel against the
+// interpretive runner on identical packed traces, one sub-benchmark pair
+// per (variation, automaton). Both arms replay the same snapshot with a
+// fresh predictor per iteration; events/sec is the headline metric the
+// fast path exists to move (the Results are bit-identical, so the pair
+// differs only in speed).
+func BenchmarkKernelVsRunner(b *testing.B) {
+	src, err := twolevel.NewBenchmarkSource("espresso", false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, err := twolevel.PackTrace(twolevel.LimitConditional(src, 100_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := float64(snap.Len())
+	arm := func(b *testing.B, specStr string, disable bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p, err := twolevel.NewPredictor(specStr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := twolevel.SimOptions{DisableFastpath: disable}
+			if _, err := twolevel.Simulate(p, snap.Reader(), opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(events*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	}
+	for _, c := range []struct{ name, spec string }{
+		{"GAg-A2", "GAg(HR(1,,12-sr),1xPHT(2^12,A2))"},
+		{"GAg-A3", "GAg(HR(1,,12-sr),1xPHT(2^12,A3))"},
+		{"GAg-LT", "GAg(HR(1,,12-sr),1xPHT(2^12,LT))"},
+		{"PAg-A2", "PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))"},
+		{"PAg-A1", "PAg(BHT(512,4,12-sr),1xPHT(2^12,A1))"},
+		{"PAp-A2", "PAp(BHT(512,4,6-sr),512xPHT(2^6,A2))"},
+		{"PAp-A4", "PAp(BHT(512,4,6-sr),512xPHT(2^6,A4))"},
+		{"SAs-A2", "SAs(SHT(64,,8-sr),16xPHT(2^8,A2))"},
+		{"AlwaysTaken", "AlwaysTaken"},
+	} {
+		b.Run(c.name+"/kernel", func(b *testing.B) { arm(b, c.spec, false) })
+		b.Run(c.name+"/runner", func(b *testing.B) { arm(b, c.spec, true) })
+	}
+}
+
+// BenchmarkKernelSharded measures PC-partitioned parallel replay inside
+// the kernel for a per-address scheme at increasing shard counts.
+func BenchmarkKernelSharded(b *testing.B) {
+	src, err := twolevel.NewBenchmarkSource("espresso", false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, err := twolevel.PackTrace(twolevel.LimitConditional(src, 100_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := float64(snap.Len())
+	const specStr = "PAp(BHT(512,4,6-sr),512xPHT(2^6,A2))"
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := twolevel.NewPredictor(specStr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := twolevel.SimOptions{Shards: shards}
+				if _, err := twolevel.Simulate(p, snap.Reader(), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(events*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
 // BenchmarkSimObserverOverhead measures the telemetry hook cost in the
 // simulator loop over a prerecorded trace: the nil-observer arm is the
 // baseline the hooks must not slow down (and must not allocate); the

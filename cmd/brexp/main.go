@@ -84,6 +84,7 @@ func run() error {
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file")
 		workersN   = flag.Int("j", 0, "worker-pool size for the experiment grid (0 = GOMAXPROCS)")
 		traceReuse = flag.Bool("trace-reuse", true, "capture each benchmark trace once and replay it (false = live interpreter per run)")
+		noFastpath = flag.Bool("no-fastpath", false, "force the interpretive simulator even where the flat replay kernel qualifies (results are identical; this is a speed escape hatch)")
 		benchJSON  = flag.String("benchjson", "", "run the suite benchmark protocol and write its JSON document to this file")
 		timeout    = flag.Duration("timeout", 0, "abort the whole run after this duration (0 = no limit)")
 		keepGoing  = flag.Bool("keep-going", false, "on cell failure, finish the rest and print partial tables (failed cells as \"-\"); still exits non-zero")
@@ -142,6 +143,7 @@ func run() error {
 		TrainBranches:     *train,
 		Workers:           *workersN,
 		DisableTraceCache: !*traceReuse,
+		DisableFastpath:   *noFastpath,
 		Context:           ctx,
 		KeepGoing:         *keepGoing,
 		Retries:           *retries,

@@ -22,6 +22,9 @@ import (
 	"twolevel/internal/buildinfo"
 	"twolevel/internal/cpu"
 	"twolevel/internal/experiments"
+	"twolevel/internal/prog"
+	"twolevel/internal/sim"
+	"twolevel/internal/spec"
 	"twolevel/internal/trace"
 )
 
@@ -100,6 +103,27 @@ type SuiteBench struct {
 	CaptureCache trace.CaptureStats `json:"capture_cache"`
 }
 
+// KernelBench compares the flat replay kernel (internal/sim/fastpath)
+// against the interpretive runner on one eligible cell: the same packed
+// capture, the same predictor configuration, single-threaded, best of
+// several repetitions. Both paths return bit-identical Results, so the
+// arms differ only in replay machinery.
+type KernelBench struct {
+	// Spec and Benchmark identify the measured cell.
+	Spec      string `json:"spec"`
+	Benchmark string `json:"benchmark"`
+	// Events is the packed capture length both arms replay.
+	Events uint64 `json:"events"`
+	// KernelSeconds and RunnerSeconds are the best-of-reps wall times.
+	KernelSeconds float64 `json:"kernel_seconds"`
+	RunnerSeconds float64 `json:"runner_seconds"`
+	// KernelEventsPerSec is the gated headline throughput.
+	KernelEventsPerSec float64 `json:"kernel_events_per_sec"`
+	RunnerEventsPerSec float64 `json:"runner_events_per_sec"`
+	// Speedup is kernel throughput over runner throughput.
+	Speedup float64 `json:"speedup_kernel_over_runner"`
+}
+
 // Fig6Bench compares one multi-spec experiment across cache arms.
 type Fig6Bench struct {
 	LiveSeconds       float64 `json:"live_seconds"`
@@ -118,6 +142,7 @@ type Doc struct {
 	CondBranches uint64      `json:"cond_branches"`
 	Suite        SuiteBench  `json:"suite"`
 	Fig6         Fig6Bench   `json:"fig6"`
+	Kernel       KernelBench `json:"kernel"`
 }
 
 // RunProtocol executes the benchmark protocol — the full suite once
@@ -213,15 +238,94 @@ func RunProtocol(opts experiments.Options) (Doc, error) {
 	if doc.Fig6.CachedWarmSeconds > 0 {
 		doc.Fig6.SpeedupWarm = doc.Fig6.LiveSeconds / doc.Fig6.CachedWarmSeconds
 	}
+
+	if doc.Kernel, err = runKernelBench(budget); err != nil {
+		return doc, err
+	}
 	return doc, nil
+}
+
+// kernelBenchReps is the repetition count per arm of the kernel
+// benchmark; the best run is kept, damping scheduler jitter the same
+// way testing.B's minimum-of-runs does.
+const kernelBenchReps = 3
+
+// runKernelBench packs one benchmark capture and replays it through the
+// flat kernel and the interpretive runner.
+func runKernelBench(budget uint64) (KernelBench, error) {
+	kb := KernelBench{
+		Spec:      "PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))",
+		Benchmark: "espresso",
+	}
+	b, err := prog.ByName(kb.Benchmark)
+	if err != nil {
+		return kb, err
+	}
+	src, err := b.NewSource(b.Testing)
+	if err != nil {
+		return kb, err
+	}
+	sp, err := spec.Parse(kb.Spec)
+	if err != nil {
+		return kb, err
+	}
+	var packed trace.Packed
+	limited := &trace.LimitSource{Src: src, N: budget}
+	for {
+		e, err := limited.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return kb, err
+		}
+		packed.Append(e)
+	}
+	snap := packed.View(packed.Len())
+	kb.Events = uint64(snap.Len())
+
+	arm := func(disableFastpath bool) (float64, error) {
+		best := 0.0
+		for rep := 0; rep < kernelBenchReps; rep++ {
+			p, err := spec.Build(sp, nil)
+			if err != nil {
+				return 0, err
+			}
+			start := time.Now()
+			if _, err := sim.Run(p, snap.Reader(), sim.Options{DisableFastpath: disableFastpath}); err != nil {
+				return 0, err
+			}
+			if secs := time.Since(start).Seconds(); best == 0 || secs < best {
+				best = secs
+			}
+		}
+		return best, nil
+	}
+	if kb.KernelSeconds, err = arm(false); err != nil {
+		return kb, err
+	}
+	if kb.RunnerSeconds, err = arm(true); err != nil {
+		return kb, err
+	}
+	if kb.KernelSeconds > 0 {
+		kb.KernelEventsPerSec = float64(kb.Events) / kb.KernelSeconds
+	}
+	if kb.RunnerSeconds > 0 {
+		kb.RunnerEventsPerSec = float64(kb.Events) / kb.RunnerSeconds
+	}
+	if kb.RunnerEventsPerSec > 0 {
+		kb.Speedup = kb.KernelEventsPerSec / kb.RunnerEventsPerSec
+	}
+	return kb, nil
 }
 
 // Summary renders the one-line human digest brexp -benchjson prints.
 func (d Doc) Summary() string {
-	return fmt.Sprintf("suite: %.2fs cached vs %.2fs live (%.1fx), %d runs, %.1fM events/s, %d interpreters; fig6 speedup: %.1fx cold, %.1fx warm",
+	return fmt.Sprintf("suite: %.2fs cached vs %.2fs live (%.1fx), %d runs, %.1fM events/s, %d interpreters; fig6 speedup: %.1fx cold, %.1fx warm; kernel: %.1fM events/s (%.1fx over runner)",
 		d.Suite.WallClockSeconds, d.Suite.LiveWallClockSeconds, d.Suite.SpeedupLive,
 		d.Suite.Runs, d.Suite.EventsPerSec/1e6,
-		d.Suite.InterpreterConstructions, d.Fig6.SpeedupCold, d.Fig6.SpeedupWarm)
+		d.Suite.InterpreterConstructions, d.Fig6.SpeedupCold, d.Fig6.SpeedupWarm,
+		d.Kernel.KernelEventsPerSec/1e6, d.Kernel.Speedup)
 }
 
 // Write renders the document as indented JSON.
@@ -290,10 +394,12 @@ func (r Regression) String() string {
 // machine-speed differences a little better.
 func gatedMetrics(d Doc) map[string]float64 {
 	return map[string]float64{
-		"suite.events_per_sec":           d.Suite.EventsPerSec,
-		"suite.speedup_live_over_cached": d.Suite.SpeedupLive,
-		"fig6.speedup_cold":              d.Fig6.SpeedupCold,
-		"fig6.speedup_warm":              d.Fig6.SpeedupWarm,
+		"suite.events_per_sec":              d.Suite.EventsPerSec,
+		"suite.speedup_live_over_cached":    d.Suite.SpeedupLive,
+		"fig6.speedup_cold":                 d.Fig6.SpeedupCold,
+		"fig6.speedup_warm":                 d.Fig6.SpeedupWarm,
+		"kernel.events_per_sec":             d.Kernel.KernelEventsPerSec,
+		"kernel.speedup_kernel_over_runner": d.Kernel.Speedup,
 	}
 }
 

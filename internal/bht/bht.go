@@ -57,6 +57,20 @@ type Entry struct {
 // PC returns the full address of the branch owning this entry.
 func (e *Entry) PC() uint32 { return e.pc }
 
+// Valid reports whether the entry currently holds a resident branch.
+func (e *Entry) Valid() bool { return e.valid }
+
+// Ever reports whether the slot has been allocated at least once.
+func (e *Entry) Ever() bool { return e.ever }
+
+// Stamp returns the entry's LRU timestamp.
+func (e *Entry) Stamp() uint64 { return e.stamp }
+
+// SetValid forces the residency flag. Flat replay kernels
+// (internal/sim/fastpath) mirror table bookkeeping into packed arrays and
+// write the final state back through this and the store import seams.
+func (e *Entry) SetValid(v bool) { e.valid = v }
+
 // Store is a branch history table: either a practical Cache or the Ideal
 // table.
 type Store interface {
@@ -175,6 +189,41 @@ func (c *Cache) Allocate(pc uint32) (*Entry, bool) {
 // Touched implements Store.
 func (c *Cache) Touched() int { return c.touched }
 
+// At returns slot i in physical order (set-major, way-minor), or nil when
+// i is out of range. Flat replay kernels use it with SetSlot to mirror
+// the table into packed arrays and restore it afterwards.
+func (c *Cache) At(i int) *Entry {
+	if i < 0 || i >= len(c.entries) {
+		return nil
+	}
+	return &c.entries[i]
+}
+
+// Clock returns the LRU clock. Stamps are meaningful only relative to
+// each other within a set; the clock is the exclusive upper bound.
+func (c *Cache) Clock() uint64 { return c.clock }
+
+// SetClock forces the LRU clock. Kernel state-import seam; the caller is
+// responsible for keeping it at least as large as every live stamp.
+func (c *Cache) SetClock(v uint64) { c.clock = v }
+
+// SetSlot overwrites slot i's bookkeeping fields (payload fields are
+// untouched), keeping the touched-slot count consistent when ever rises.
+// Out-of-range indices are ignored. Kernel state-import seam.
+func (c *Cache) SetSlot(i int, valid, ever bool, pc uint32, stamp uint64) {
+	if i < 0 || i >= len(c.entries) {
+		return
+	}
+	e := &c.entries[i]
+	if ever && !e.ever {
+		c.touched++
+	}
+	e.valid = valid
+	e.ever = e.ever || ever
+	e.pc = pc
+	e.stamp = stamp
+}
+
 // Range implements Store.
 func (c *Cache) Range(f func(e *Entry)) {
 	for i := range c.entries {
@@ -239,6 +288,19 @@ func (t *Ideal) Flush() {
 
 // Touched implements Store: every static branch seen has its own entry.
 func (t *Ideal) Touched() int { return len(t.entries) }
+
+// Slot returns pc's entry regardless of validity, creating an invalid
+// one when the branch has never been tracked. Unlike Allocate it does not
+// revive a flushed entry. Kernel state-import seam: the caller restores
+// payload fields and sets validity explicitly via Entry.SetValid.
+func (t *Ideal) Slot(pc uint32) *Entry {
+	if e, ok := t.entries[pc]; ok {
+		return e
+	}
+	e := &Entry{ever: true, pc: pc}
+	t.entries[pc] = e
+	return e
+}
 
 // Range implements Store.
 func (t *Ideal) Range(f func(e *Entry)) {

@@ -122,6 +122,10 @@ func TestAtomicCounterFixture(t *testing.T) {
 	runFixture(t, AtomicCounter, "atomiccounter/experiments")
 }
 
+func TestFlatLoopFixture(t *testing.T) {
+	runFixture(t, FlatLoop, "flatloop/fastpath")
+}
+
 // TestAllowDirectiveHygiene checks that malformed suppressions are
 // findings in their own right, and that a directive that fails hygiene
 // does not actually suppress anything. (Checked directly rather than via

@@ -1,9 +1,9 @@
-// Package lint is the repository's invariant-checker suite: six custom
+// Package lint is the repository's invariant-checker suite: seven custom
 // static analyzers that mechanically enforce contracts earlier PRs
 // established by hand — deterministic report output, error-not-panic
 // public constructors, nil-guarded observer hooks, nil-guarded span
-// tracing, cancellation-polled event loops, and atomics-only monitor
-// counters. The cmd/brlint binary
+// tracing, cancellation-polled event loops, atomics-only monitor
+// counters, and interface-free fast-path hot loops. The cmd/brlint binary
 // runs the suite over the module; CI runs it as part of tier-1
 // verification.
 //
@@ -96,6 +96,7 @@ var Analyzers = []*Analyzer{
 	SpanNilGuard,
 	CtxPoll,
 	AtomicCounter,
+	FlatLoop,
 }
 
 // ByName returns the analyzer with the given name, or nil.

@@ -15,18 +15,18 @@ import (
 func mkVariation(t *testing.T, v Variation) *TwoLevel {
 	t.Helper()
 	cfg := TwoLevelConfig{Variation: v, HistoryBits: 6, Automaton: automaton.A2}
-	switch v.historyAxis() {
-	case axisPerAddress:
+	switch v.HistoryAxis() {
+	case AxisPerAddress:
 		cfg.Entries, cfg.Assoc = 512, 4
-	case axisPerSet:
+	case AxisPerSet:
 		cfg.HistorySets = 64
 	}
-	switch v.patternAxis() {
-	case axisPerAddress:
+	switch v.PatternAxis() {
+	case AxisPerAddress:
 		if cfg.Entries == 0 {
 			cfg.Entries, cfg.Assoc = 512, 4
 		}
-	case axisPerSet:
+	case AxisPerSet:
 		cfg.PatternSets = 16
 	}
 	return MustTwoLevel(cfg)
@@ -35,21 +35,21 @@ func mkVariation(t *testing.T, v Variation) *TwoLevel {
 var allVariations = []Variation{GAg, PAg, PAp, GAp, GAs, PAs, SAg, SAs, SAp}
 
 func TestTaxonomyAxes(t *testing.T) {
-	axes := map[Variation][2]axis{
-		GAg: {axisGlobal, axisGlobal},
-		PAg: {axisPerAddress, axisGlobal},
-		PAp: {axisPerAddress, axisPerAddress},
-		GAp: {axisGlobal, axisPerAddress},
-		GAs: {axisGlobal, axisPerSet},
-		PAs: {axisPerAddress, axisPerSet},
-		SAg: {axisPerSet, axisGlobal},
-		SAs: {axisPerSet, axisPerSet},
-		SAp: {axisPerSet, axisPerAddress},
+	axes := map[Variation][2]Axis{
+		GAg: {AxisGlobal, AxisGlobal},
+		PAg: {AxisPerAddress, AxisGlobal},
+		PAp: {AxisPerAddress, AxisPerAddress},
+		GAp: {AxisGlobal, AxisPerAddress},
+		GAs: {AxisGlobal, AxisPerSet},
+		PAs: {AxisPerAddress, AxisPerSet},
+		SAg: {AxisPerSet, AxisGlobal},
+		SAs: {AxisPerSet, AxisPerSet},
+		SAp: {AxisPerSet, AxisPerAddress},
 	}
 	for v, want := range axes {
-		if v.historyAxis() != want[0] || v.patternAxis() != want[1] {
+		if v.HistoryAxis() != want[0] || v.PatternAxis() != want[1] {
 			t.Errorf("%v axes = (%v,%v), want (%v,%v)",
-				v, v.historyAxis(), v.patternAxis(), want[0], want[1])
+				v, v.HistoryAxis(), v.PatternAxis(), want[0], want[1])
 		}
 	}
 }

@@ -44,37 +44,38 @@ const (
 	SAp
 )
 
-// axis is one level's association granularity: global, per-address or
-// per-set.
-type axis uint8
+// Axis is one level's association granularity: global, per-address or
+// per-set. Exported so the flat replay kernel (internal/sim/fastpath) can
+// classify variations without duplicating the taxonomy.
+type Axis uint8
 
 const (
-	axisGlobal axis = iota
-	axisPerAddress
-	axisPerSet
+	AxisGlobal Axis = iota
+	AxisPerAddress
+	AxisPerSet
 )
 
-// historyAxis returns the first level's association granularity.
-func (v Variation) historyAxis() axis {
+// HistoryAxis returns the first level's association granularity.
+func (v Variation) HistoryAxis() Axis {
 	switch v {
 	case GAg, GAp, GAs:
-		return axisGlobal
+		return AxisGlobal
 	case SAg, SAs, SAp:
-		return axisPerSet
+		return AxisPerSet
 	default:
-		return axisPerAddress
+		return AxisPerAddress
 	}
 }
 
-// patternAxis returns the second level's association granularity.
-func (v Variation) patternAxis() axis {
+// PatternAxis returns the second level's association granularity.
+func (v Variation) PatternAxis() Axis {
 	switch v {
 	case GAg, PAg, SAg:
-		return axisGlobal
+		return AxisGlobal
 	case PAp, GAp, SAp:
-		return axisPerAddress
+		return AxisPerAddress
 	default:
-		return axisPerSet
+		return AxisPerSet
 	}
 }
 
@@ -187,8 +188,8 @@ func (c TwoLevelConfig) Validate() error {
 				*c.PatternInit, m.Kind(), m.States())
 		}
 	}
-	needsStore := c.Variation.historyAxis() == axisPerAddress ||
-		c.Variation.patternAxis() == axisPerAddress
+	needsStore := c.Variation.HistoryAxis() == AxisPerAddress ||
+		c.Variation.PatternAxis() == AxisPerAddress
 	if needsStore && !c.Ideal {
 		if c.Entries <= 0 || c.Entries&(c.Entries-1) != 0 {
 			return fmt.Errorf("predictor: BHT entries %d must be a power of two", c.Entries)
@@ -197,18 +198,18 @@ func (c TwoLevelConfig) Validate() error {
 			return fmt.Errorf("predictor: BHT associativity %d invalid", c.Assoc)
 		}
 	}
-	if c.Variation.historyAxis() == axisPerSet {
+	if c.Variation.HistoryAxis() == AxisPerSet {
 		if c.HistorySets <= 0 || c.HistorySets&(c.HistorySets-1) != 0 {
 			return fmt.Errorf("predictor: per-set history needs a power-of-two HistorySets, got %d", c.HistorySets)
 		}
 	}
-	if c.Variation.patternAxis() == axisPerSet {
+	if c.Variation.PatternAxis() == AxisPerSet {
 		if c.PatternSets <= 0 || c.PatternSets&(c.PatternSets-1) != 0 {
 			return fmt.Errorf("predictor: per-set pattern needs a power-of-two PatternSets, got %d", c.PatternSets)
 		}
 	}
 	if c.Preset != nil {
-		if c.Variation.patternAxis() != axisGlobal {
+		if c.Variation.PatternAxis() != AxisGlobal {
 			return fmt.Errorf("predictor: preset pattern tables require a global pattern level (GSg/PSg)")
 		}
 		if c.Preset.HistoryBits() != c.HistoryBits {
@@ -260,9 +261,9 @@ func NewTwoLevel(cfg TwoLevelConfig) (*TwoLevel, error) {
 	case cfg.Preset != nil:
 		p.gpht = cfg.Preset
 		p.machine = cfg.Preset.Machine()
-	case cfg.Variation.patternAxis() == axisGlobal:
+	case cfg.Variation.PatternAxis() == AxisGlobal:
 		p.gpht = p.newPHT()
-	case cfg.Variation.patternAxis() == axisPerSet:
+	case cfg.Variation.PatternAxis() == AxisPerSet:
 		p.setPHTs = make([]*pht.Table, cfg.PatternSets)
 		for i := range p.setPHTs {
 			p.setPHTs[i] = p.newPHT()
@@ -275,10 +276,10 @@ func NewTwoLevel(cfg TwoLevelConfig) (*TwoLevel, error) {
 			p.store = bht.NewCache(cfg.Entries, cfg.Assoc)
 		}
 	}
-	switch cfg.Variation.historyAxis() {
-	case axisGlobal:
+	switch cfg.Variation.HistoryAxis() {
+	case AxisGlobal:
 		p.ghr = history.New(cfg.HistoryBits)
-	case axisPerSet:
+	case AxisPerSet:
 		p.setHists = make([]history.Register, cfg.HistorySets)
 		for i := range p.setHists {
 			p.setHists[i] = history.New(cfg.HistoryBits)
@@ -312,14 +313,14 @@ func MustTwoLevel(cfg TwoLevelConfig) *TwoLevel {
 // globalHistory reports whether the variation keeps one global history
 // register instead of per-address or per-set registers.
 func (p *TwoLevel) globalHistory() bool {
-	return p.cfg.Variation.historyAxis() == axisGlobal
+	return p.cfg.Variation.HistoryAxis() == AxisGlobal
 }
 
 // needEntry reports whether predictions must look up a branch history
 // table entry (per-address history and/or per-address pattern binding).
 func (p *TwoLevel) needEntry() bool {
-	return p.cfg.Variation.historyAxis() == axisPerAddress ||
-		p.cfg.Variation.patternAxis() == axisPerAddress
+	return p.cfg.Variation.HistoryAxis() == AxisPerAddress ||
+		p.cfg.Variation.PatternAxis() == AxisPerAddress
 }
 
 // setIdx selects the per-set history register for pc.
@@ -336,10 +337,10 @@ func (p *TwoLevel) patIdx(pc uint32) int {
 // register, the per-set register, or the per-address entry's register
 // (nil when the entry is not resident and allocate is false).
 func (p *TwoLevel) regFor(pc uint32, allocate bool) *history.Register {
-	switch p.cfg.Variation.historyAxis() {
-	case axisGlobal:
+	switch p.cfg.Variation.HistoryAxis() {
+	case AxisGlobal:
 		return &p.ghr
-	case axisPerSet:
+	case AxisPerSet:
 		return &p.setHists[p.setIdx(pc)]
 	default:
 		if allocate {
@@ -355,7 +356,7 @@ func (p *TwoLevel) regFor(pc uint32, allocate bool) *history.Register {
 // regVia returns the history register for pc, using the already-resolved
 // entry when the history level is per-address.
 func (p *TwoLevel) regVia(e *bht.Entry, pc uint32) *history.Register {
-	if p.cfg.Variation.historyAxis() == axisPerAddress {
+	if p.cfg.Variation.HistoryAxis() == AxisPerAddress {
 		return &e.Hist
 	}
 	return p.regFor(pc, false)
@@ -364,10 +365,10 @@ func (p *TwoLevel) regVia(e *bht.Entry, pc uint32) *history.Register {
 // tableFor returns the pattern table consulted for pc. e may be nil when
 // the variation needs no entry.
 func (p *TwoLevel) tableFor(pc uint32, e *bht.Entry) *pht.Table {
-	switch p.cfg.Variation.patternAxis() {
-	case axisPerAddress:
+	switch p.cfg.Variation.PatternAxis() {
+	case AxisPerAddress:
 		return e.PHT
-	case axisPerSet:
+	case AxisPerSet:
 		return p.setPHTs[p.patIdx(pc)]
 	default:
 		return p.gpht
@@ -392,10 +393,10 @@ func (c TwoLevelConfig) defaultName() string {
 	k := c.HistoryBits
 	setSize := 1
 	var hist string
-	switch c.Variation.historyAxis() {
-	case axisGlobal:
+	switch c.Variation.HistoryAxis() {
+	case AxisGlobal:
 		hist = fmt.Sprintf("HR(1,,%d-sr)", k)
-	case axisPerSet:
+	case AxisPerSet:
 		hist = fmt.Sprintf("SHT(%d,,%d-sr)", c.HistorySets, k)
 	default:
 		if c.Ideal {
@@ -404,13 +405,13 @@ func (c TwoLevelConfig) defaultName() string {
 			hist = fmt.Sprintf("BHT(%d,%d,%d-sr)", c.Entries, c.Assoc, k)
 		}
 	}
-	switch c.Variation.patternAxis() {
-	case axisPerAddress:
+	switch c.Variation.PatternAxis() {
+	case AxisPerAddress:
 		if c.Ideal {
 			return fmt.Sprintf("%s(%s,infxPHT(2^%d,%s))", scheme, hist, k, atm)
 		}
 		setSize = c.Entries
-	case axisPerSet:
+	case AxisPerSet:
 		setSize = c.PatternSets
 	}
 	return fmt.Sprintf("%s(%s,%dxPHT(2^%d,%s))", scheme, hist, setSize, k, atm)
@@ -450,7 +451,7 @@ func (p *TwoLevel) entry(pc uint32, countLookup bool) *bht.Entry {
 	if p.cfg.ColdHistoryZero {
 		e.Hist.Set(0)
 	}
-	if p.cfg.Variation.patternAxis() == axisPerAddress {
+	if p.cfg.Variation.PatternAxis() == AxisPerAddress {
 		switch {
 		case e.PHT == nil:
 			e.PHT = p.newPHT()
@@ -522,4 +523,46 @@ func (p *TwoLevel) DebugHist(pc uint32) string {
 		return r.String()
 	}
 	return "-"
+}
+
+// FlatView exposes the predictor's internal structures to the flat
+// replay kernel (internal/sim/fastpath): the kernel seeds its packed
+// mirrors from these, replays, and writes the final state back, so a
+// kernel run leaves the predictor exactly as the interpretive path would
+// (modulo LRU stamp absolute values, whose relative order is preserved).
+// Fields are nil when the variation does not use the structure.
+type FlatView struct {
+	// Config is the predictor's validated configuration.
+	Config TwoLevelConfig
+	// Machine is the shared pattern automaton.
+	Machine *automaton.Machine
+	// GHR is the global history register (G* variations).
+	GHR *history.Register
+	// GPHT is the global pattern table (*g variations, incl. presets).
+	GPHT *pht.Table
+	// Store is the branch history table (per-address variations).
+	Store bht.Store
+	// SetHists are the per-set history registers (S* variations). The
+	// slice aliases the predictor's registers; index writes are visible.
+	SetHists []history.Register
+	// SetPHTs are the per-set pattern tables (*s variations).
+	SetPHTs []*pht.Table
+	// BHTLookups and BHTMisses point at the predictor's BHT hit-rate
+	// counters so the kernel can account its lookups.
+	BHTLookups, BHTMisses *uint64
+}
+
+// FlatView returns the kernel seam described on the FlatView type.
+func (p *TwoLevel) FlatView() FlatView {
+	return FlatView{
+		Config:     p.cfg,
+		Machine:    p.machine,
+		GHR:        &p.ghr,
+		GPHT:       p.gpht,
+		Store:      p.store,
+		SetHists:   p.setHists,
+		SetPHTs:    p.setPHTs,
+		BHTLookups: &p.bhtLookups,
+		BHTMisses:  &p.bhtMisses,
+	}
 }

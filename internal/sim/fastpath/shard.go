@@ -1,0 +1,308 @@
+package fastpath
+
+// PC-partitioned parallel replay. For variations whose first AND second
+// levels are both non-global (PAp, PAs, SAs, SAp on the practical BHT),
+// every mutable structure is indexed by pc>>2 modulo a power-of-two set
+// count, so partitioning branches by the low bits of pc>>2 gives each
+// worker a disjoint slice of BHT sets, history registers and pattern
+// tables: workers share the mirror arrays but write disjoint indices.
+// Every worker walks the whole event stream (the context-switch quantum
+// is timed by the global instruction count), predicting only its own
+// partition; worker 0 additionally owns the global counters
+// (instructions, traps, classes, context switches). Counter merging is
+// plain field addition — deterministic regardless of scheduling — and
+// the merged Counters equal the serial kernel's bit for bit.
+
+import (
+	"sync"
+
+	"twolevel/internal/automaton"
+	"twolevel/internal/predictor"
+	"twolevel/internal/trace"
+)
+
+// shardable reports whether PC partitioning preserves semantics: both
+// levels non-global (no cross-partition state) and no Ideal table (whose
+// directory map cannot be shared without synchronisation).
+func (k *Kernel) shardable() bool {
+	return k.kind == kindTwoLevel &&
+		k.hAxis != predictor.AxisGlobal && k.pAxis != predictor.AxisGlobal &&
+		k.ideal == nil
+}
+
+// shardCount resolves the partition count: the largest power of two not
+// exceeding the requested shards or any per-PC structure's set count
+// (so branches sharing a set always share a partition).
+func (k *Kernel) shardCount() int {
+	n := k.cfg.Shards
+	if n < 2 {
+		return 1
+	}
+	lim := func(v int) {
+		if v < n {
+			n = v
+		}
+	}
+	if k.cache != nil {
+		lim(int(k.setMask) + 1)
+	}
+	if k.hAxis == predictor.AxisPerSet {
+		lim(int(k.histSetMask) + 1)
+	}
+	if k.pAxis == predictor.AxisPerSet {
+		lim(int(k.patSetMask) + 1)
+	}
+	g := 1
+	for g*2 <= n {
+		g *= 2
+	}
+	return g
+}
+
+// shardWorker is one partition's private replay state. The mirror arrays
+// are shared with the Kernel (disjoint index sets); everything that must
+// not be shared — the LRU clock, the counters, the context-switch
+// phase — lives here.
+type shardWorker struct {
+	c               Counters
+	clock           uint64
+	lookups, misses uint64
+	sinceCS         uint64
+	err             error
+}
+
+// runSharded replays [start, end) with shardCount workers and merges.
+func (k *Kernel) runSharded(instrs, pcs, targets []uint32, meta []uint8, start, end int) (int, error) {
+	g := k.shardCount()
+	workers := make([]shardWorker, g)
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			workers[w].clock = k.clock
+			k.runShard(&workers[w], uint32(w), uint32(g-1), instrs, pcs, targets, meta, start, end)
+		}(w)
+	}
+	wg.Wait()
+	var err error
+	maxClock := k.clock
+	for w := range workers {
+		k.c.merge(workers[w].c)
+		k.lookups += workers[w].lookups
+		k.misses += workers[w].misses
+		if workers[w].clock > maxClock {
+			maxClock = workers[w].clock
+		}
+		if err == nil && workers[w].err != nil {
+			err = workers[w].err
+		}
+	}
+	k.clock = maxClock
+	k.sinceCS = workers[0].sinceCS
+	if err != nil {
+		// Cancellation mid-pass: workers stop at poll granularity, so
+		// the consumed count is not well-defined; report none consumed
+		// beyond the poll point. Partial counters are still returned.
+		return 0, err
+	}
+	return end - start, nil
+}
+
+// runShard is the per-worker loop: the generic flat branch step applied
+// only to branches whose pc>>2 low bits select partition w, with global
+// accounting (instructions, traps, classes, context-switch count) owned
+// by worker 0.
+func (k *Kernel) runShard(sw *shardWorker, w, partMask uint32, instrs, pcs, targets []uint32, meta []uint8, start, end int) {
+	cs, interval := k.cfg.ContextSwitches, k.cfg.CSInterval
+	ctx := k.cfg.Context
+	c := &sw.c
+	global := w == 0
+	histMask := k.histMask
+	delta, predMask := k.delta, k.predMask
+	useCache := k.cache != nil
+	g := partMask + 1
+	sinceCS := k.sinceCS // all workers see the same instruction stream
+	var sinceCheck uint32
+	for i := start; i < end; i++ {
+		if ctx != nil {
+			if sinceCheck++; sinceCheck >= checkInterval {
+				sinceCheck = 0
+				if err := ctx.Err(); err != nil {
+					sw.err = err
+					return
+				}
+			}
+		}
+		m := meta[i]
+		ins := uint64(instrs[i])
+		sinceCS += ins
+		if global {
+			c.Instructions += ins
+		}
+		if m&trace.MetaTrap != 0 {
+			if global {
+				c.Traps++
+			}
+			if cs {
+				k.flushShard(w, g)
+				if global {
+					c.ContextSwitches++
+				}
+				sinceCS = 0
+			}
+			continue
+		}
+		if cs && sinceCS >= interval {
+			k.flushShard(w, g)
+			if global {
+				c.ContextSwitches++
+			}
+			sinceCS = 0
+		}
+		cls := m >> trace.MetaClassShift
+		if trace.Class(cls) != trace.Cond {
+			if global {
+				c.ByClass[cls]++
+			}
+			continue
+		}
+		taken := m&trace.MetaTaken != 0
+		if global {
+			c.ByClass[cls]++
+			if taken {
+				c.TakenCond++
+			}
+		}
+		pc := pcs[i]
+		if pc>>2&partMask != w {
+			continue
+		}
+		var o uint32
+		if taken {
+			o = 1
+		}
+		slot := -1
+		if useCache {
+			slot = k.lookupAllocCacheSharded(sw, pc)
+		}
+		var hp *uint32
+		if k.hAxis == predictor.AxisPerSet {
+			hp = &k.setHists[pc>>2&k.histSetMask]
+		} else {
+			hp = &k.hists[slot]
+		}
+		var states []automaton.State
+		var touched []uint64
+		if k.pAxis == predictor.AxisPerSet {
+			si := pc >> 2 & k.patSetMask
+			states, touched = k.setStates[si], k.setTouched[si]
+		} else {
+			states, touched = k.phtStates[slot], k.phtTouched[slot]
+		}
+		h := *hp
+		pat := h & histMask
+		s := states[pat]
+		pred := predMask>>s&1 != 0
+		c.Predictions++
+		if pred == taken {
+			c.Correct++
+		}
+		if useCache && pred && taken {
+			c.TargetPredictions++
+			if t := k.targets[slot]; t != 0 && t == targets[i] {
+				c.TargetCorrect++
+			}
+		}
+		states[pat] = delta[uint32(s)<<1|o]
+		touched[pat>>6] |= 1 << (pat & 63)
+		if h&freshBit != 0 {
+			h = o * histMask
+		} else {
+			h = (h<<1 | o) & histMask
+		}
+		*hp = h
+		if slot >= 0 {
+			k.preds[slot] = predMask>>states[h]&1 != 0
+			if taken {
+				k.targets[slot] = targets[i]
+			}
+		}
+	}
+	sw.sinceCS = sinceCS
+}
+
+// lookupAllocCacheSharded is lookupAllocCache against the shared mirror
+// with the worker's private clock and counters. Only slots in the
+// worker's partition are ever touched, so the shared arrays see disjoint
+// writes.
+func (k *Kernel) lookupAllocCacheSharded(sw *shardWorker, pc uint32) int {
+	sw.lookups++
+	base := int(pc>>2&k.setMask) * k.assoc
+	for w := 0; w < k.assoc; w++ {
+		j := base + w
+		if k.valid[j] && k.pcs[j] == pc {
+			sw.clock++
+			k.stamps[j] = sw.clock
+			return j
+		}
+	}
+	sw.misses++
+	victim := base
+	for w := 0; w < k.assoc; w++ {
+		j := base + w
+		if !k.valid[j] {
+			victim = j
+			break
+		}
+		if k.stamps[j] < k.stamps[victim] {
+			victim = j
+		}
+	}
+	recycled := k.valid[victim] && k.pcs[victim] != pc
+	sw.clock++
+	k.ever[victim] = true
+	k.valid[victim] = true
+	k.pcs[victim] = pc
+	k.stamps[victim] = sw.clock
+	k.hists[victim] = k.freshHist
+	k.preds[victim] = true
+	if k.perAddrPHT {
+		switch {
+		case k.phtStates[victim] == nil:
+			t := k.newSlotPHT()
+			k.phtTables[victim] = t
+			k.phtStates[victim] = t.RawStates()
+			k.phtTouched[victim] = t.RawTouched()
+		case recycled && !k.view.Config.InheritPHTOnReplace:
+			st := k.phtStates[victim]
+			for i := range st {
+				st[i] = k.initState
+			}
+			tt := k.phtTouched[victim]
+			for i := range tt {
+				tt[i] = 0
+			}
+		}
+	}
+	return victim
+}
+
+// flushShard invalidates the worker's partition of the BHT mirror and
+// reinitialises its history registers (context switch, §5.1.4).
+func (k *Kernel) flushShard(w, g uint32) {
+	if k.cache != nil {
+		sets := int(k.setMask) + 1
+		for set := int(w); set < sets; set += int(g) {
+			base := set * k.assoc
+			for j := base; j < base+k.assoc; j++ {
+				k.valid[j] = false
+			}
+		}
+	}
+	if k.hAxis == predictor.AxisPerSet {
+		for i := int(w); i < len(k.setHists); i += int(g) {
+			k.setHists[i] = k.resetHist
+		}
+	}
+}

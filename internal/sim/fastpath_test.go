@@ -1,0 +1,464 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"twolevel/internal/automaton"
+	"twolevel/internal/predictor"
+	"twolevel/internal/sim/fastpath"
+	"twolevel/internal/span"
+	"twolevel/internal/spec"
+	"twolevel/internal/trace"
+)
+
+// kernelSnapshot synthesises a packed trace with the hostile shapes the
+// flat kernel must reproduce bit for bit: several hundred static branch
+// sites (forcing BHT set conflicts and slot recycling), mixed branch
+// classes, traps, a blend of biased and alternating outcomes, and both
+// forward and backward targets (so BTFN predicts both ways).
+func kernelSnapshot(events int) trace.Snapshot {
+	var p trace.Packed
+	rng := uint32(0x2545F491)
+	next := func() uint32 {
+		rng ^= rng << 13
+		rng ^= rng >> 17
+		rng ^= rng << 5
+		return rng
+	}
+	for i := 0; i < events; i++ {
+		r := next()
+		if r%101 == 0 {
+			p.Append(trace.Event{Instrs: 1 + r%7, Trap: true})
+			continue
+		}
+		cls := trace.Cond
+		switch r % 11 {
+		case 7:
+			cls = trace.Uncond
+		case 8:
+			cls = trace.Call
+		case 9:
+			cls = trace.Return
+		case 10:
+			cls = trace.Indirect
+		}
+		site := r >> 8 % 709 // prime site count → uneven set pressure
+		pc := 0x40_0000 + 4*site
+		var target uint32
+		if r>>3%3 == 0 {
+			target = pc - 4 - 4*(r>>16%50) // backward (BTFN: predict taken)
+		} else {
+			target = pc + 4 + 4*(r>>16%50)
+		}
+		var taken bool
+		switch site % 3 {
+		case 0:
+			taken = r>>5&3 != 0 // biased taken
+		case 1:
+			taken = i%2 == 0 // alternating
+		default:
+			taken = r>>6&1 == 0 // coin flip
+		}
+		p.Append(trace.Event{Instrs: 1 + r%9, Branch: trace.Branch{
+			PC:     pc,
+			Target: target,
+			Class:  cls,
+			Taken:  taken,
+		}})
+	}
+	return p.View(p.Len())
+}
+
+// kernelEquivSpecs span every flattenable family: the paper's three
+// primary variations under several automata and table shapes, the ideal
+// BHT, the six taxonomy extensions, static training, and the static
+// predictors.
+var kernelEquivSpecs = []string{
+	"GAg(HR(1,,8-sr),1xPHT(2^8,A2))",
+	"GAg(HR(1,,12-sr),1xPHT(2^12,A3))",
+	"GAg(HR(1,,4-sr),1xPHT(2^4,LT))",
+	"PAg(BHT(512,4,10-sr),1xPHT(2^10,A2))",
+	"PAg(BHT(64,1,6-sr),1xPHT(2^6,A1))",
+	"PAg(IBHT(inf,,10-sr),1xPHT(2^10,A2))",
+	"PAp(BHT(512,4,6-sr),512xPHT(2^6,A2))",
+	"PAp(BHT(128,2,4-sr),128xPHT(2^4,A4))",
+	"GAs(HR(1,,8-sr),16xPHT(2^8,A2))",
+	"GAp(HR(1,,6-sr),512xPHT(2^6,A2))",
+	"SAg(SHT(64,,8-sr),1xPHT(2^8,A2))",
+	"SAs(SHT(64,,8-sr),16xPHT(2^8,A2))",
+	"SAp(SHT(64,,6-sr),512xPHT(2^6,A2))",
+	"PAs(BHT(512,4,8-sr),16xPHT(2^8,A2))",
+	"GSg(HR(1,,8-sr),1xPHT(2^8,PB))",
+	"PSg(BHT(512,4,8-sr),1xPHT(2^8,PB))",
+	"AlwaysTaken",
+	"BTFN",
+}
+
+// buildKernelSpec constructs sp's predictor, running a training pass
+// over snap for the static-training schemes.
+func buildKernelSpec(t *testing.T, sp spec.Spec, snap trace.Snapshot) predictor.Predictor {
+	t.Helper()
+	var td *spec.TrainingData
+	if sp.NeedsTraining() {
+		trainer, err := spec.NewTrainer(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trainer.ObserveTrace(snap.Reader()); err != nil {
+			t.Fatal(err)
+		}
+		td = &spec.TrainingData{Static: trainer}
+	}
+	p, err := spec.Build(sp, td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// replaySpanAttr runs p over a fresh reader of snap under a tracer and
+// returns the result alongside the replay span's fastpath attribute.
+func replaySpanAttr(t *testing.T, p predictor.Predictor, snap trace.Snapshot, opts Options) (Result, string) {
+	t.Helper()
+	tracer := span.New()
+	root := tracer.Root("test")
+	opts.Span = root
+	res, err := Run(p, snap.Reader(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	for _, rec := range tracer.Snapshot() {
+		if rec.Name != "replay" {
+			continue
+		}
+		for _, a := range rec.Attrs {
+			if a.Key == "fastpath" {
+				return res, a.Value
+			}
+		}
+	}
+	t.Fatal("no replay span with a fastpath attribute recorded")
+	return res, ""
+}
+
+// TestKernelMatchesInterpretive is the headline bit-identity property:
+// for every flattenable spec, under plain, context-switch, budgeted and
+// sharded options, the fast kernel's Result deep-equals the interpretive
+// runner's, the two paths leave the reader at the same position, and the
+// replay span proves the kernel actually served the fast leg.
+func TestKernelMatchesInterpretive(t *testing.T) {
+	snap := kernelSnapshot(24_000)
+	conds := uint64(0)
+	for i := 0; i < snap.Len(); i++ {
+		e := snap.At(i)
+		if !e.Trap && e.Branch.Class == trace.Cond {
+			conds++
+		}
+	}
+	optionSets := []struct {
+		name string
+		opts Options
+	}{
+		{"plain", Options{}},
+		{"cs", Options{ContextSwitches: true, CSInterval: 1009}},
+		{"budget", Options{MaxCondBranches: conds / 3}},
+		{"cs-budget", Options{ContextSwitches: true, CSInterval: 1500, MaxCondBranches: conds / 2}},
+		{"sharded", Options{Shards: 4}},
+		{"cs-sharded", Options{ContextSwitches: true, CSInterval: 1009, Shards: 4}},
+	}
+	for _, s := range kernelEquivSpecs {
+		sp := spec.MustParse(s)
+		for _, os := range optionSets {
+			slowOpts := os.opts
+			slowOpts.DisableFastpath = true
+			slowSrc := snap.Reader()
+			want, err := Run(buildKernelSpec(t, sp, snap), slowSrc, slowOpts)
+			if err != nil {
+				t.Fatalf("%s/%s interpretive: %v", s, os.name, err)
+			}
+
+			fastSrc := snap.Reader()
+			p := buildKernelSpec(t, sp, snap)
+			if !FastpathEligible(p, fastSrc, os.opts) {
+				t.Fatalf("%s/%s: expected fast-path eligibility", s, os.name)
+			}
+			got, attr := replaySpanAttr(t, p, snap, os.opts)
+			if attr != "true" {
+				t.Fatalf("%s/%s: replay span fastpath=%q, kernel did not engage", s, os.name, attr)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s: kernel result differs from interpretive runner:\n got %+v\nwant %+v",
+					s, os.name, got, want)
+			}
+		}
+	}
+}
+
+// TestKernelWritebackResumes proves the kernel's state writeback is
+// complete: a budgeted kernel run followed by an interpretive
+// continuation over the same reader must land exactly where two
+// interpretive runs do. Any predictor state the kernel failed to restore
+// (histories, pattern tables, BHT residency, cached predictions or
+// targets) would diverge in the second leg.
+func TestKernelWritebackResumes(t *testing.T) {
+	snap := kernelSnapshot(24_000)
+	first := Options{MaxCondBranches: 4000, ContextSwitches: true, CSInterval: 1711}
+	for _, s := range kernelEquivSpecs {
+		sp := spec.MustParse(s)
+
+		slowSrc := snap.Reader()
+		slowP := buildKernelSpec(t, sp, snap)
+		slowOpts := first
+		slowOpts.DisableFastpath = true
+		if _, err := Run(slowP, slowSrc, slowOpts); err != nil {
+			t.Fatalf("%s interpretive leg 1: %v", s, err)
+		}
+		slowPos := slowSrc.Pos()
+		want, err := Run(slowP, slowSrc, Options{DisableFastpath: true})
+		if err != nil {
+			t.Fatalf("%s interpretive leg 2: %v", s, err)
+		}
+
+		fastSrc := snap.Reader()
+		fastP := buildKernelSpec(t, sp, snap)
+		if _, err := Run(fastP, fastSrc, first); err != nil {
+			t.Fatalf("%s kernel leg 1: %v", s, err)
+		}
+		if fastPos := fastSrc.Pos(); slowPos != fastPos {
+			t.Errorf("%s: kernel consumed %d events, interpretive %d", s, fastPos, slowPos)
+		}
+		got, err := Run(fastP, fastSrc, Options{DisableFastpath: true})
+		if err != nil {
+			t.Fatalf("%s continuation: %v", s, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: interpretive continuation after kernel leg differs:\n got %+v\nwant %+v",
+				s, got, want)
+		}
+	}
+}
+
+// TestKernelShardedMatchesSerial pins the PC-partition merge: for the
+// shardable schemes every shard count yields the serial kernel's exact
+// Result.
+func TestKernelShardedMatchesSerial(t *testing.T) {
+	snap := kernelSnapshot(24_000)
+	shardable := []string{
+		"PAp(BHT(512,4,6-sr),512xPHT(2^6,A2))",
+		"PAs(BHT(512,4,8-sr),16xPHT(2^8,A2))",
+		"SAs(SHT(64,,8-sr),16xPHT(2^8,A2))",
+		"SAp(SHT(64,,6-sr),512xPHT(2^6,A2))",
+	}
+	for _, s := range shardable {
+		sp := spec.MustParse(s)
+		serial, err := Run(buildKernelSpec(t, sp, snap), snap.Reader(),
+			Options{ContextSwitches: true, CSInterval: 1009})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{2, 4, 8, 16} {
+			got, err := Run(buildKernelSpec(t, sp, snap), snap.Reader(),
+				Options{ContextSwitches: true, CSInterval: 1009, Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, serial) {
+				t.Errorf("%s shards=%d: sharded result differs from serial:\n got %+v\nwant %+v",
+					s, shards, got, serial)
+			}
+		}
+	}
+}
+
+// TestKernelRunManyMatchesSerial drives a mixed batch — kernel cells,
+// interpretive cells and a pipelined cell — through RunMany and checks
+// every cell against its serial Run, plus the final reader position.
+func TestKernelRunManyMatchesSerial(t *testing.T) {
+	snap := kernelSnapshot(24_000)
+	specs := []string{
+		"GAg(HR(1,,8-sr),1xPHT(2^8,A2))",
+		"PAg(BHT(512,4,10-sr),1xPHT(2^10,A2))",
+		"PAp(BHT(512,4,6-sr),512xPHT(2^6,A2))",
+		"SAs(SHT(64,,8-sr),16xPHT(2^8,A2))",
+		"BTFN",
+	}
+	baseOpts := []Options{
+		{},
+		{ContextSwitches: true, CSInterval: 1009},
+		{MaxCondBranches: 3000},
+		{Shards: 4},
+		{DisableFastpath: true}, // forced interpretive cell in the batch
+	}
+	var preds []predictor.Predictor
+	var opts []Options
+	var want []Result
+	for i, s := range specs {
+		sp := spec.MustParse(s)
+		p := buildKernelSpec(t, sp, snap)
+		serial, err := Run(buildKernelSpec(t, sp, snap), snap.Reader(), baseOpts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds = append(preds, p)
+		opts = append(opts, baseOpts[i])
+		want = append(want, serial)
+	}
+	// One pipelined interpretive cell rides along to cover the legacy
+	// pass inside the mixed batch.
+	pipeP := buildKernelSpec(t, spec.MustParse("PAg(BHT(512,4,10-sr),1xPHT(2^10,A2))"), snap)
+	pipeOpts := Options{PipelineDepth: 4}
+	pipeWant, err := Run(buildKernelSpec(t, spec.MustParse("PAg(BHT(512,4,10-sr),1xPHT(2^10,A2))"), snap),
+		snap.Reader(), pipeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds = append(preds, pipeP)
+	opts = append(opts, pipeOpts)
+	want = append(want, pipeWant)
+
+	src := snap.Reader()
+	got, err := RunMany(preds, src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("cell %d: RunMany result differs from serial Run:\n got %+v\nwant %+v",
+				i, got[i], want[i])
+		}
+	}
+	if src.Pos() != snap.Len() {
+		t.Errorf("RunMany left reader at %d, want %d (unbudgeted cells drain the snapshot)",
+			src.Pos(), snap.Len())
+	}
+}
+
+// TestFastpathEligibility is the dispatch table: which (predictor,
+// source, options) combinations select the kernel.
+func TestFastpathEligibility(t *testing.T) {
+	snap := kernelSnapshot(256)
+	twoLevel := func(cfg predictor.TwoLevelConfig) predictor.Predictor {
+		p, err := predictor.NewTwoLevel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	pag := predictor.TwoLevelConfig{
+		Variation: predictor.PAg, HistoryBits: 8, Automaton: automaton.A2,
+		Entries: 64, Assoc: 4,
+	}
+	specPAg := pag
+	specPAg.SpeculativeHistory = true
+	btb, err := predictor.NewBTB(predictor.BTBConfig{Entries: 64, Assoc: 4, Automaton: automaton.A2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed := snap.Reader()
+	live := (&trace.Trace{}).Reader()
+	cases := []struct {
+		name string
+		p    predictor.Predictor
+		src  trace.Source
+		opts Options
+		want bool
+	}{
+		{"two-level over packed source", twoLevel(pag), packed, Options{}, true},
+		{"always-taken static", predictor.AlwaysTaken{}, packed, Options{}, true},
+		{"btfn static", predictor.BTFN{}, packed, Options{}, true},
+		{"context-switch mode stays eligible", twoLevel(pag), packed, Options{ContextSwitches: true}, true},
+		{"unpacked trace source", twoLevel(pag), live, Options{}, false},
+		{"explicit opt-out", twoLevel(pag), packed, Options{DisableFastpath: true}, false},
+		{"observer attached", twoLevel(pag), packed, Options{Observer: &countingObserver{}}, false},
+		{"pipelined timing model", twoLevel(pag), packed, Options{PipelineDepth: 4}, false},
+		{"speculative history", twoLevel(specPAg), packed, Options{}, false},
+		{"btb design", btb, packed, Options{}, false},
+	}
+	for _, c := range cases {
+		if got := FastpathEligible(c.p, c.src, c.opts); got != c.want {
+			t.Errorf("%s: FastpathEligible = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestReplaySpanFastpathAttr pins the telemetry contract: the replay
+// span carries fastpath=true exactly when the kernel served the run.
+func TestReplaySpanFastpathAttr(t *testing.T) {
+	snap := kernelSnapshot(2048)
+	sp := spec.MustParse("PAg(BHT(512,4,10-sr),1xPHT(2^10,A2))")
+	if _, attr := replaySpanAttr(t, buildKernelSpec(t, sp, snap), snap, Options{}); attr != "true" {
+		t.Errorf("kernel-served run: replay span fastpath=%q, want true", attr)
+	}
+	if _, attr := replaySpanAttr(t, buildKernelSpec(t, sp, snap), snap, Options{DisableFastpath: true}); attr != "false" {
+		t.Errorf("interpretive run: replay span fastpath=%q, want false", attr)
+	}
+}
+
+// TestKernelSupportedCoverage guards against silent fallbacks: every
+// equivalence spec must flatten (fastpath.New accepts it), or the
+// bit-identity suite would be testing the interpretive runner against
+// itself.
+func TestKernelSupportedCoverage(t *testing.T) {
+	snap := kernelSnapshot(256)
+	for _, s := range kernelEquivSpecs {
+		sp := spec.MustParse(s)
+		p := buildKernelSpec(t, sp, snap)
+		if !fastpath.Supported(p) {
+			t.Errorf("%s: fastpath.Supported = false", s)
+			continue
+		}
+		if _, ok := fastpath.New(p, fastpathConfig(Options{})); !ok {
+			t.Errorf("%s: fastpath.New declined", s)
+		}
+	}
+}
+
+// TestPipelinedQueueAllocationFree locks in the in-flight ring buffer:
+// a pipelined run performs one queue allocation up front and none in
+// steady state (the old reslice-on-resolve walked the backing array off
+// its end, reallocating every depth+1 branches).
+func TestPipelinedQueueAllocationFree(t *testing.T) {
+	tr := observerTrace(8192)
+	p := observerTestPredictor(t)
+	rd := tr.Reader()
+	opts := Options{PipelineDepth: 8}
+	if _, err := Run(p, rd, opts); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		rd.Reset()
+		if _, err := Run(p, rd, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One allocation per run: the runner's fixed-capacity ring.
+	if allocs > 1 {
+		t.Errorf("pipelined replay allocated %.0f times per run, want at most 1", allocs)
+	}
+}
+
+// BenchmarkPipelinedReplay measures the pipelined-mode hot loop; with
+// the ring buffer the reported allocs/op stay at the single up-front
+// queue allocation regardless of trace length.
+func BenchmarkPipelinedReplay(b *testing.B) {
+	tr := observerTrace(65_536)
+	p, err := predictor.NewTwoLevel(predictor.TwoLevelConfig{
+		Variation: predictor.PAg, HistoryBits: 8, Automaton: automaton.A2,
+		Entries: 64, Assoc: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rd := tr.Reader()
+	opts := Options{PipelineDepth: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset()
+		if _, err := Run(p, rd, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

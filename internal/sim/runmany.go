@@ -7,8 +7,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"twolevel/internal/predictor"
+	"twolevel/internal/sim/fastpath"
 	"twolevel/internal/span"
 	"twolevel/internal/telemetry"
 	"twolevel/internal/trace"
@@ -34,23 +37,102 @@ func RunMany(preds []predictor.Predictor, src trace.Source, opts []Options) ([]R
 	if len(opts) != len(preds) {
 		return nil, fmt.Errorf("sim: RunMany got %d predictors but %d option sets", len(preds), len(opts))
 	}
-	runners := make([]runner, len(preds))
-	var ctxs []context.Context
+	out := make([]Result, len(preds))
+
+	// Partition the batch: cells the flat kernel serves replay the packed
+	// snapshot concurrently (one goroutine per cell, bounded by
+	// GOMAXPROCS); the rest ride the interpretive shared pass below. The
+	// kernel cells never touch src, so the shared pass starts from the
+	// same position they did; afterwards the reader is advanced to the
+	// furthest position any cell consumed, as one serial pass would have.
+	sr, _ := src.(*trace.SnapshotReader)
+	var fastIdx []int
+	var kernels []*fastpath.Kernel
+	if sr != nil {
+		for i, p := range preds {
+			if !FastpathEligible(p, src, opts[i]) {
+				continue
+			}
+			if k, ok := fastpath.New(p, fastpathConfig(opts[i])); ok {
+				fastIdx = append(fastIdx, i)
+				kernels = append(kernels, k)
+			}
+		}
+	}
+	var slowIdx []int
+	{
+		isFast := make([]bool, len(preds))
+		for _, i := range fastIdx {
+			isFast[i] = true
+		}
+		for i := range preds {
+			if !isFast[i] {
+				slowIdx = append(slowIdx, i)
+			}
+		}
+	}
+
 	// The pass is shared, so one "replay" span covers it: the first
 	// non-nil parent among the option sets adopts it (the experiment
 	// scheduler hands every batch member the same parent).
 	var passSpan *span.Span
 	for i := range opts {
 		if parent := opts[i].Span; parent != nil {
-			passSpan = parent.Child("replay", span.Int("batch", len(preds)))
+			passSpan = parent.Child("replay",
+				span.Int("batch", len(preds)),
+				span.Int("fastcells", len(fastIdx)),
+				span.Bool("fastpath", len(fastIdx) == len(preds)))
 			break
 		}
 	}
 	defer passSpan.End()
-	for i, p := range preds {
-		runners[i] = newRunner(p, opts[i])
+
+	start := 0
+	if sr != nil {
+		start = sr.Pos()
+	}
+	var consumedFast int
+	if len(kernels) > 0 {
+		snap := sr.Snapshot()
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		errs := make([]error, len(kernels))
+		consumed := make([]int, len(kernels))
+		var wg sync.WaitGroup
+		for j := range kernels {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				var c fastpath.Counters
+				c, consumed[j], errs[j] = kernels[j].Run(snap, start)
+				out[fastIdx[j]] = countersToResult(c)
+			}(j)
+		}
+		wg.Wait()
+		for j := range kernels {
+			if consumed[j] > consumedFast {
+				consumedFast = consumed[j]
+			}
+			if errs[j] != nil {
+				// A cancelled cell aborts the whole batch, matching the
+				// shared-pass contract; partial results stand.
+				seekPast(sr, start+consumedFast)
+				return out, errs[j]
+			}
+		}
+		if len(slowIdx) == 0 {
+			seekPast(sr, start+consumedFast)
+			return out, nil
+		}
+	}
+
+	runners := make([]runner, len(slowIdx))
+	var ctxs []context.Context
+	for si, i := range slowIdx {
+		runners[si] = newRunner(preds[i], opts[i])
 		if obs := opts[i].Observer; obs != nil {
-			obs.Start(telemetry.RunInfo{Predictor: p})
+			obs.Start(telemetry.RunInfo{Predictor: preds[i]})
 		}
 		if ctx := opts[i].Context; ctx != nil {
 			dup := false
@@ -66,14 +148,13 @@ func RunMany(preds []predictor.Predictor, src trace.Source, opts []Options) ([]R
 		}
 	}
 	results := func() []Result {
-		out := make([]Result, len(runners))
-		for i := range runners {
-			out[i] = runners[i].res
+		for si, i := range slowIdx {
+			out[i] = runners[si].res
 		}
 		return out
 	}
 	finishObservers := func() {
-		for i := range runners {
+		for _, i := range slowIdx {
 			if obs := opts[i].Observer; obs != nil {
 				obs.Finish()
 			}
@@ -98,6 +179,7 @@ func RunMany(preds []predictor.Predictor, src trace.Source, opts []Options) ([]R
 				for _, ctx := range ctxs {
 					if err := ctx.Err(); err != nil {
 						finishObservers()
+						seekPast(sr, start+consumedFast)
 						return results(), err
 					}
 				}
@@ -109,6 +191,7 @@ func RunMany(preds []predictor.Predictor, src trace.Source, opts []Options) ([]R
 		}
 		if err != nil {
 			finishObservers()
+			seekPast(sr, start+consumedFast)
 			return results(), err
 		}
 		for i := range runners {
@@ -121,5 +204,16 @@ func RunMany(preds []predictor.Predictor, src trace.Source, opts []Options) ([]R
 		runners[i].finish()
 	}
 	finishObservers()
+	seekPast(sr, start+consumedFast)
 	return results(), nil
+}
+
+// seekPast advances sr to pos when the interpretive pass stopped short of
+// the furthest kernel cell (a nil reader or an already-further position
+// is a no-op), so the source ends where one serial pass would have left
+// it.
+func seekPast(sr *trace.SnapshotReader, pos int) {
+	if sr != nil && pos > sr.Pos() {
+		sr.Seek(pos)
+	}
 }

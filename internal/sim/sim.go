@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"twolevel/internal/predictor"
+	"twolevel/internal/sim/fastpath"
 	"twolevel/internal/span"
 	"twolevel/internal/stats"
 	"twolevel/internal/telemetry"
@@ -65,6 +66,17 @@ type Options struct {
 	// zero-cost-when-nil contract the Observer field carries, enforced
 	// by the spannilguard analyzer and an allocation test.
 	Span *span.Span
+	// DisableFastpath forces the interpretive runner even when the flat
+	// replay kernel (internal/sim/fastpath) could serve the run.
+	// Equivalence tests and kernel-vs-runner benchmarks use it to pin
+	// the path; results are bit-identical either way.
+	DisableFastpath bool
+	// Shards requests PC-partitioned parallel replay inside the fast
+	// kernel for per-address/per-set schemes (values < 2, or schemes
+	// with any global level, replay serially). The merged Result is
+	// bit-identical to the serial kernel. Ignored on the interpretive
+	// path.
+	Shards int
 }
 
 // Result aggregates a simulation run.
@@ -120,9 +132,23 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) 
 		obs.Start(telemetry.RunInfo{Predictor: p})
 		defer obs.Finish()
 	}
+	var k *fastpath.Kernel
+	var sr *trace.SnapshotReader
+	if FastpathEligible(p, src, opts) {
+		sr, _ = src.(*trace.SnapshotReader)
+		k, _ = fastpath.New(p, fastpathConfig(opts))
+	}
 	if parent := opts.Span; parent != nil {
-		sp := parent.Child("replay", span.Uint64("budget", opts.MaxCondBranches))
+		sp := parent.Child("replay",
+			span.Uint64("budget", opts.MaxCondBranches),
+			span.Bool("fastpath", k != nil))
 		defer sp.End()
+	}
+	if k != nil {
+		start := sr.Pos()
+		c, consumed, err := k.Run(sr.Snapshot(), start)
+		sr.Seek(start + consumed)
+		return countersToResult(c), err
 	}
 	r := newRunner(p, opts)
 	ctx := opts.Context
@@ -176,9 +202,16 @@ type runner struct {
 	interval uint64
 	depth    int
 	sinceCS  uint64
-	queue    []inflight
-	res      Result
-	done     bool
+	// queue is a fixed-capacity ring buffer of the depth+1 possible
+	// in-flight branches. Head advances on resolve instead of reslicing
+	// (queue = queue[1:]) — the reslice walked the backing array off its
+	// end, forcing a fresh allocation every depth+1 branches for the
+	// whole run.
+	queue []inflight
+	qhead int
+	qlen  int
+	res   Result
+	done  bool
 }
 
 // newRunner returns the runner by value so Run can keep it on the stack
@@ -196,7 +229,7 @@ func newRunner(p predictor.Predictor, opts Options) runner {
 		r.interval = DefaultCSInterval
 	}
 	if r.depth > 0 {
-		r.queue = make([]inflight, 0, r.depth+1)
+		r.queue = make([]inflight, r.depth+1)
 	} else {
 		// Target-address caching (§3.2) is measured in the base model
 		// only, as before the pipelined mode existed.
@@ -248,8 +281,13 @@ func (r *runner) step(e trace.Event) {
 		r.res.TakenCond++
 	}
 	if r.depth > 0 {
-		r.queue = append(r.queue, inflight{branch: b, pred: r.predict(b)})
-		if len(r.queue) > r.depth {
+		slot := r.qhead + r.qlen
+		if slot >= len(r.queue) {
+			slot -= len(r.queue)
+		}
+		r.queue[slot] = inflight{branch: b, pred: r.predict(b)}
+		r.qlen++
+		if r.qlen > r.depth {
 			r.resolve()
 		}
 		return
@@ -289,8 +327,11 @@ func (r *runner) predict(b trace.Branch) bool {
 
 // resolve retires the oldest in-flight branch.
 func (r *runner) resolve() {
-	f := r.queue[0]
-	r.queue = r.queue[1:]
+	f := r.queue[r.qhead]
+	if r.qhead++; r.qhead == len(r.queue) {
+		r.qhead = 0
+	}
+	r.qlen--
 	correct := f.pred == f.branch.Taken
 	r.res.Accuracy.Add(correct)
 	r.p.Update(f.branch, f.pred)
@@ -300,16 +341,19 @@ func (r *runner) resolve() {
 	if !correct {
 		// Squash: younger in-flight branches are refetched and
 		// re-predicted with the repaired predictor state.
-		for i := range r.queue {
+		for j, i := 0, r.qhead; j < r.qlen; j++ {
 			r.queue[i].pred = r.predict(r.queue[i].branch)
 			r.res.Repredictions++
+			if i++; i == len(r.queue) {
+				i = 0
+			}
 		}
 	}
 }
 
 // drain retires every in-flight branch.
 func (r *runner) drain() {
-	for len(r.queue) > 0 {
+	for r.qlen > 0 {
 		r.resolve()
 	}
 }

@@ -27,11 +27,24 @@ type Packed struct {
 	conds   int
 }
 
-// Metadata bit layout: trap flag, taken flag, branch class.
+// Metadata bit layout: trap flag, taken flag, branch class. Exported so
+// flat replay kernels (internal/sim/fastpath) can decode the packed meta
+// column directly instead of paying a per-event At/Next decode.
 const (
-	metaTrap  = 1 << 0
-	metaTaken = 1 << 1
-	metaClass = 2 // class occupies bits 2..4
+	// MetaTrap marks a trap event (no branch fields).
+	MetaTrap = 1 << 0
+	// MetaTaken is the branch outcome bit.
+	MetaTaken = 1 << 1
+	// MetaClassShift is the bit offset of the branch class field, which
+	// occupies bits 2..4.
+	MetaClassShift = 2
+)
+
+// Private aliases keep the package-internal encode/decode sites short.
+const (
+	metaTrap  = MetaTrap
+	metaTaken = MetaTaken
+	metaClass = MetaClassShift
 )
 
 // Append adds one event.
@@ -132,6 +145,14 @@ func (s Snapshot) At(i int) Event {
 // Reader returns a fresh replay cursor positioned at the first event.
 func (s Snapshot) Reader() *SnapshotReader { return &SnapshotReader{s: s} }
 
+// Columns exposes the snapshot's raw packed columns for flat replay
+// kernels: per-event instruction counts, branch addresses, branch targets
+// and the metadata byte (see the Meta* bit layout). The slices alias the
+// snapshot's immutable storage — callers must treat them as read-only.
+func (s Snapshot) Columns() (instrs, pcs, targets []uint32, meta []uint8) {
+	return s.instrs, s.pcs, s.targets, s.meta
+}
+
 // Checksum returns an FNV-1a digest over the snapshot's packed columns
 // (length-prefixed, column order fixed). Two snapshots of the same
 // deterministic generator at the same budget always agree; resume
@@ -184,6 +205,26 @@ func (r *SnapshotReader) Next() (Event, error) {
 
 // Reset rewinds the reader to the start of the snapshot.
 func (r *SnapshotReader) Reset() { r.pos = 0 }
+
+// Snapshot returns the snapshot the reader walks.
+func (r *SnapshotReader) Snapshot() Snapshot { return r.s }
+
+// Pos returns the index of the next event Next would return.
+func (r *SnapshotReader) Pos() int { return r.pos }
+
+// Seek positions the reader so the next event is index pos, clamped to
+// [0, Len()]. Flat replay kernels consume events by index over Columns
+// and then Seek the cursor past what they consumed, so interleaved
+// interface-level reads keep working.
+func (r *SnapshotReader) Seek(pos int) {
+	if pos < 0 {
+		pos = 0
+	}
+	if n := r.s.Len(); pos > n {
+		pos = n
+	}
+	r.pos = pos
+}
 
 // CaptureCache materialises event streams exactly once and serves them to
 // any number of replaying consumers. Each key (conventionally a

@@ -85,6 +85,10 @@ type (
 	// TraceStats summarises a trace (per-class counts, static branch
 	// sites, taken rates).
 	TraceStats = trace.Stats
+	// TraceSnapshot is an immutable packed event sequence. Readers over
+	// a snapshot qualify for the flat replay kernel, which replays the
+	// packed columns directly instead of decoding events one at a time.
+	TraceSnapshot = trace.Snapshot
 
 	// Predictor is the interface every scheme implements: Predict,
 	// Update, ContextSwitch, Name.
@@ -221,6 +225,23 @@ func NewBenchmarkSource(name string, training bool) (Source, error) {
 // branches have streamed through.
 func LimitConditional(src Source, n uint64) Source {
 	return &trace.LimitSource{Src: src, N: n}
+}
+
+// PackTrace drains src into a packed snapshot. Simulate runs over
+// snapshot readers take the flat replay kernel whenever the predictor
+// and options qualify (see SimOptions.DisableFastpath).
+func PackTrace(src Source) (TraceSnapshot, error) {
+	var p trace.Packed
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			return p.View(p.Len()), nil
+		}
+		if err != nil {
+			return TraceSnapshot{}, err
+		}
+		p.Append(e)
+	}
 }
 
 // SummarizeTrace drains src and returns its statistics.
