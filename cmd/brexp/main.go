@@ -218,7 +218,17 @@ func run() error {
 		monitorAddr = ln.Addr().String()
 		srv := &http.Server{Handler: monitor.Handler()}
 		go srv.Serve(ln)
-		defer srv.Close()
+		// Drain gracefully rather than srv.Close(): a scraper mid-response
+		// when the run ends (or SIGINT/SIGTERM cancels ctx) gets its bytes
+		// before the listener dies. Shutdown is bounded so a stuck client
+		// cannot hold the process; Close is the hard fallback.
+		defer func() {
+			shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(shCtx); err != nil {
+				srv.Close()
+			}
+		}()
 		log.Info("monitoring", "addr", monitorAddr)
 	}
 	if *resume != "" {

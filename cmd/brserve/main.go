@@ -1,0 +1,129 @@
+// Command brserve is the prediction-as-a-service daemon: an HTTP/JSON
+// server where clients POST a trace (or name a built-in benchmark) and
+// a predictor-spec grid, and get back per-cell accuracy/cost results.
+//
+// Usage:
+//
+//	brserve -addr :8080                      # serve until SIGINT/SIGTERM
+//	brserve -addr :8080 -tenant-rate 5       # 5 req/s token bucket per tenant
+//	brserve -loadgen -url http://host:8080   # drive a running server
+//
+// The server drains gracefully on SIGINT/SIGTERM: admission closes
+// (/readyz flips to 503), in-flight grids finish within -drain-timeout,
+// then the process exits 0.
+//
+// API sketch (see EXPERIMENTS.md "Serving & load" for the contract):
+//
+//	POST /v1/traces            upload a binary or text trace, get a key
+//	POST /v1/grid              {"bench":..., "specs":[...], ...} -> cells
+//	GET  /healthz /readyz      liveness / admission state
+//	GET  /metrics[?tenant=x]   Prometheus text, per-tenant on request
+//	GET  /spans /progress      span summary, cell progress JSON
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"twolevel"
+	"twolevel/internal/server"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8080", "listen address")
+		maxConcurrent  = flag.Int("max-concurrent", 0, "admitted requests executing at once (0 = GOMAXPROCS)")
+		maxQueue       = flag.Int("max-queue", 0, "requests waiting beyond -max-concurrent before shedding (0 = 2x)")
+		tenantRate     = flag.Float64("tenant-rate", 0, "per-tenant sustained requests/sec (0 = unlimited)")
+		tenantBurst    = flag.Int("tenant-burst", 0, "per-tenant token bucket depth")
+		tenantCells    = flag.Int("tenant-cells", 0, "per-tenant concurrent grid cells (0 = GOMAXPROCS)")
+		maxCells       = flag.Int("max-cells", 0, "per-request grid size cap (0 = 256)")
+		maxBranches    = flag.Uint64("max-branches", 0, "per-request branch budget cap (0 = 10M)")
+		maxUpload      = flag.Int64("max-upload", 0, "trace upload size cap in bytes (0 = 64MiB)")
+		requestTimeout = flag.Duration("request-timeout", 0, "per-request deadline (0 = 120s)")
+		writeTimeout   = flag.Duration("write-timeout", 0, "slow-client per-write deadline (0 = 10s)")
+		drainTimeout   = flag.Duration("drain-timeout", 0, "graceful drain budget after SIGTERM (0 = 15s)")
+		version        = flag.Bool("version", false, "print version and exit")
+
+		loadgen  = flag.Bool("loadgen", false, "run the load generator against -url instead of serving")
+		url      = flag.String("url", "http://127.0.0.1:8080", "loadgen: server base URL")
+		conc     = flag.Int("c", 8, "loadgen: concurrent client goroutines")
+		tenants  = flag.Int("tenants", 2, "loadgen: distinct tenant IDs to cycle")
+		duration = flag.Duration("duration", 2*time.Second, "loadgen: run length")
+		bench    = flag.String("bench", "eqntott", "loadgen: benchmark each request names")
+		branches = flag.Uint64("branches", 20_000, "loadgen: per-cell branch budget")
+		specs    = flag.String("specs", "", "loadgen: comma-separated predictor specs (default a 2-spec grid)")
+	)
+	flag.Parse()
+
+	if *version {
+		fmt.Println("brserve", twolevel.ReadBuildInfo())
+		return
+	}
+	if *loadgen {
+		runLoadgen(*url, *conc, *tenants, *duration, *bench, *branches, *specs)
+		return
+	}
+
+	srv := server.New(server.Config{
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		TenantRate:     *tenantRate,
+		TenantBurst:    *tenantBurst,
+		TenantCells:    *tenantCells,
+		MaxCells:       *maxCells,
+		MaxBranches:    *maxBranches,
+		MaxUploadBytes: *maxUpload,
+		RequestTimeout: *requestTimeout,
+		WriteTimeout:   *writeTimeout,
+		DrainTimeout:   *drainTimeout,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "brserve: listening on %s\n", ln.Addr())
+	if err := srv.Serve(ctx, ln); err != nil {
+		fatal(err)
+	}
+}
+
+func runLoadgen(url string, conc, tenants int, duration time.Duration, bench string, branches uint64, specList string) {
+	gen := &server.LoadGen{
+		URL:         strings.TrimRight(url, "/"),
+		Concurrency: conc,
+		Tenants:     tenants,
+		Duration:    duration,
+		Bench:       bench,
+		Branches:    branches,
+	}
+	if specList != "" {
+		gen.Specs = strings.Split(specList, ",")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := gen.Run(ctx)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "brserve:", err)
+	os.Exit(1)
+}

@@ -10,9 +10,11 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"runtime"
 	"sort"
@@ -23,6 +25,7 @@ import (
 	"twolevel/internal/cpu"
 	"twolevel/internal/experiments"
 	"twolevel/internal/prog"
+	"twolevel/internal/server"
 	"twolevel/internal/sim"
 	"twolevel/internal/spec"
 	"twolevel/internal/trace"
@@ -124,6 +127,36 @@ type KernelBench struct {
 	Speedup float64 `json:"speedup_kernel_over_runner"`
 }
 
+// ServeBench drives an in-process brserve instance past saturation with
+// the load generator: more closed-loop clients than admission slots, so
+// the server must shed. The gate watches the two throughput numbers;
+// shed rate and latency quantiles are recorded for trend reading.
+type ServeBench struct {
+	// Concurrency is the closed-loop client count; MaxConcurrent and
+	// MaxQueue are the server's admission limits (clients > slots+queue
+	// forces shedding).
+	Concurrency   int `json:"concurrency"`
+	MaxConcurrent int `json:"max_concurrent"`
+	MaxQueue      int `json:"max_queue"`
+	// Branches is the per-cell budget each request carries; sized so a
+	// grid takes long enough that the closed loop genuinely saturates.
+	Branches uint64 `json:"branches"`
+	// Requests/Completed/Shed summarize the run's admission outcomes.
+	Requests  uint64 `json:"requests"`
+	Completed uint64 `json:"completed"`
+	Shed      uint64 `json:"shed"`
+	// RequestsPerSec and EventsPerSec are the gated goodput numbers:
+	// completed grids and simulator events per wall-clock second.
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	// ShedRate is shed / answered; under deliberate overload it should
+	// be well above zero (the server degrades by refusing, not queuing).
+	ShedRate float64 `json:"shed_rate"`
+	// Latency quantiles over completed requests.
+	LatencyP50Seconds float64 `json:"latency_p50_seconds"`
+	LatencyP95Seconds float64 `json:"latency_p95_seconds"`
+}
+
 // Fig6Bench compares one multi-spec experiment across cache arms.
 type Fig6Bench struct {
 	LiveSeconds       float64 `json:"live_seconds"`
@@ -143,6 +176,7 @@ type Doc struct {
 	Suite        SuiteBench  `json:"suite"`
 	Fig6         Fig6Bench   `json:"fig6"`
 	Kernel       KernelBench `json:"kernel"`
+	Serve        ServeBench  `json:"serve"`
 }
 
 // RunProtocol executes the benchmark protocol — the full suite once
@@ -242,7 +276,63 @@ func RunProtocol(opts experiments.Options) (Doc, error) {
 	if doc.Kernel, err = runKernelBench(budget); err != nil {
 		return doc, err
 	}
+	if doc.Serve, err = runServeBench(); err != nil {
+		return doc, err
+	}
 	return doc, nil
+}
+
+// serveBenchDuration bounds the saturation run; long enough for the
+// closed loop to reach steady state, short enough not to dominate the
+// protocol.
+const serveBenchDuration = 1500 * time.Millisecond
+
+// runServeBench starts a brserve instance on a loopback listener with
+// deliberately tight admission limits and saturates it with the load
+// generator, measuring goodput and shed behaviour at overload.
+func runServeBench() (ServeBench, error) {
+	sb := ServeBench{
+		Concurrency:   16,
+		MaxConcurrent: 2,
+		MaxQueue:      2,
+		Branches:      100_000,
+	}
+	srv := server.New(server.Config{
+		MaxConcurrent: sb.MaxConcurrent,
+		MaxQueue:      sb.MaxQueue,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return sb, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+
+	gen := &server.LoadGen{
+		URL:         "http://" + ln.Addr().String(),
+		Concurrency: sb.Concurrency,
+		Tenants:     2,
+		Duration:    serveBenchDuration,
+		Branches:    sb.Branches,
+	}
+	rep, runErr := gen.Run(context.Background())
+	cancel()
+	if err := <-served; runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		return sb, runErr
+	}
+	sb.Requests = rep.Requests
+	sb.Completed = rep.Completed
+	sb.Shed = rep.Shed
+	sb.RequestsPerSec = rep.RequestsPerSec
+	sb.EventsPerSec = rep.EventsPerSec
+	sb.ShedRate = rep.ShedRate
+	sb.LatencyP50Seconds = rep.LatencyP50
+	sb.LatencyP95Seconds = rep.LatencyP95
+	return sb, nil
 }
 
 // kernelBenchReps is the repetition count per arm of the kernel
@@ -321,11 +411,13 @@ func runKernelBench(budget uint64) (KernelBench, error) {
 
 // Summary renders the one-line human digest brexp -benchjson prints.
 func (d Doc) Summary() string {
-	return fmt.Sprintf("suite: %.2fs cached vs %.2fs live (%.1fx), %d runs, %.1fM events/s, %d interpreters; fig6 speedup: %.1fx cold, %.1fx warm; kernel: %.1fM events/s (%.1fx over runner)",
+	return fmt.Sprintf("suite: %.2fs cached vs %.2fs live (%.1fx), %d runs, %.1fM events/s, %d interpreters; fig6 speedup: %.1fx cold, %.1fx warm; kernel: %.1fM events/s (%.1fx over runner); serve: %.0f req/s, %.1fM events/s, shed %.0f%%, p95 %.0fms",
 		d.Suite.WallClockSeconds, d.Suite.LiveWallClockSeconds, d.Suite.SpeedupLive,
 		d.Suite.Runs, d.Suite.EventsPerSec/1e6,
 		d.Suite.InterpreterConstructions, d.Fig6.SpeedupCold, d.Fig6.SpeedupWarm,
-		d.Kernel.KernelEventsPerSec/1e6, d.Kernel.Speedup)
+		d.Kernel.KernelEventsPerSec/1e6, d.Kernel.Speedup,
+		d.Serve.RequestsPerSec, d.Serve.EventsPerSec/1e6,
+		100*d.Serve.ShedRate, 1000*d.Serve.LatencyP95Seconds)
 }
 
 // Write renders the document as indented JSON.
@@ -400,6 +492,8 @@ func gatedMetrics(d Doc) map[string]float64 {
 		"fig6.speedup_warm":                 d.Fig6.SpeedupWarm,
 		"kernel.events_per_sec":             d.Kernel.KernelEventsPerSec,
 		"kernel.speedup_kernel_over_runner": d.Kernel.Speedup,
+		"serve.requests_per_sec":            d.Serve.RequestsPerSec,
+		"serve.events_per_sec":              d.Serve.EventsPerSec,
 	}
 }
 

@@ -24,7 +24,30 @@ func sampleDoc() Doc {
 	d.Fig6.CachedWarmSeconds = 0.25
 	d.Fig6.SpeedupCold = 2.0
 	d.Fig6.SpeedupWarm = 4.0
+	d.Serve.RequestsPerSec = 40
+	d.Serve.EventsPerSec = 2_000_000
+	d.Serve.ShedRate = 0.5
+	d.Serve.LatencyP95Seconds = 0.05
 	return d
+}
+
+// TestCompareGatesServeThroughput: the saturation benchmark's goodput
+// metrics are gated, while a baseline predating the serve section (all
+// zeros) must not fail a newer binary.
+func TestCompareGatesServeThroughput(t *testing.T) {
+	base := sampleDoc()
+	cur := base
+	cur.Serve.RequestsPerSec = base.Serve.RequestsPerSec * 0.5
+	regs := Compare(base, cur, Thresholds{Default: 0.2})
+	if len(regs) != 1 || regs[0].Metric != "serve.requests_per_sec" {
+		t.Fatalf("serve goodput drop not gated: %v", regs)
+	}
+
+	old := base
+	old.Serve = ServeBench{}
+	if regs := Compare(old, base, Thresholds{Default: 0.01}); len(regs) != 0 {
+		t.Errorf("pre-serve baseline produced regressions: %v", regs)
+	}
 }
 
 // TestCompareDetectsInjectedRegression is the gate's acceptance test: a
@@ -135,6 +158,12 @@ func TestRunProtocolSmoke(t *testing.T) {
 	}
 	if doc.Environment.Build.GoVersion == "" {
 		t.Fatalf("environment not stamped: %+v", doc.Environment)
+	}
+	if doc.Serve.Requests == 0 || doc.Serve.RequestsPerSec <= 0 || doc.Serve.EventsPerSec <= 0 {
+		t.Fatalf("serve section empty: %+v", doc.Serve)
+	}
+	if doc.Serve.Shed == 0 {
+		t.Errorf("saturation run shed nothing: %+v", doc.Serve)
 	}
 	if !strings.Contains(doc.Summary(), "fig6 speedup") {
 		t.Errorf("summary: %s", doc.Summary())

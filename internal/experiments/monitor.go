@@ -120,6 +120,35 @@ func (m *Monitor) observeCells(d time.Duration, n int) {
 	}
 }
 
+// ResultEvents returns the simulator-event count of one completed run —
+// the unit the monitor's Events counter accumulates. Exported so
+// out-of-package schedulers (internal/server) charge cells identically
+// to the grid scheduler.
+func ResultEvents(res sim.Result) uint64 { return resultEvents(res) }
+
+// AddPlanned, CellDone, CellsFailed, CellRetried and ObserveCells are
+// the exported halves of the scheduler hooks, for out-of-package cell
+// schedulers (the brserve request executor) that drive per-tenant
+// monitors. All are nil-monitor safe, like their unexported twins.
+
+// AddPlanned records n newly scheduled cells.
+func (m *Monitor) AddPlanned(n int) { m.addPlanned(n) }
+
+// CellDone records one completed cell and its simulator events.
+func (m *Monitor) CellDone(events uint64) { m.cellDone(events) }
+
+// CellsFailed records n cells that gave up.
+func (m *Monitor) CellsFailed(n int) { m.cellsFailedAdd(n) }
+
+// CellRetried records one retry attempt.
+func (m *Monitor) CellRetried() { m.cellRetried() }
+
+// BatchFallback records one batched pass falling back to per-cell runs.
+func (m *Monitor) BatchFallback() { m.batchFallback() }
+
+// ObserveCells records n cells completing with per-cell duration d each.
+func (m *Monitor) ObserveCells(d time.Duration, n int) { m.observeCells(d, n) }
+
 // AttachTracer publishes tr on the monitor's /spans endpoint. Safe to
 // call on a nil monitor or with a nil tracer (detaches).
 func (m *Monitor) AttachTracer(tr *span.Tracer) {

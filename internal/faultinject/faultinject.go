@@ -12,7 +12,9 @@
 package faultinject
 
 import (
+	"context"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"twolevel/internal/telemetry"
@@ -170,6 +172,44 @@ func (o *FuncObserver) OnResolve(b trace.Branch, predicted, correct bool) {
 		o.Fn(o.resolved)
 	}
 }
+
+// CtxAfter is a deterministic countdown context: the first N Err polls
+// see a live context, every later poll sees context.Canceled. Amortised
+// cancellation loops (sim.Run, the fastpath kernel) poll Err at a fixed
+// event granularity, so CtxAfter cancels a run at an exact poll count —
+// no goroutines, no timers, reproducible on every execution.
+//
+// Done intentionally returns nil (block forever): CtxAfter is for the
+// polling hot paths, not for select-based waiters. The poll counter is
+// atomic so sharded kernel workers may share one CtxAfter; the total
+// poll count at which cancellation fires stays exact even though which
+// worker observes it first does not.
+type CtxAfter struct {
+	// N is the number of Err calls that see a live context.
+	N int64
+
+	polls atomic.Int64
+}
+
+// Err implements context.Context.
+func (c *CtxAfter) Err() error {
+	if c.polls.Add(1) > c.N {
+		return context.Canceled
+	}
+	return nil
+}
+
+// Polls reports how many times Err has been called.
+func (c *CtxAfter) Polls() int64 { return c.polls.Load() }
+
+// Done implements context.Context; see the type comment.
+func (c *CtxAfter) Done() <-chan struct{} { return nil }
+
+// Deadline implements context.Context.
+func (c *CtxAfter) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+// Value implements context.Context.
+func (c *CtxAfter) Value(key any) any { return nil }
 
 // FlakyOpener wraps a source constructor so its first fails calls return
 // err before it starts delegating — a transiently unavailable generator

@@ -12,12 +12,14 @@ import (
 // (atomic.Uint64 etc., whose methods are safe by construction) or — if it
 // is a plain integer — be touched exclusively through sync/atomic calls
 // (atomic.AddUint64(&m.field, ...)). A plain load or store of such a
-// field is a data race waiting for the next refactor.
+// field is a data race waiting for the next refactor. The serving
+// daemon's request Monitor (internal/server) carries the same contract:
+// HTTP handlers bump it from arbitrary goroutines.
 var AtomicCounter = &Analyzer{
 	Name: "atomiccounter",
-	Doc: "plain-integer fields of experiments.Monitor may only be accessed " +
-		"through sync/atomic",
-	Packages: []string{"experiments"},
+	Doc: "plain-integer fields of a package's Monitor struct may only be " +
+		"accessed through sync/atomic",
+	Packages: []string{"experiments", "server"},
 	Run:      runAtomicCounter,
 }
 

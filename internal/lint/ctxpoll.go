@@ -6,18 +6,19 @@ import (
 )
 
 // CtxPoll enforces the PR 3 responsiveness contract: an unbounded loop in
-// the sim or trace packages that pulls events from a stream (a Source's
-// Next method, or the runner's step) must poll for cancellation inside
-// the loop — a ctx.Err() check or a ctx.Done() receive — so a cancelled
-// run is noticed within a bounded number of events rather than only at
-// end of stream. Bounded loops (range over a slice, array or integer) are
-// exempt: they cannot outlive their input. Offline drain helpers that are
-// deliberately uncancellable carry //lint:allow ctxpoll annotations.
+// the sim, trace or server packages that pulls events from a stream (a
+// Source's Next method, or the runner's step) must poll for cancellation
+// inside the loop — a ctx.Err() check or a ctx.Done() receive — so a
+// cancelled run is noticed within a bounded number of events rather than
+// only at end of stream. Bounded loops (range over a slice, array or
+// integer) are exempt: they cannot outlive their input. Offline drain
+// helpers that are deliberately uncancellable carry //lint:allow ctxpoll
+// annotations.
 var CtxPoll = &Analyzer{
 	Name: "ctxpoll",
-	Doc: "event-stream loops in sim/trace must contain a cancellation poll " +
-		"(ctx.Err or ctx.Done)",
-	Packages: []string{"sim", "trace"},
+	Doc: "event-stream loops in sim/trace/server must contain a cancellation " +
+		"poll (ctx.Err or ctx.Done)",
+	Packages: []string{"sim", "trace", "server"},
 	Run:      runCtxPoll,
 }
 

@@ -15,13 +15,14 @@ import (
 // sorted, and wall-clock / nondeterministic randomness sources
 // (time.Now, time.Since, math/rand) are banned — internal/rng is the
 // deterministic generator. The handful of legitimate wall-clock spots
-// (run timing in runstats.go/metrics.go/monitor.go/schedule.go) carry
+// (run timing in runstats.go/metrics.go/monitor.go/schedule.go, and the
+// serving daemon's single clock seam in server.go) carry
 // //lint:allow determinism annotations.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc: "map iteration feeding report output must be sorted; " +
 		"time.Now/time.Since/math/rand are banned in report-producing packages",
-	Packages: []string{"experiments", "telemetry", "analysis", "trace", "prog", "spec", "stats"},
+	Packages: []string{"experiments", "telemetry", "analysis", "trace", "prog", "spec", "stats", "server"},
 	Run:      runDeterminism,
 }
 

@@ -12,16 +12,18 @@ import (
 // twolevel package and in internal/predictor, internal/automaton,
 // internal/bht and internal/pht must not contain a reachable panic —
 // invalid configurations are reported as errors by the validating
-// constructors. Checking is intraprocedural plus one level of
+// constructors. The serving daemon (internal/server) carries the same
+// contract: a panic in its exported surface would take down every
+// tenant at once. Checking is intraprocedural plus one level of
 // same-package callee inlining. Two escape hatches exist by design:
 // Must*-named helpers (whose documented contract is to panic) are
 // exempt, and deliberate programmer-error panics below the validated
 // layer carry //lint:allow nopanic annotations.
 var NoPanic = &Analyzer{
 	Name: "nopanic",
-	Doc: "exported APIs in predictor-construction packages must return errors, " +
-		"not panic (Must* helpers exempt)",
-	Packages: []string{"twolevel", "predictor", "automaton", "bht", "pht"},
+	Doc: "exported APIs in predictor-construction and serving packages must " +
+		"return errors, not panic (Must* helpers exempt)",
+	Packages: []string{"twolevel", "predictor", "automaton", "bht", "pht", "server"},
 	Run:      runNoPanic,
 }
 

@@ -1,0 +1,336 @@
+// HTTP surface: route table, request envelopes and the slow-client
+// write discipline. Every response write happens under a per-write
+// deadline (http.NewResponseController), so a client that stops
+// reading costs the server one connection, never a worker.
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"twolevel/internal/span"
+	"twolevel/internal/trace"
+)
+
+// uploadInfo records one accepted trace upload.
+type uploadInfo struct {
+	Trace    string `json:"trace"`
+	Events   int    `json:"events"`
+	Conds    int    `json:"conds"`
+	Checksum string `json:"checksum"`
+}
+
+// routes builds the server mux.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/grid", s.handleGrid)
+	mux.HandleFunc("POST /v1/traces", s.handleUpload)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Spans, cell progress and pprof ride the PR-4 monitor's handler,
+	// fed by the server-wide grid monitor and tracer.
+	grid := s.grid.Handler()
+	mux.Handle("GET /spans", grid)
+	mux.Handle("GET /progress", grid)
+	mux.Handle("GET /debug/pprof/", grid)
+	return mux
+}
+
+// refuse writes a JSON refusal with a Retry-After hint.
+func (s *Server) refuse(w http.ResponseWriter, status int, retryAfter time.Duration, msg string) {
+	if retryAfter > 0 {
+		secs := int(retryAfter / time.Second)
+		if retryAfter%time.Second != 0 {
+			secs++
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// armWrite pushes the slow-client write deadline forward before a
+// response write. Socket deadlines compare against the kernel's wall
+// clock, so this reads real time (now), never the injected test clock.
+// Errors are ignored: a transport without deadline support (e.g. a
+// test ResponseRecorder) just writes unprotected.
+func (s *Server) armWrite(rc *http.ResponseController) {
+	rc.SetWriteDeadline(now().Add(s.cfg.WriteTimeout))
+}
+
+// armRead bounds a request-body read the same way: a slow-loris client
+// dribbling its body holds a connection for WriteTimeout, not a worker
+// slot forever.
+func (s *Server) armRead(rc *http.ResponseController) {
+	rc.SetReadDeadline(now().Add(s.cfg.WriteTimeout))
+}
+
+// writeJSON writes one JSON response under the write deadline.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	rc := http.NewResponseController(w)
+	s.armWrite(rc)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handleGrid is POST /v1/grid: the admission gauntlet, then prepare +
+// execute, then a single JSON document or an NDJSON stream.
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	t := s.ten.get(r.Header.Get("X-Tenant"))
+	release, ok := s.admit(w, r, t)
+	if !ok {
+		return
+	}
+	defer release()
+	began := s.cfg.clock()
+
+	var req GridRequest
+	s.armRead(http.NewResponseController(w))
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.agg.reject()
+		t.mon.reject()
+		s.refuse(w, http.StatusBadRequest, 0, "bad request body: "+err.Error())
+		return
+	}
+
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	sp := s.tracer.Root("grid",
+		span.Str("tenant", t.name),
+		span.Int("specs", len(req.Specs)))
+	defer sp.End()
+
+	job, err := s.prepare(ctx, t, req, sp)
+	if err != nil {
+		s.gridFailure(w, t, err, began)
+		return
+	}
+
+	resp := GridResponse{
+		Bench:    req.Bench,
+		Trace:    req.Trace,
+		Branches: job.branches,
+		Checksum: fmt.Sprintf("%016x", job.snap.Checksum()),
+	}
+	if req.Stream {
+		s.streamGrid(w, ctx, t, job, resp, began)
+		return
+	}
+	cells, _ := s.execute(ctx, job, nil)
+	resp.Cells = cells
+	for _, c := range cells {
+		if c.Error == "" {
+			resp.Completed++
+		} else {
+			resp.Failed++
+		}
+	}
+	elapsed := s.cfg.clock().Sub(began)
+	resp.ElapsedMS = elapsed.Milliseconds()
+	s.agg.done(resp.Failed == 0, elapsed)
+	t.mon.done(resp.Failed == 0, elapsed)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// gridFailure maps a prepare error onto the wire and the monitors.
+func (s *Server) gridFailure(w http.ResponseWriter, t *tenant, err error, began time.Time) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		status = he.status
+	}
+	if status < 500 {
+		s.agg.reject()
+		t.mon.reject()
+	} else {
+		elapsed := s.cfg.clock().Sub(began)
+		s.agg.done(false, elapsed)
+		t.mon.done(false, elapsed)
+	}
+	s.refuse(w, status, 0, err.Error())
+}
+
+// streamGrid writes the NDJSON response: one {"cell": ...} line as each
+// cell settles, then a final {"summary": ...} line. Every line is
+// written and flushed under the slow-client deadline, so a stalled
+// reader aborts the grid instead of parking a worker.
+func (s *Server) streamGrid(w http.ResponseWriter, ctx context.Context, t *tenant, job *gridJob, resp GridResponse, began time.Time) {
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	emit := func(c Cell) error {
+		s.armWrite(rc)
+		if err := enc.Encode(map[string]Cell{"cell": c}); err != nil {
+			return err
+		}
+		rc.Flush()
+		if c.Error == "" {
+			resp.Completed++
+		} else {
+			resp.Failed++
+		}
+		return nil
+	}
+	_, execErr := s.execute(ctx, job, emit)
+	elapsed := s.cfg.clock().Sub(began)
+	resp.ElapsedMS = elapsed.Milliseconds()
+	ok := resp.Failed == 0 && execErr == nil
+	s.agg.done(ok, elapsed)
+	t.mon.done(ok, elapsed)
+	s.armWrite(rc)
+	enc.Encode(map[string]GridResponse{"summary": resp})
+	rc.Flush()
+}
+
+// handleUpload is POST /v1/traces: accept a binary (TLBPTRC1) or text
+// trace, capture it once into the shared cache keyed by content hash —
+// concurrent identical uploads singleflight onto one capture — and
+// return the replay key.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	t := s.ten.get(r.Header.Get("X-Tenant"))
+	s.agg.request()
+	t.mon.request()
+	if s.draining.Load() {
+		s.agg.drainOne()
+		t.mon.drainOne()
+		s.refuse(w, http.StatusServiceUnavailable, s.cfg.DrainTimeout, "server is draining")
+		return
+	}
+	if allowed, wait := t.bucket.take(); !allowed {
+		s.agg.quotaDeny()
+		t.mon.quotaDeny()
+		s.refuse(w, http.StatusTooManyRequests, wait, "tenant quota exhausted")
+		return
+	}
+	s.armRead(http.NewResponseController(w))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	if err != nil {
+		s.agg.reject()
+		t.mon.reject()
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.refuse(w, status, 0, "reading upload: "+err.Error())
+		return
+	}
+	sum := sha256.Sum256(body)
+	// The key doubles as the shared-cache key; the "upload:" prefix
+	// keeps it disjoint from benchmark keys ("bench\x00..."), and it is
+	// plain printable ASCII so curl/jq clients can round-trip it.
+	key := "upload:" + hex.EncodeToString(sum[:8])
+	open := func() (trace.Source, error) {
+		if bytes.HasPrefix(body, []byte("TLBPTRC1")) {
+			return trace.NewFileReader(bytes.NewReader(body))
+		}
+		return trace.NewTextReader(bytes.NewReader(body)), nil
+	}
+	snap, err := s.cache.Capture(r.Context(), key, allConds, open)
+	if err != nil {
+		s.agg.reject()
+		t.mon.reject()
+		s.refuse(w, http.StatusBadRequest, 0, "decoding upload: "+err.Error())
+		return
+	}
+	if snap.Len() == 0 {
+		s.agg.reject()
+		t.mon.reject()
+		s.refuse(w, http.StatusBadRequest, 0, "empty trace")
+		return
+	}
+	info := uploadInfo{
+		Trace:    key,
+		Events:   snap.Len(),
+		Conds:    snap.Conds(),
+		Checksum: fmt.Sprintf("%016x", snap.Checksum()),
+	}
+	s.uploads.Store(key, info)
+	s.agg.admit()
+	t.mon.admit()
+	s.agg.upload(int64(len(body)))
+	t.mon.upload(int64(len(body)))
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+// handleMetrics is GET /metrics. Without a query it renders the
+// server-wide request counters, every tenant's labelled request
+// counters (tenant creation order — stable within a process) and the
+// shared cache + queue gauges, then the server-wide grid metrics. With
+// ?tenant=NAME it renders that tenant's request counters and grid
+// metrics alone.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if name := r.URL.Query().Get("tenant"); name != "" {
+		t, ok := s.ten.lookup(name)
+		if !ok {
+			http.Error(w, "unknown tenant", http.StatusNotFound)
+			return
+		}
+		t.mon.Snapshot().writePrometheus(w, fmt.Sprintf("{tenant=%q}", t.name))
+		t.grid.Snapshot().WritePrometheus(w)
+		return
+	}
+	s.agg.Snapshot().writePrometheus(w, "")
+	all := s.ten.all()
+	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
+	for _, t := range all {
+		t.mon.Snapshot().writePrometheus(w, fmt.Sprintf("{tenant=%q}", t.name))
+	}
+	s.writeServerGauges(w)
+	s.grid.Snapshot().WritePrometheus(w)
+}
+
+// writeServerGauges renders process-level admission and cache state.
+func (s *Server) writeServerGauges(w io.Writer) {
+	gauge := func(name, help string, v float64) {
+		name = "twolevel_serve_" + name
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("queue_depth", "Requests holding or waiting for an execution slot.", float64(s.queued.Load()))
+	gauge("draining", "1 while the server is draining, else 0.", boolGauge(s.draining.Load()))
+	st := s.cache.Stats()
+	gauge("trace_cache_entries", "Captured streams resident in the shared cache.", float64(st.Entries))
+	gauge("trace_cache_bytes", "Approximate heap bytes held by shared captures.", float64(st.Bytes))
+	gauge("trace_cache_hits", "Capture requests served from stored events.", float64(st.Hits))
+	gauge("trace_cache_misses", "Capture requests that opened or extended a capture.", float64(st.Misses))
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,142 @@
+// Per-tenant fairness: a token-bucket request quota plus a
+// concurrent-cell semaphore, both keyed by the X-Tenant header. The
+// bucket bounds how fast one tenant can submit grids; the cell
+// semaphore bounds how much of the worker pool a single tenant can
+// occupy at once, so a tenant that uploads a 500-cell grid cannot
+// starve everyone else's two-cell requests.
+package server
+
+import (
+	"sync"
+	"time"
+
+	"twolevel/internal/experiments"
+)
+
+// tokenBucket is a classic refill-on-demand token bucket. The clock is
+// injected so quota tests are deterministic.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 disables the bucket
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), now: now}
+}
+
+// take consumes one token if available. When the bucket is empty it
+// returns false and the wait until the next token matures.
+func (b *tokenBucket) take() (bool, time.Duration) {
+	if b == nil || b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return false, wait
+}
+
+// tenant bundles everything the server tracks per X-Tenant value.
+type tenant struct {
+	name   string
+	mon    *Monitor             // request-level counters for this tenant
+	grid   *experiments.Monitor // cell-level counters (progress, events, retries)
+	bucket *tokenBucket
+	cells  chan struct{} // concurrent-cell semaphore
+}
+
+// acquireCells blocks until n cell slots are free or done is closed
+// (request context expired). It returns a release func on success.
+func (t *tenant) acquireCells(n int, done <-chan struct{}) (func(), bool) {
+	for i := 0; i < n; i++ {
+		select {
+		case t.cells <- struct{}{}:
+		case <-done:
+			for j := 0; j < i; j++ {
+				<-t.cells
+			}
+			return nil, false
+		}
+	}
+	return func() {
+		for i := 0; i < n; i++ {
+			<-t.cells
+		}
+	}, true
+}
+
+// tenants is the registry; tenants are created on first use and live
+// for the life of the process (tenant IDs are operator-controlled
+// strings, not attacker-controlled unbounded input — the ID is
+// truncated defensively all the same).
+type tenants struct {
+	mu   sync.Mutex
+	m    map[string]*tenant
+	mk   func(name string) *tenant
+	keys []string // insertion order, for stable /metrics rendering
+}
+
+func newTenants(mk func(name string) *tenant) *tenants {
+	return &tenants{m: make(map[string]*tenant), mk: mk}
+}
+
+const maxTenantID = 64
+
+func (ts *tenants) get(name string) *tenant {
+	if name == "" {
+		name = "anon"
+	}
+	if len(name) > maxTenantID {
+		name = name[:maxTenantID]
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t, ok := ts.m[name]
+	if !ok {
+		t = ts.mk(name)
+		ts.m[name] = t
+		ts.keys = append(ts.keys, name)
+	}
+	return t
+}
+
+// lookup returns the tenant only if it already exists.
+func (ts *tenants) lookup(name string) (*tenant, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t, ok := ts.m[name]
+	return t, ok
+}
+
+// all returns the tenants in creation order.
+func (ts *tenants) all() []*tenant {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]*tenant, 0, len(ts.keys))
+	for _, k := range ts.keys {
+		out = append(out, ts.m[k])
+	}
+	return out
+}

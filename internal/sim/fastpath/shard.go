@@ -68,10 +68,23 @@ type shardWorker struct {
 	clock           uint64
 	lookups, misses uint64
 	sinceCS         uint64
-	err             error
+	// stop is the event index the worker halted at: end after a full
+	// pass, the aligned poll index where cancellation was observed
+	// otherwise. Polls fire at identical indices in every worker (the
+	// poll counter starts at zero at start for all of them), so stop
+	// values from a cancelled pass lie on a common lattice and the
+	// catch-up phase can align every worker to the furthest one.
+	stop int
+	err  error
 }
 
 // runSharded replays [start, end) with shardCount workers and merges.
+// A cancelled pass still yields a well-defined prefix: workers observe
+// cancellation at aligned poll indices, and the catch-up phase below
+// advances every worker to the furthest stop, so the consumed count and
+// the written-back state describe the exact prefix [start, stop) — an
+// interpretive continuation from there is bit-identical to a run that
+// was never sharded.
 func (k *Kernel) runSharded(instrs, pcs, targets []uint32, meta []uint8, start, end int) (int, error) {
 	g := k.shardCount()
 	workers := make([]shardWorker, g)
@@ -81,11 +94,30 @@ func (k *Kernel) runSharded(instrs, pcs, targets []uint32, meta []uint8, start, 
 		go func(w int) {
 			defer wg.Done()
 			workers[w].clock = k.clock
-			k.runShard(&workers[w], uint32(w), uint32(g-1), instrs, pcs, targets, meta, start, end)
+			k.runShard(&workers[w], uint32(w), uint32(g-1), instrs, pcs, targets, meta, start, end, k.sinceCS, true)
 		}(w)
 	}
 	wg.Wait()
 	var err error
+	stop := start
+	for w := range workers {
+		if workers[w].stop > stop {
+			stop = workers[w].stop
+		}
+		if err == nil && workers[w].err != nil {
+			err = workers[w].err
+		}
+	}
+	if err != nil {
+		// Catch-up: workers behind the furthest poll index replay their
+		// own partition (disjoint state, no polling) up to it. At most
+		// one poll window of events per worker, run serially.
+		for w := range workers {
+			if workers[w].stop < stop {
+				k.runShard(&workers[w], uint32(w), uint32(g-1), instrs, pcs, targets, meta, workers[w].stop, stop, workers[w].sinceCS, false)
+			}
+		}
+	}
 	maxClock := k.clock
 	for w := range workers {
 		k.c.merge(workers[w].c)
@@ -94,35 +126,31 @@ func (k *Kernel) runSharded(instrs, pcs, targets []uint32, meta []uint8, start, 
 		if workers[w].clock > maxClock {
 			maxClock = workers[w].clock
 		}
-		if err == nil && workers[w].err != nil {
-			err = workers[w].err
-		}
 	}
 	k.clock = maxClock
 	k.sinceCS = workers[0].sinceCS
-	if err != nil {
-		// Cancellation mid-pass: workers stop at poll granularity, so
-		// the consumed count is not well-defined; report none consumed
-		// beyond the poll point. Partial counters are still returned.
-		return 0, err
-	}
-	return end - start, nil
+	return stop - start, err
 }
 
 // runShard is the per-worker loop: the generic flat branch step applied
 // only to branches whose pc>>2 low bits select partition w, with global
 // accounting (instructions, traps, classes, context-switch count) owned
-// by worker 0.
-func (k *Kernel) runShard(sw *shardWorker, w, partMask uint32, instrs, pcs, targets []uint32, meta []uint8, start, end int) {
+// by worker 0. startSinceCS seeds the context-switch phase (the pass
+// start's value, or the worker's own on a catch-up resume); poll=false
+// disables cancellation polling for the bounded catch-up leg.
+func (k *Kernel) runShard(sw *shardWorker, w, partMask uint32, instrs, pcs, targets []uint32, meta []uint8, start, end int, startSinceCS uint64, poll bool) {
 	cs, interval := k.cfg.ContextSwitches, k.cfg.CSInterval
 	ctx := k.cfg.Context
+	if !poll {
+		ctx = nil
+	}
 	c := &sw.c
 	global := w == 0
 	histMask := k.histMask
 	delta, predMask := k.delta, k.predMask
 	useCache := k.cache != nil
 	g := partMask + 1
-	sinceCS := k.sinceCS // all workers see the same instruction stream
+	sinceCS := startSinceCS // all workers see the same instruction stream
 	var sinceCheck uint32
 	for i := start; i < end; i++ {
 		if ctx != nil {
@@ -130,6 +158,8 @@ func (k *Kernel) runShard(sw *shardWorker, w, partMask uint32, instrs, pcs, targ
 				sinceCheck = 0
 				if err := ctx.Err(); err != nil {
 					sw.err = err
+					sw.stop = i
+					sw.sinceCS = sinceCS
 					return
 				}
 			}
@@ -229,6 +259,7 @@ func (k *Kernel) runShard(sw *shardWorker, w, partMask uint32, instrs, pcs, targ
 			}
 		}
 	}
+	sw.stop = end
 	sw.sinceCS = sinceCS
 }
 

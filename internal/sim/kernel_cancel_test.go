@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"twolevel/internal/faultinject"
+	"twolevel/internal/spec"
+)
+
+// Kernel cancellation chaos: a deterministic countdown context
+// (faultinject.CtxAfter) cancels the flat kernel mid-replay at an exact
+// poll count. The contract under test is twofold: the kernel must stop
+// within one 4096-event poll window of the cancellation, and the state
+// it writes back must describe the exact consumed prefix — an
+// interpretive continuation from there is bit-identical to a run that
+// was never cancelled on the fast path at all. The sharded kernel is
+// the hard case: workers observe cancellation at different aligned poll
+// indices and must catch up to a common boundary before writeback.
+
+func TestKernelCancelResumesInterpretively(t *testing.T) {
+	snap := kernelSnapshot(40_000)
+	cases := []struct {
+		name  string
+		spec  string
+		polls int64
+		opts  Options
+	}{
+		{"serial-GAg", "GAg(HR(1,,8-sr),1xPHT(2^8,A2))", 2, Options{}},
+		{"serial-PAg", "PAg(BHT(512,4,10-sr),1xPHT(2^10,A2))", 3, Options{}},
+		{"serial-PAp-cs", "PAp(BHT(512,4,6-sr),512xPHT(2^6,A2))", 2, Options{ContextSwitches: true, CSInterval: 1009}},
+		{"sharded-PAp", "PAp(BHT(512,4,6-sr),512xPHT(2^6,A2))", 4, Options{Shards: 4}},
+		{"sharded-SAs", "SAs(SHT(64,,8-sr),16xPHT(2^8,A2))", 6, Options{Shards: 8}},
+		{"sharded-PAs-cs", "PAs(BHT(512,4,8-sr),16xPHT(2^8,A2))", 4, Options{ContextSwitches: true, CSInterval: 1711, Shards: 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := spec.MustParse(tc.spec)
+			ctx := &faultinject.CtxAfter{N: tc.polls}
+
+			fastOpts := tc.opts
+			fastOpts.Context = ctx
+			fastP := buildKernelSpec(t, sp, snap)
+			fastSrc := snap.Reader()
+			if !FastpathEligible(fastP, fastSrc, fastOpts) {
+				t.Fatal("expected fast-path eligibility")
+			}
+			got1, err := Run(fastP, fastSrc, fastOpts)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			consumed := fastSrc.Pos()
+			if consumed == 0 {
+				t.Fatal("cancelled kernel run consumed nothing")
+			}
+			// Stop bound: at most N successful polls pass aligned
+			// 4096-event boundaries, so the furthest stop — even with
+			// sharded workers racing the shared countdown — is one poll
+			// window past the last success.
+			if limit := int(tc.polls+1) * cancelCheckInterval; consumed > limit {
+				t.Fatalf("consumed %d events, want <= %d (one poll window past cancellation)", consumed, limit)
+			}
+			if got1.Accuracy.Predictions == 0 {
+				t.Fatal("cancelled kernel run returned no partial counters")
+			}
+
+			// Reference arm: the same prefix replayed interpretively on
+			// a fresh predictor, then run to completion.
+			slowOpts := tc.opts
+			slowOpts.Shards = 0
+			slowOpts.DisableFastpath = true
+			slowP := buildKernelSpec(t, sp, snap)
+			slowSrc := snap.Reader()
+			want1, err := Run(slowP, &faultinject.Truncate{Src: slowSrc, N: uint64(consumed)}, slowOpts)
+			if err != nil {
+				t.Fatalf("interpretive prefix: %v", err)
+			}
+			// The cancelled kernel's partial counters must equal the
+			// interpretive run over the same prefix.
+			if !reflect.DeepEqual(got1, want1) {
+				t.Errorf("partial counters differ from interpretive prefix:\n got %+v\nwant %+v", got1, want1)
+			}
+			want2, err := Run(slowP, slowSrc, Options{DisableFastpath: true})
+			if err != nil {
+				t.Fatalf("interpretive continuation (reference): %v", err)
+			}
+
+			// The writeback arm: continue interpretively from exactly
+			// where the cancelled kernel left predictor and reader.
+			got2, err := Run(fastP, fastSrc, Options{DisableFastpath: true})
+			if err != nil {
+				t.Fatalf("interpretive continuation (after cancel): %v", err)
+			}
+			if !reflect.DeepEqual(got2, want2) {
+				t.Errorf("continuation after cancelled kernel differs:\n got %+v\nwant %+v", got2, want2)
+			}
+		})
+	}
+}
+
+// TestKernelCancelSourceUntouched pins the reader contract: a cancelled
+// kernel run leaves the SnapshotReader exactly at the consumed prefix
+// boundary, never past it.
+func TestKernelCancelSourceUntouched(t *testing.T) {
+	snap := kernelSnapshot(40_000)
+	for _, shards := range []int{0, 4} {
+		ctx := &faultinject.CtxAfter{N: 1}
+		p := buildKernelSpec(t, spec.MustParse("PAp(BHT(512,4,6-sr),512xPHT(2^6,A2))"), snap)
+		src := snap.Reader()
+		_, err := Run(p, src, Options{Context: ctx, Shards: shards})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("shards=%d: err = %v", shards, err)
+		}
+		pos := src.Pos()
+		if pos <= 0 || pos >= snap.Len() {
+			t.Fatalf("shards=%d: reader at %d of %d, want a strict mid-trace prefix", shards, pos, snap.Len())
+		}
+		// The next read must yield the event at the boundary, proving
+		// the position is byte-exact, not merely approximate.
+		e, readErr := src.Next()
+		if readErr != nil {
+			t.Fatalf("shards=%d: read at boundary: %v", shards, readErr)
+		}
+		if want := snap.At(pos); !reflect.DeepEqual(e, want) {
+			t.Errorf("shards=%d: event at boundary differs: got %+v want %+v", shards, e, want)
+		}
+	}
+}
+
+// TestCtxAfterCountdown pins the injector itself: exactly N live polls,
+// then context.Canceled forever, usable concurrently.
+func TestCtxAfterCountdown(t *testing.T) {
+	ctx := &faultinject.CtxAfter{N: 3}
+	for i := 0; i < 3; i++ {
+		if err := ctx.Err(); err != nil {
+			t.Fatalf("poll %d: err = %v, want nil", i+1, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := ctx.Err(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("post-countdown poll: err = %v, want context.Canceled", err)
+		}
+	}
+	if ctx.Polls() != 5 {
+		t.Errorf("polls = %d, want 5", ctx.Polls())
+	}
+	if _, ok := ctx.Deadline(); ok || ctx.Done() != nil || ctx.Value("k") != nil {
+		t.Error("CtxAfter must expose no deadline, no done channel, no values")
+	}
+	var _ context.Context = ctx
+}

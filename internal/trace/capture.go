@@ -127,6 +127,19 @@ type Snapshot struct {
 // Len returns the number of events in the snapshot.
 func (s Snapshot) Len() int { return len(s.meta) }
 
+// Conds returns the number of conditional branch events in the
+// snapshot (a meta-column scan, not a stored counter — snapshots are
+// cheap prefix views and do not carry derived state).
+func (s Snapshot) Conds() int {
+	n := 0
+	for _, m := range s.meta {
+		if m&metaTrap == 0 && Class(m>>metaClass) == Cond {
+			n++
+		}
+	}
+	return n
+}
+
 // At decodes event i.
 func (s Snapshot) At(i int) Event {
 	m := s.meta[i]
