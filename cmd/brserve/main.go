@@ -50,6 +50,8 @@ func main() {
 		maxUpload      = flag.Int64("max-upload", 0, "trace upload size cap in bytes (0 = 64MiB)")
 		requestTimeout = flag.Duration("request-timeout", 0, "per-request deadline (0 = 120s)")
 		writeTimeout   = flag.Duration("write-timeout", 0, "slow-client per-write deadline (0 = 10s)")
+		keepAlive      = flag.Duration("keepalive-interval", 0, "NDJSON stream heartbeat period (0 = 5s, negative = disabled)")
+		maxSamples     = flag.Int("max-stream-samples", 0, "per-cell interval sample cap for streamed grids (0 = 512)")
 		drainTimeout   = flag.Duration("drain-timeout", 0, "graceful drain budget after SIGTERM (0 = 15s)")
 		version        = flag.Bool("version", false, "print version and exit")
 
@@ -85,6 +87,9 @@ func main() {
 		RequestTimeout: *requestTimeout,
 		WriteTimeout:   *writeTimeout,
 		DrainTimeout:   *drainTimeout,
+
+		KeepAliveInterval: *keepAlive,
+		MaxStreamSamples:  *maxSamples,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

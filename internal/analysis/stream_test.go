@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"twolevel/internal/telemetry"
+)
+
+func TestExplainStreamVerdicts(t *testing.T) {
+	cases := []struct {
+		name string
+		row  telemetry.PCStats
+		want Verdict
+	}{
+		{"well-predicted", telemetry.PCStats{
+			PC: 0x10, Executions: 10_000, Mispredicts: 5, TakenRate: 0.99,
+		}, WellPredicted},
+		{"zero-miss", telemetry.PCStats{
+			PC: 0x14, Executions: 100, TakenRate: 1,
+		}, WellPredicted},
+		{"warmup-dominated", telemetry.PCStats{
+			PC: 0x20, Executions: 1000, Mispredicts: 100, WarmupMisses: 80, TakenRate: 0.9,
+		}, WarmupDominated},
+		{"inherently-variable", telemetry.PCStats{
+			PC: 0x30, Executions: 1000, Mispredicts: 400, TakenRate: 0.5, MissShare: 0.7,
+		}, InherentlyVariable},
+		{"automaton-thrash", telemetry.PCStats{
+			PC: 0x40, Executions: 1000, Mispredicts: 200, TakenRate: 0.9,
+		}, AutomatonThrash},
+	}
+	for _, c := range cases {
+		e := ExplainStream(c.row)
+		if e.Verdict != c.want {
+			t.Errorf("%s: verdict = %v, want %v", c.name, e.Verdict, c.want)
+		}
+		if e.PC != c.row.PC {
+			t.Errorf("%s: PC = %#x, want %#x", c.name, e.PC, c.row.PC)
+		}
+		if e.Summary == "" || len(e.Evidence) == 0 {
+			t.Errorf("%s: empty summary or evidence: %+v", c.name, e)
+		}
+	}
+}
+
+// TestExplainStreamAgreesWithExplain pins the shared-threshold contract:
+// where the full classifier's verdict needs no pattern evidence, the
+// streaming classifier must agree with it on equivalent counters.
+func TestExplainStreamAgreesWithExplain(t *testing.T) {
+	full := Explain(telemetry.PCForensics{PC: 0x10, Executions: 10_000, Mispredicts: 5})
+	stream := ExplainStream(telemetry.PCStats{PC: 0x10, Executions: 10_000, Mispredicts: 5})
+	if full.Verdict != stream.Verdict {
+		t.Fatalf("well-predicted: full %v, stream %v", full.Verdict, stream.Verdict)
+	}
+
+	full = Explain(telemetry.PCForensics{
+		PC: 0x20, Executions: 1000, Mispredicts: 100,
+		WarmupMisses: 80, SteadyMisses: 20,
+		DominantPattern: "1111", DominantPatternMisses: 60,
+		Patterns: []telemetry.PatternStat{{Pattern: "1111", Taken: 500, NotTaken: 100, Mispredicts: 60}},
+	})
+	stream = ExplainStream(telemetry.PCStats{
+		PC: 0x20, Executions: 1000, Mispredicts: 100, WarmupMisses: 80,
+	})
+	if full.Verdict != stream.Verdict {
+		t.Fatalf("warmup-dominated: full %v, stream %v", full.Verdict, stream.Verdict)
+	}
+}
+
+func TestExplainStreamEvidenceMentionsWarmupSplit(t *testing.T) {
+	e := ExplainStream(telemetry.PCStats{
+		PC: 0x20, Executions: 1000, Mispredicts: 100, WarmupMisses: 80, TakenRate: 0.9,
+	})
+	joined := strings.Join(e.Evidence, "\n")
+	if !strings.Contains(joined, "warmup/steady miss split 80/20") {
+		t.Fatalf("evidence missing warmup split:\n%s", joined)
+	}
+}

@@ -117,12 +117,17 @@ type KernelBench struct {
 	Benchmark string `json:"benchmark"`
 	// Events is the packed capture length both arms replay.
 	Events uint64 `json:"events"`
-	// KernelSeconds and RunnerSeconds are the best-of-reps wall times.
-	KernelSeconds float64 `json:"kernel_seconds"`
-	RunnerSeconds float64 `json:"runner_seconds"`
+	// KernelSeconds and RunnerSeconds are the best-of-reps wall times;
+	// SampledSeconds is the kernel arm re-run with interval sampling and
+	// per-PC profiling live (Options.Telemetry), measuring what the
+	// streaming observability costs at kernel speed.
+	KernelSeconds  float64 `json:"kernel_seconds"`
+	RunnerSeconds  float64 `json:"runner_seconds"`
+	SampledSeconds float64 `json:"sampled_seconds"`
 	// KernelEventsPerSec is the gated headline throughput.
-	KernelEventsPerSec float64 `json:"kernel_events_per_sec"`
-	RunnerEventsPerSec float64 `json:"runner_events_per_sec"`
+	KernelEventsPerSec  float64 `json:"kernel_events_per_sec"`
+	RunnerEventsPerSec  float64 `json:"runner_events_per_sec"`
+	SampledEventsPerSec float64 `json:"sampled_events_per_sec"`
 	// Speedup is kernel throughput over runner throughput.
 	Speedup float64 `json:"speedup_kernel_over_runner"`
 }
@@ -374,7 +379,7 @@ func runKernelBench(budget uint64) (KernelBench, error) {
 	snap := packed.View(packed.Len())
 	kb.Events = uint64(snap.Len())
 
-	arm := func(disableFastpath bool) (float64, error) {
+	arm := func(mkOpts func() sim.Options) (float64, error) {
 		best := 0.0
 		for rep := 0; rep < kernelBenchReps; rep++ {
 			p, err := spec.Build(sp, nil)
@@ -382,7 +387,7 @@ func runKernelBench(budget uint64) (KernelBench, error) {
 				return 0, err
 			}
 			start := time.Now()
-			if _, err := sim.Run(p, snap.Reader(), sim.Options{DisableFastpath: disableFastpath}); err != nil {
+			if _, err := sim.Run(p, snap.Reader(), mkOpts()); err != nil {
 				return 0, err
 			}
 			if secs := time.Since(start).Seconds(); best == 0 || secs < best {
@@ -391,10 +396,19 @@ func runKernelBench(budget uint64) (KernelBench, error) {
 		}
 		return best, nil
 	}
-	if kb.KernelSeconds, err = arm(false); err != nil {
+	if kb.KernelSeconds, err = arm(func() sim.Options { return sim.Options{} }); err != nil {
 		return kb, err
 	}
-	if kb.RunnerSeconds, err = arm(true); err != nil {
+	if kb.RunnerSeconds, err = arm(func() sim.Options { return sim.Options{DisableFastpath: true} }); err != nil {
+		return kb, err
+	}
+	interval := budget / 20
+	if interval == 0 {
+		interval = 1
+	}
+	if kb.SampledSeconds, err = arm(func() sim.Options {
+		return sim.Options{Telemetry: &sim.Telemetry{Interval: interval, TopK: 8}}
+	}); err != nil {
 		return kb, err
 	}
 	if kb.KernelSeconds > 0 {
@@ -402,6 +416,9 @@ func runKernelBench(budget uint64) (KernelBench, error) {
 	}
 	if kb.RunnerSeconds > 0 {
 		kb.RunnerEventsPerSec = float64(kb.Events) / kb.RunnerSeconds
+	}
+	if kb.SampledSeconds > 0 {
+		kb.SampledEventsPerSec = float64(kb.Events) / kb.SampledSeconds
 	}
 	if kb.RunnerEventsPerSec > 0 {
 		kb.Speedup = kb.KernelEventsPerSec / kb.RunnerEventsPerSec
@@ -411,11 +428,11 @@ func runKernelBench(budget uint64) (KernelBench, error) {
 
 // Summary renders the one-line human digest brexp -benchjson prints.
 func (d Doc) Summary() string {
-	return fmt.Sprintf("suite: %.2fs cached vs %.2fs live (%.1fx), %d runs, %.1fM events/s, %d interpreters; fig6 speedup: %.1fx cold, %.1fx warm; kernel: %.1fM events/s (%.1fx over runner); serve: %.0f req/s, %.1fM events/s, shed %.0f%%, p95 %.0fms",
+	return fmt.Sprintf("suite: %.2fs cached vs %.2fs live (%.1fx), %d runs, %.1fM events/s, %d interpreters; fig6 speedup: %.1fx cold, %.1fx warm; kernel: %.1fM events/s (%.1fx over runner, %.1fM sampled); serve: %.0f req/s, %.1fM events/s, shed %.0f%%, p95 %.0fms",
 		d.Suite.WallClockSeconds, d.Suite.LiveWallClockSeconds, d.Suite.SpeedupLive,
 		d.Suite.Runs, d.Suite.EventsPerSec/1e6,
 		d.Suite.InterpreterConstructions, d.Fig6.SpeedupCold, d.Fig6.SpeedupWarm,
-		d.Kernel.KernelEventsPerSec/1e6, d.Kernel.Speedup,
+		d.Kernel.KernelEventsPerSec/1e6, d.Kernel.Speedup, d.Kernel.SampledEventsPerSec/1e6,
 		d.Serve.RequestsPerSec, d.Serve.EventsPerSec/1e6,
 		100*d.Serve.ShedRate, 1000*d.Serve.LatencyP95Seconds)
 }
@@ -491,6 +508,7 @@ func gatedMetrics(d Doc) map[string]float64 {
 		"fig6.speedup_cold":                 d.Fig6.SpeedupCold,
 		"fig6.speedup_warm":                 d.Fig6.SpeedupWarm,
 		"kernel.events_per_sec":             d.Kernel.KernelEventsPerSec,
+		"kernel.sampled_events_per_sec":     d.Kernel.SampledEventsPerSec,
 		"kernel.speedup_kernel_over_runner": d.Kernel.Speedup,
 		"serve.requests_per_sec":            d.Serve.RequestsPerSec,
 		"serve.events_per_sec":              d.Serve.EventsPerSec,

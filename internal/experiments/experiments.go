@@ -406,7 +406,7 @@ func runSpec(sp spec.Spec, b *prog.Benchmark, o Options) (sim.Result, error) {
 	}
 	var record recordFunc
 	if o.Telemetry != nil {
-		simOpts.Observer, record = o.Telemetry.instrument(o.CondBranches)
+		simOpts.Observer, simOpts.Telemetry, record = o.Telemetry.instrument(o.CondBranches)
 	}
 	if o.cellObserver != nil {
 		if extra := o.cellObserver(sp, b); extra != nil {

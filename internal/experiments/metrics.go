@@ -78,6 +78,15 @@ type Telemetry struct {
 	// ForensicsHistoryBits overrides the forensic shadow history length
 	// (default per telemetry.ForensicsConfig).
 	ForensicsHistoryBits int
+	// Native routes HotK and Interval collection through the simulator's
+	// kernel-side telemetry sink instead of attaching observers. Runs
+	// stay fastpath-eligible, so instrumented sweeps replay at kernel
+	// speed; the interval series and hot-branch tables are bit-identical
+	// to the observer path (equivalence suite). The trade-off: Stats in
+	// each RunMetrics stays zero (RunStats needs an observer), and
+	// ForensicsTopK > 0 forces the observer path regardless (the flight
+	// recorder has no kernel counterpart).
+	Native bool
 
 	mu          sync.Mutex
 	current     string // experiment ID runs are stamped with
@@ -104,12 +113,17 @@ type ForensicsRun struct {
 // run); batched runs are stamped so per-run timing can be interpreted.
 type recordFunc func(sp spec.Spec, b *prog.Benchmark, res sim.Result, batch int)
 
-// instrument returns the observer for one simulation run and the record
-// function to call once the run completed. budget is the run's
-// conditional-branch budget; the forensics observer uses it for the
-// warmup-vs-steady miss split. The record function is nil-safe on the
-// result side but must only be called once.
-func (t *Telemetry) instrument(budget uint64) (telemetry.Observer, recordFunc) {
+// instrument returns the instrumentation for one simulation run and the
+// record function to call once the run completed: either an observer
+// chain (legacy path) or a kernel telemetry sink (Native path) — never
+// both. budget is the run's conditional-branch budget; the forensics
+// observer uses it for the warmup-vs-steady miss split. The record
+// function is nil-safe on the result side but must only be called once.
+func (t *Telemetry) instrument(budget uint64) (telemetry.Observer, *sim.Telemetry, recordFunc) {
+	if t.Native && t.ForensicsTopK == 0 {
+		sink, record := t.instrumentNative()
+		return nil, sink, record
+	}
 	rs := telemetry.NewRunStats()
 	var hot *telemetry.HotBranches
 	var iv *telemetry.IntervalSeries
@@ -162,7 +176,49 @@ func (t *Telemetry) instrument(budget uint64) (telemetry.Observer, recordFunc) {
 		}
 		t.mu.Unlock()
 	}
-	return telemetry.Multi(obs...), record
+	return telemetry.Multi(obs...), nil, record
+}
+
+// instrumentNative builds the kernel-sink counterpart of instrument: the
+// sink rides sim.Options.Telemetry (which never costs fastpath
+// eligibility) and the record function translates its outputs into the
+// same RunMetrics shape the observer path produces. Stats is left zero —
+// wall-clock and allocation profiling require an observer.
+func (t *Telemetry) instrumentNative() (*sim.Telemetry, recordFunc) {
+	sink := &sim.Telemetry{Interval: t.Interval, TopK: t.HotK}
+	record := func(sp spec.Spec, b *prog.Benchmark, res sim.Result, batch int) {
+		rm := RunMetrics{
+			Spec:      sp.String(),
+			Benchmark: b.Name,
+			Accuracy:  res.Accuracy.Rate(),
+		}
+		if batch > 1 {
+			rm.Batched = true
+			rm.BatchSize = batch
+		}
+		if len(sink.TopMispredicted) > 0 {
+			hot := make([]telemetry.HotBranch, len(sink.TopMispredicted))
+			for i, p := range sink.TopMispredicted {
+				hot[i] = telemetry.HotBranch{
+					PC:          p.PC,
+					Mispredicts: p.Mispredicts,
+					Executions:  p.Executions,
+					TakenRate:   p.TakenRate,
+					MissShare:   p.MissShare,
+				}
+			}
+			rm.HotBranches = hot
+		}
+		if t.Interval > 0 {
+			rm.Intervals = sink.Samples
+			rm.Switches = sink.Switches
+		}
+		t.mu.Lock()
+		rm.Experiment = t.current
+		t.runs = append(t.runs, rm)
+		t.mu.Unlock()
+	}
+	return sink, record
 }
 
 // ForensicsRuns returns the recorded per-run forensics reports, sorted by

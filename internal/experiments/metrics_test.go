@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"twolevel/internal/prog"
+	"twolevel/internal/spec"
+	"twolevel/internal/telemetry"
+)
+
+// TestNativeTelemetryMatchesObserver pins the Native contract: interval
+// series, context-switch marks and hot-branch tables collected by the
+// kernel sink are bit-identical to the observer path, while Stats stays
+// zero (native runs carry no RunStats).
+func TestNativeTelemetryMatchesObserver(t *testing.T) {
+	const budget = 4000
+	sp := spec.MustParse("PAg(BHT(512,4,10-sr),1xPHT(2^10,A2))")
+	b, err := prog.ByName("espresso")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(native bool) (RunMetrics, float64) {
+		tel := &Telemetry{HotK: 4, Interval: 500, Native: native}
+		res, err := RunSpec(sp, b, Options{CondBranches: budget, Telemetry: tel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs := tel.Runs()
+		if len(runs) != 1 {
+			t.Fatalf("native=%v: %d runs recorded, want 1", native, len(runs))
+		}
+		return runs[0], res.Accuracy.Rate()
+	}
+
+	legacy, legacyAcc := run(false)
+	native, nativeAcc := run(true)
+
+	if nativeAcc != legacyAcc {
+		t.Errorf("accuracy: native %v, observer %v", nativeAcc, legacyAcc)
+	}
+	if !reflect.DeepEqual(native.Intervals, legacy.Intervals) {
+		t.Errorf("interval series differ:\n native %+v\n legacy %+v", native.Intervals, legacy.Intervals)
+	}
+	if !reflect.DeepEqual(native.Switches, legacy.Switches) {
+		t.Errorf("switch marks differ: native %v, legacy %v", native.Switches, legacy.Switches)
+	}
+	if len(native.HotBranches) == 0 {
+		t.Fatal("native run collected no hot branches")
+	}
+	if !reflect.DeepEqual(native.HotBranches, legacy.HotBranches) {
+		t.Errorf("hot branches differ:\n native %+v\n legacy %+v", native.HotBranches, legacy.HotBranches)
+	}
+	if native.Stats != (telemetry.RunMetrics{}) {
+		t.Errorf("native run carries stats, want zero: %+v", native.Stats)
+	}
+	if legacy.Stats == (telemetry.RunMetrics{}) {
+		t.Error("observer run lost its stats")
+	}
+}
+
+// TestNativeTelemetryForensicsFallback: ForensicsTopK forces the observer
+// path even when Native is set, so forensic reports keep working.
+func TestNativeTelemetryForensicsFallback(t *testing.T) {
+	sp := spec.MustParse("GAg(HR(1,,8-sr),1xPHT(2^8,A2))")
+	b, err := prog.ByName("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := &Telemetry{Native: true, ForensicsTopK: 2, Interval: 500}
+	if _, err := RunSpec(sp, b, Options{CondBranches: 4000, Telemetry: tel}); err != nil {
+		t.Fatal(err)
+	}
+	if runs := tel.Runs(); len(runs) != 1 || len(runs[0].Intervals) == 0 {
+		t.Fatalf("fallback run did not record intervals: %+v", runs)
+	}
+	if fr := tel.ForensicsRuns(); len(fr) != 1 {
+		t.Fatalf("forensics not collected under Native fallback: %d reports", len(fr))
+	}
+}

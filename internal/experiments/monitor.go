@@ -23,6 +23,7 @@ import (
 
 	"twolevel/internal/sim"
 	"twolevel/internal/span"
+	"twolevel/internal/telemetry"
 	"twolevel/internal/trace"
 )
 
@@ -279,11 +280,15 @@ func (m *Monitor) Snapshot() MonitorSnapshot {
 	switch {
 	case s.CellsPlanned > 0 && s.CellsPlanned == settled:
 		s.ETASeconds = 0
-	case s.CellsPlanned > settled && m.cellTimes.Count() > 0:
+	case s.CellsPlanned > settled && m.cellTimes.Count() > 0 && live > 0:
 		// Measured latency spread over the live workers beats the
 		// elapsed/done ratio: restored cells and startup overhead do
-		// not dilute it, and it adapts as slow cells land.
-		s.ETASeconds = s.CellSecondsMean * float64(s.CellsPlanned-settled) / float64(max(1, live))
+		// not dilute it, and it adapts as slow cells land. It needs
+		// live workers to spread over — a drained pool (or a monitor
+		// whose scheduler never registers workers, like brserve's
+		// per-tenant grids) falls through to the counter ratio below
+		// instead of dividing by a phantom worker.
+		s.ETASeconds = s.CellSecondsMean * float64(s.CellsPlanned-settled) / float64(live)
 	case s.CellsPlanned > settled && s.CellsDone > 0:
 		perCell := s.ElapsedSeconds / float64(s.CellsDone)
 		s.ETASeconds = perCell * float64(s.CellsPlanned-settled)
@@ -291,41 +296,58 @@ func (m *Monitor) Snapshot() MonitorSnapshot {
 	return s
 }
 
+// Metrics flattens the snapshot into the shared metric-row form the
+// telemetry registry renders — the single source behind WritePrometheus,
+// brserve's /metrics scopes and the /progress JSON values. Row order is
+// the exposition order the observability smoke check diffs, so it must
+// not change casually.
+func (s MonitorSnapshot) Metrics() []telemetry.Metric {
+	ms := []telemetry.Metric{
+		telemetry.CounterMetric("twolevel_grid_cells_planned_total", "Grid cells scheduled.", s.CellsPlanned),
+		telemetry.CounterMetric("twolevel_grid_cells_done_total", "Grid cells measured to completion.", s.CellsDone),
+		telemetry.CounterMetric("twolevel_grid_cells_restored_total", "Grid cells restored from a checkpoint.", s.CellsRestored),
+		telemetry.CounterMetric("twolevel_grid_cells_failed_total", "Grid cells that gave up after retries.", s.CellsFailed),
+		telemetry.CounterMetric("twolevel_grid_cells_retried_total", "Individual grid cell retry attempts.", s.CellsRetried),
+		telemetry.CounterMetric("twolevel_grid_batch_fallbacks_total", "Batched replay passes that fell back to per-cell isolation.", s.BatchFallbacks),
+		telemetry.CounterMetric("twolevel_grid_checkpoint_flushes_total", "Checkpoint manifest writes.", s.CheckpointFlushes),
+		telemetry.CounterMetric("twolevel_sim_events_total", "Simulator events across completed cells.", s.Events),
+		telemetry.GaugeMetric("twolevel_sim_events_per_second", "Simulator event throughput since the monitor started.", s.EventsPerSec),
+		telemetry.GaugeMetric("twolevel_elapsed_seconds", "Seconds since the monitor started.", s.ElapsedSeconds),
+		telemetry.GaugeMetric("twolevel_eta_seconds", "Estimated seconds to finish the planned cells (-1 unknown).", s.ETASeconds),
+		telemetry.GaugeMetric("twolevel_cell_seconds_mean", "Mean measured per-cell wall time.", s.CellSecondsMean),
+		telemetry.GaugeMetric("twolevel_cell_seconds_p50", "Median measured per-cell wall time (log-bucketed upper bound).", s.CellSecondsP50),
+		telemetry.GaugeMetric("twolevel_cell_seconds_p95", "95th-percentile per-cell wall time (log-bucketed upper bound).", s.CellSecondsP95),
+		telemetry.GaugeMetric("twolevel_cell_seconds_max", "Slowest measured cell wall time.", s.CellSecondsMax),
+		telemetry.CounterMetric("twolevel_trace_cache_hits_total", "Capture cache requests served from stored events.", s.TraceCache.Hits),
+		telemetry.CounterMetric("twolevel_trace_cache_misses_total", "Capture cache requests that opened or extended a capture.", s.TraceCache.Misses),
+		telemetry.GaugeMetric("twolevel_trace_cache_hit_ratio", "Capture cache hit ratio.", s.TraceCache.HitRatio()),
+		telemetry.GaugeMetric("twolevel_trace_cache_entries", "Captured streams resident.", float64(s.TraceCache.Entries)),
+		telemetry.GaugeMetric("twolevel_trace_cache_bytes", "Approximate heap bytes held by captures.", float64(s.TraceCache.Bytes)),
+	}
+	// Worker states as one labelled gauge; states are free-form, so each
+	// worker exports its current state string as a label. The family
+	// header renders even with no workers registered yet.
+	const workerHelp = "Per-worker activity (value always 1; state in the label)."
+	if len(s.Workers) == 0 {
+		ms = append(ms, telemetry.Metric{
+			Name: "twolevel_worker_state", Help: workerHelp,
+			Kind: telemetry.GaugeKind, HeaderOnly: true,
+		})
+	}
+	for i, st := range s.Workers {
+		ms = append(ms, telemetry.Metric{
+			Name: "twolevel_worker_state", Help: workerHelp,
+			Kind: telemetry.GaugeKind, Gauge: 1,
+			Labels: fmt.Sprintf("worker=%q,state=%q", fmt.Sprint(i), st),
+		})
+	}
+	return ms
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text exposition
 // format.
 func (s MonitorSnapshot) WritePrometheus(w io.Writer) error {
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
-	}
-	counter("twolevel_grid_cells_planned_total", "Grid cells scheduled.", s.CellsPlanned)
-	counter("twolevel_grid_cells_done_total", "Grid cells measured to completion.", s.CellsDone)
-	counter("twolevel_grid_cells_restored_total", "Grid cells restored from a checkpoint.", s.CellsRestored)
-	counter("twolevel_grid_cells_failed_total", "Grid cells that gave up after retries.", s.CellsFailed)
-	counter("twolevel_grid_cells_retried_total", "Individual grid cell retry attempts.", s.CellsRetried)
-	counter("twolevel_grid_batch_fallbacks_total", "Batched replay passes that fell back to per-cell isolation.", s.BatchFallbacks)
-	counter("twolevel_grid_checkpoint_flushes_total", "Checkpoint manifest writes.", s.CheckpointFlushes)
-	counter("twolevel_sim_events_total", "Simulator events across completed cells.", s.Events)
-	gauge("twolevel_sim_events_per_second", "Simulator event throughput since the monitor started.", s.EventsPerSec)
-	gauge("twolevel_elapsed_seconds", "Seconds since the monitor started.", s.ElapsedSeconds)
-	gauge("twolevel_eta_seconds", "Estimated seconds to finish the planned cells (-1 unknown).", s.ETASeconds)
-	gauge("twolevel_cell_seconds_mean", "Mean measured per-cell wall time.", s.CellSecondsMean)
-	gauge("twolevel_cell_seconds_p50", "Median measured per-cell wall time (log-bucketed upper bound).", s.CellSecondsP50)
-	gauge("twolevel_cell_seconds_p95", "95th-percentile per-cell wall time (log-bucketed upper bound).", s.CellSecondsP95)
-	gauge("twolevel_cell_seconds_max", "Slowest measured cell wall time.", s.CellSecondsMax)
-	counter("twolevel_trace_cache_hits_total", "Capture cache requests served from stored events.", s.TraceCache.Hits)
-	counter("twolevel_trace_cache_misses_total", "Capture cache requests that opened or extended a capture.", s.TraceCache.Misses)
-	gauge("twolevel_trace_cache_hit_ratio", "Capture cache hit ratio.", s.TraceCache.HitRatio())
-	gauge("twolevel_trace_cache_entries", "Captured streams resident.", float64(s.TraceCache.Entries))
-	gauge("twolevel_trace_cache_bytes", "Approximate heap bytes held by captures.", float64(s.TraceCache.Bytes))
-	// Worker states as one labelled gauge; states are free-form, so each
-	// worker exports its current state string as a label.
-	fmt.Fprintf(w, "# HELP twolevel_worker_state Per-worker activity (value always 1; state in the label).\n# TYPE twolevel_worker_state gauge\n")
-	for i, st := range s.Workers {
-		fmt.Fprintf(w, "twolevel_worker_state{worker=%q,state=%q} 1\n", fmt.Sprint(i), st)
-	}
+	telemetry.WriteMetrics(w, "", s.Metrics())
 	return nil
 }
 

@@ -58,6 +58,79 @@ func TestMonitorSnapshotETA(t *testing.T) {
 	}
 }
 
+// TestMonitorETADrainedWorkers pins the measured-latency ETA fix: once
+// every registered worker parks at "done" (drain), or when the monitor's
+// scheduler never registers workers at all (brserve's per-tenant grids),
+// the estimate must fall back to the completed-cell rate instead of
+// dividing the measured mean by a phantom worker.
+func TestMonitorETADrainedWorkers(t *testing.T) {
+	m := NewMonitor()
+	m.addPlanned(4)
+	m.cellDone(100)
+	m.cellDone(100)
+	m.observeCells(50*time.Millisecond, 2)
+	setWorkerState(m.workerHandle(0), "done")
+	setWorkerState(m.workerHandle(1), "done")
+	s := m.Snapshot()
+	if want := s.ElapsedSeconds / float64(s.CellsDone) * 2; s.ETASeconds != want {
+		t.Fatalf("drained ETA = %v, want counter-ratio %v", s.ETASeconds, want)
+	}
+	// A worker waking back up restores the measured-latency estimate,
+	// spread over exactly the live workers.
+	setWorkerState(m.workerHandle(1), "cell 3/4")
+	s = m.Snapshot()
+	if want := s.CellSecondsMean * 2; s.ETASeconds != want {
+		t.Fatalf("live ETA = %v, want mean-based %v", s.ETASeconds, want)
+	}
+}
+
+func TestMonitorETAWithoutWorkerTable(t *testing.T) {
+	m := NewMonitor()
+	m.addPlanned(3)
+	m.cellDone(10)
+	m.observeCells(time.Millisecond, 1)
+	s := m.Snapshot()
+	if len(s.Workers) != 0 {
+		t.Fatalf("unexpected worker table: %+v", s.Workers)
+	}
+	if want := s.ElapsedSeconds / float64(s.CellsDone) * 2; s.ETASeconds != want {
+		t.Fatalf("workerless ETA = %v, want counter-ratio %v", s.ETASeconds, want)
+	}
+}
+
+// TestMonitorPrometheusRendering pins the exposition bytes the registry
+// rendering must preserve: counters as %d, gauges as %g, and the
+// worker-state family header present even before any worker registers.
+func TestMonitorPrometheusRendering(t *testing.T) {
+	s := MonitorSnapshot{CellsPlanned: 3, CellsDone: 2, EventsPerSec: 1.5}
+	var sb strings.Builder
+	s.WritePrometheus(&sb)
+	got := sb.String()
+	for _, want := range []string{
+		"# HELP twolevel_grid_cells_planned_total Grid cells scheduled.\n# TYPE twolevel_grid_cells_planned_total counter\ntwolevel_grid_cells_planned_total 3\n",
+		"twolevel_grid_cells_done_total 2\n",
+		"twolevel_sim_events_per_second 1.5\n",
+		"# HELP twolevel_worker_state Per-worker activity (value always 1; state in the label).\n# TYPE twolevel_worker_state gauge\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "twolevel_worker_state{") {
+		t.Errorf("workerless exposition has worker rows:\n%s", got)
+	}
+	s.Workers = []string{"idle", "cell 1/3"}
+	sb.Reset()
+	s.WritePrometheus(&sb)
+	got = sb.String()
+	if !strings.Contains(got, "twolevel_worker_state{worker=\"0\",state=\"idle\"} 1\ntwolevel_worker_state{worker=\"1\",state=\"cell 1/3\"} 1\n") {
+		t.Errorf("worker rows wrong:\n%s", got)
+	}
+	if strings.Count(got, "# TYPE twolevel_worker_state gauge") != 1 {
+		t.Errorf("worker-state header not emitted exactly once:\n%s", got)
+	}
+}
+
 // scrapeCounters GETs /metrics and returns every non-comment series that
 // carries no labels, name -> value.
 func scrapeCounters(t *testing.T, url string) map[string]uint64 {

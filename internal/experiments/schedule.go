@@ -391,7 +391,7 @@ func runBatch(rows []labeledSpec, b *prog.Benchmark, o Options) ([]sim.Result, e
 			DisableFastpath: o.DisableFastpath,
 		}
 		if o.Telemetry != nil {
-			simOpts[i].Observer, records[i] = o.Telemetry.instrument(o.CondBranches)
+			simOpts[i].Observer, simOpts[i].Telemetry, records[i] = o.Telemetry.instrument(o.CondBranches)
 		}
 		if o.cellObserver != nil {
 			if extra := o.cellObserver(row.sp, b); extra != nil {

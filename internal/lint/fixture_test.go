@@ -110,8 +110,16 @@ func TestObsNilGuardFixture(t *testing.T) {
 	runFixture(t, ObsNilGuard, "obsnilguard/sim")
 }
 
+func TestObsNilGuardFastpathFixture(t *testing.T) {
+	runFixture(t, ObsNilGuard, "obsnilguard/fastpath")
+}
+
 func TestSpanNilGuardFixture(t *testing.T) {
 	runFixture(t, SpanNilGuard, "spannilguard/sim")
+}
+
+func TestSpanNilGuardFastpathFixture(t *testing.T) {
+	runFixture(t, SpanNilGuard, "spannilguard/fastpath")
 }
 
 func TestCtxPollFixture(t *testing.T) {

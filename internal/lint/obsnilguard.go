@@ -10,15 +10,17 @@ import (
 // simulator hot loop invokes telemetry callbacks through a nillable
 // Observer field, and every such call must be dominated by a nil check so
 // a run without observers never pays an interface call (and never nil-
-// dereferences). The analyzer accepts the two dominance shapes the
+// dereferences). The same contract covers the replay kernel's *fastpath.Tap
+// accumulator: a run without telemetry must not pay a method call per
+// resolved branch. The analyzer accepts the two dominance shapes the
 // simulator uses — an enclosing `if x != nil { x.Hook() }` (including the
 // `if x := o.Observer; x != nil` form) — plus the early-return shape
 // `if x == nil { return }; x.Hook()`.
 var ObsNilGuard = &Analyzer{
 	Name: "obsnilguard",
-	Doc: "calls through a telemetry.Observer hook value must be dominated " +
-		"by a nil check (zero-cost-when-nil contract)",
-	Packages: []string{"sim"},
+	Doc: "calls through a telemetry.Observer or kernel *fastpath.Tap value " +
+		"must be dominated by a nil check (zero-cost-when-nil contract)",
+	Packages: []string{"sim", "fastpath"},
 	Run:      runObsNilGuard,
 }
 
@@ -31,14 +33,14 @@ func runObsNilGuard(pass *Pass) []Diagnostic {
 				return true
 			}
 			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-			if !ok || !isObserverValue(pass, sel.X) {
+			if !ok || (!isObserverValue(pass, sel.X) && !isKernelTapValue(pass, sel.X)) {
 				return true
 			}
 			if !nilGuarded(pass, sel.X, call, stack) {
 				diags = append(diags, Diagnostic{
 					Pos: call.Pos(),
-					Message: fmt.Sprintf("observer hook call %s.%s is not dominated by a nil check; "+
-						"a nil observer must cost nothing (PR 1 contract)", exprKey(sel.X), sel.Sel.Name),
+					Message: fmt.Sprintf("telemetry hook call %s.%s is not dominated by a nil check; "+
+						"a nil observer or tap must cost nothing (PR 1 contract)", exprKey(sel.X), sel.Sel.Name),
 				})
 			}
 			return true
@@ -68,6 +70,33 @@ func isObserverValue(pass *Pass, e ast.Expr) bool {
 	}
 	_, isIface := named.Underlying().(*types.Interface)
 	return isIface
+}
+
+// isKernelTapValue reports whether e is a *Tap from the fastpath package
+// — the kernel-native telemetry accumulator, nil when telemetry is off
+// (matched structurally like isObserverValue so fixtures can supply
+// their own fastpath package). Method values on the receiver inside the
+// Tap's own methods are still matched: the guard obligation sits at
+// every dereference, including self-calls.
+func isKernelTapValue(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Tap" || obj.Pkg() == nil || obj.Pkg().Name() != "fastpath" {
+		return false
+	}
+	_, isStruct := named.Underlying().(*types.Struct)
+	return isStruct
 }
 
 // nilGuarded reports whether the call through hook (an expression of

@@ -7,8 +7,9 @@ import (
 )
 
 // SpanNilGuard extends the zero-cost-when-nil contract to the span
-// tracer: the replay hot paths (packages sim and trace) invoke span
-// methods through nillable *span.Span / *span.Tracer values, and every
+// tracer: the replay hot paths (packages sim, trace and the fastpath
+// kernel) invoke span methods through nillable *span.Span /
+// *span.Tracer values, and every
 // such call must either be dominated by a nil check on the same
 // expression or go through a span derived from another span call in
 // the same function (e.g. `sp := parent.Child(...)`; the guard
@@ -20,7 +21,7 @@ var SpanNilGuard = &Analyzer{
 	Doc: "calls through a *span.Span or *span.Tracer value in replay hot " +
 		"paths must be dominated by a nil check or derive from a span call " +
 		"(zero-cost-when-nil tracing contract)",
-	Packages: []string{"sim", "trace"},
+	Packages: []string{"sim", "trace", "fastpath"},
 	Run:      runSpanNilGuard,
 }
 

@@ -1,0 +1,63 @@
+// Fixture for the obsnilguard analyzer's kernel widening: calls through
+// a *Tap value in package fastpath must be dominated by a nil check —
+// a run with telemetry off must not pay a method call per resolved
+// branch.
+package fastpath
+
+// Tap is the stand-in kernel telemetry accumulator (nil when off).
+type Tap struct {
+	total uint64
+}
+
+func (t *Tap) resolve(pc uint32, taken, correct bool) { t.total++ }
+
+func (t *Tap) onSwitch() { t.total++ }
+
+// Kernel is the stand-in replay kernel.
+type Kernel struct {
+	tap *Tap
+}
+
+// goodGuardedLoop is the real kernel idiom: the hot loop checks the tap
+// once per event.
+func (k *Kernel) goodGuardedLoop(pcs []uint32) {
+	tap := k.tap
+	for _, pc := range pcs {
+		if tap != nil {
+			tap.resolve(pc, true, true)
+		}
+	}
+}
+
+// badUnguardedLoop pays the call unconditionally.
+func (k *Kernel) badUnguardedLoop(pcs []uint32) {
+	tap := k.tap
+	for _, pc := range pcs {
+		tap.resolve(pc, true, true) // want "not dominated by a nil check"
+	}
+}
+
+// goodEarlyReturn guards with an early return.
+func drain(t *Tap) {
+	if t == nil {
+		return
+	}
+	t.onSwitch()
+}
+
+// badFieldCall calls through the field with no guard.
+func (k *Kernel) badFieldCall() {
+	k.tap.onSwitch() // want "not dominated by a nil check"
+}
+
+// badWrongGuard checks a different tap than it calls through.
+func badWrongGuard(a, b *Tap) {
+	if a != nil {
+		b.onSwitch() // want "not dominated by a nil check"
+	}
+}
+
+// allowedUnguarded carries an auditable suppression.
+func allowedUnguarded(t *Tap) {
+	t.onSwitch() //lint:allow obsnilguard fixture: caller guarantees non-nil
+}

@@ -1,0 +1,40 @@
+// Fixture for the spannilguard analyzer's kernel widening: span calls
+// in package fastpath must be nil-guarded or derive from a span call,
+// like in the sim and trace hot paths.
+package fastpath
+
+import "spannilguard/span"
+
+// Kernel is the stand-in replay kernel carrying an optional span.
+type Kernel struct {
+	sp *span.Span
+}
+
+// goodGuarded checks the span before annotating.
+func (k *Kernel) goodGuarded() {
+	if k.sp != nil {
+		k.sp.SetAttr(span.Attr{Key: "kind", Value: "kernel"})
+	}
+}
+
+// goodDerived ends a span derived from another span call; the guard
+// obligation was discharged at the derivation site.
+func (k *Kernel) goodDerived() {
+	child := k.sp.Child("shard") // want "not dominated by a nil check"
+	child.End()
+}
+
+// badUnguarded annotates with no dominating check.
+func (k *Kernel) badUnguarded() {
+	k.sp.SetAttr(span.Attr{Key: "events", Value: "0"}) // want "not dominated by a nil check"
+}
+
+// badTracer roots a span through an unguarded tracer value.
+func badTracer(tr *span.Tracer) *span.Span {
+	return tr.Root("replay") // want "not dominated by a nil check"
+}
+
+// allowedUnguarded carries an auditable suppression.
+func allowedUnguarded(sp *span.Span) {
+	sp.End() //lint:allow spannilguard fixture: span package methods are nil-safe
+}

@@ -51,10 +51,25 @@ type GridRequest struct {
 	// TimeoutMS tightens the per-request deadline below the server's
 	// RequestTimeout (it can never extend it).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-	// Stream switches the response to NDJSON: one {"cell": ...} line as
-	// each cell lands, then a final {"summary": ...} line.
+	// Stream switches the response to NDJSON: typed event lines
+	// ("interval", "verdict", "cell", "progress", "keepalive") as each
+	// cell lands, then a final "summary" line.
 	Stream bool `json:"stream,omitempty"`
+	// Interval, when positive, samples each cell's live accuracy every
+	// Interval resolved conditional branches and streams the samples as
+	// "interval" events before the cell's final line. Streaming only;
+	// the sample count per cell is capped by the server's
+	// MaxStreamSamples.
+	Interval uint64 `json:"interval,omitempty"`
+	// TopMispredicted, when positive, profiles each cell's worst K
+	// branches in the replay kernel and streams a forensics "verdict"
+	// event per branch before the cell's final line. Streaming only;
+	// capped at maxVerdicts.
+	TopMispredicted int `json:"top_mispredicted,omitempty"`
 }
+
+// maxVerdicts caps the per-cell streamed verdict events.
+const maxVerdicts = 64
 
 // Cell is one grid cell's outcome.
 type Cell struct {
@@ -99,10 +114,12 @@ func badRequest(format string, args ...any) *httpError {
 
 var errUnknownTrace = errors.New("unknown trace key (upload it first via POST /v1/traces)")
 
-// gridCell is one planned cell: its parsed spec plus training data.
+// gridCell is one planned cell: its parsed spec plus training data and
+// its index in the grid (the key into the job's telemetry sinks).
 type gridCell struct {
-	sp spec.Spec
-	td *spec.TrainingData
+	idx int
+	sp  spec.Spec
+	td  *spec.TrainingData
 }
 
 // gridJob is a validated, resolved grid request ready to execute.
@@ -113,6 +130,19 @@ type gridJob struct {
 	snap     trace.Snapshot
 	cells    []gridCell
 	span     *span.Span // per-request root span; nil-safe everywhere
+	// tel holds one kernel telemetry sink per cell when the request
+	// streams intervals or verdicts (nil otherwise). simOptions plants a
+	// fresh sink at the cell's index on every (re)build, so a per-cell
+	// fallback retry never mixes samples from the failed batch pass.
+	tel []*sim.Telemetry
+}
+
+// sink returns cell idx's telemetry sink (nil when not streaming).
+func (j *gridJob) sink(idx int) *sim.Telemetry {
+	if j.tel == nil {
+		return nil
+	}
+	return j.tel[idx]
 }
 
 // prepare validates req and resolves everything that can fail before
@@ -136,6 +166,18 @@ func (s *Server) prepare(ctx context.Context, t *tenant, req GridRequest, parent
 	if branches > s.cfg.MaxBranches {
 		return nil, badRequest("branch budget %d exceeds the per-request cap of %d", branches, s.cfg.MaxBranches)
 	}
+	if !req.Stream && (req.Interval > 0 || req.TopMispredicted > 0) {
+		return nil, badRequest("interval and top_mispredicted require stream: true")
+	}
+	if req.TopMispredicted > maxVerdicts {
+		return nil, badRequest("top_mispredicted %d exceeds the cap of %d", req.TopMispredicted, maxVerdicts)
+	}
+	if req.Interval > 0 {
+		if samples := (branches + req.Interval - 1) / req.Interval; samples > uint64(s.cfg.MaxStreamSamples) {
+			return nil, badRequest("interval %d over %d branches streams %d samples per cell, over the cap of %d (raise interval)",
+				req.Interval, branches, samples, s.cfg.MaxStreamSamples)
+		}
+	}
 	specs := make([]spec.Spec, len(req.Specs))
 	for i, raw := range req.Specs {
 		sp, err := spec.Parse(raw)
@@ -148,9 +190,9 @@ func (s *Server) prepare(ctx context.Context, t *tenant, req GridRequest, parent
 	job := &gridJob{req: req, tenant: t, branches: branches, span: parent}
 	var err error
 	if req.Bench != "" {
-		job.snap, err = s.benchSnapshot(ctx, req.Bench, "testing", branches, parent)
+		job.snap, err = s.benchSnapshot(ctx, t, req.Bench, "testing", branches, parent)
 	} else {
-		job.snap, err = s.uploadSnapshot(ctx, req.Trace)
+		job.snap, err = s.uploadSnapshot(ctx, t, req.Trace)
 	}
 	if err != nil {
 		return nil, err
@@ -162,19 +204,23 @@ func (s *Server) prepare(ctx context.Context, t *tenant, req GridRequest, parent
 	}
 	job.cells = make([]gridCell, len(specs))
 	for i, sp := range specs {
-		td, err := s.train(ctx, sp, req, trainBudget, parent)
+		td, err := s.train(ctx, t, sp, req, trainBudget, parent)
 		if err != nil {
 			return nil, err
 		}
-		job.cells[i] = gridCell{sp: sp, td: td}
+		job.cells[i] = gridCell{idx: i, sp: sp, td: td}
+	}
+	if req.Interval > 0 || req.TopMispredicted > 0 {
+		job.tel = make([]*sim.Telemetry, len(job.cells))
 	}
 	return job, nil
 }
 
 // benchSnapshot captures (or replays) a built-in benchmark data set
-// from the shared cache. The cache extends incrementally: a later
-// request with a bigger budget resumes the same capture.
-func (s *Server) benchSnapshot(ctx context.Context, name, ds string, conds uint64, parent *span.Span) (trace.Snapshot, error) {
+// from the shared cache, attributing the hit or miss to the requesting
+// tenant. The cache extends incrementally: a later request with a
+// bigger budget resumes the same capture.
+func (s *Server) benchSnapshot(ctx context.Context, t *tenant, name, ds string, conds uint64, parent *span.Span) (trace.Snapshot, error) {
 	b, err := prog.ByName(name)
 	if err != nil {
 		return trace.Snapshot{}, badRequest("%v", err)
@@ -184,9 +230,12 @@ func (s *Server) benchSnapshot(ctx context.Context, name, ds string, conds uint6
 		dataSet = b.Training
 	}
 	key := "bench\x00" + name + "\x00" + ds
-	snap, _, err := s.cache.CaptureTraced(ctx, key, conds, parent, func() (trace.Source, error) {
+	snap, hit, err := s.cache.CaptureTraced(ctx, key, conds, parent, func() (trace.Source, error) {
 		return s.cfg.openBench(b, dataSet)
 	})
+	if err == nil {
+		t.recordCapture(hit)
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			return trace.Snapshot{}, &httpError{status: 503, msg: "capture cancelled: " + err.Error()}
@@ -198,16 +247,20 @@ func (s *Server) benchSnapshot(ctx context.Context, name, ds string, conds uint6
 	return snap, nil
 }
 
-// uploadSnapshot replays a previously uploaded trace. The capture was
-// drained to EOF at upload time, so this never opens a source; an
-// unknown key surfaces as 404.
-func (s *Server) uploadSnapshot(ctx context.Context, key string) (trace.Snapshot, error) {
+// uploadSnapshot replays a previously uploaded trace, attributing the
+// cache access to the requesting tenant. The capture was drained to EOF
+// at upload time, so this never opens a source; an unknown key surfaces
+// as 404.
+func (s *Server) uploadSnapshot(ctx context.Context, t *tenant, key string) (trace.Snapshot, error) {
 	if _, ok := s.uploads.Load(key); !ok {
 		return trace.Snapshot{}, &httpError{status: 404, msg: errUnknownTrace.Error()}
 	}
-	snap, _, err := s.cache.CaptureWithStatus(ctx, key, allConds, func() (trace.Source, error) {
+	snap, hit, err := s.cache.CaptureWithStatus(ctx, key, allConds, func() (trace.Source, error) {
 		return nil, errUnknownTrace
 	})
+	if err == nil {
+		t.recordCapture(hit)
+	}
 	if err != nil {
 		if errors.Is(err, errUnknownTrace) {
 			return trace.Snapshot{}, &httpError{status: 404, msg: err.Error()}
@@ -220,19 +273,19 @@ func (s *Server) uploadSnapshot(ctx context.Context, key string) (trace.Snapshot
 // train runs the training pass sp requires, if any: over the
 // benchmark's training data set, or over the head of the uploaded
 // trace.
-func (s *Server) train(ctx context.Context, sp spec.Spec, req GridRequest, budget uint64, parent *span.Span) (*spec.TrainingData, error) {
+func (s *Server) train(ctx context.Context, t *tenant, sp spec.Spec, req GridRequest, budget uint64, parent *span.Span) (*spec.TrainingData, error) {
 	if !sp.NeedsTraining() {
 		return nil, nil
 	}
 	var src trace.Source
 	if req.Bench != "" {
-		snap, err := s.benchSnapshot(ctx, req.Bench, "training", budget, parent)
+		snap, err := s.benchSnapshot(ctx, t, req.Bench, "training", budget, parent)
 		if err != nil {
 			return nil, err
 		}
 		src = snap.Reader()
 	} else {
-		snap, err := s.uploadSnapshot(ctx, req.Trace)
+		snap, err := s.uploadSnapshot(ctx, t, req.Trace)
 		if err != nil {
 			return nil, err
 		}
@@ -258,9 +311,10 @@ func (s *Server) train(ctx context.Context, sp spec.Spec, req GridRequest, budge
 }
 
 // execute runs the job's cells in tenant-bounded batches and invokes
-// emit as each cell settles (emit errors abort the run — a streaming
-// client that stopped reading). The returned cells are in spec order.
-func (s *Server) execute(ctx context.Context, job *gridJob, emit func(Cell) error) ([]Cell, error) {
+// emit with each cell's grid index as it settles (emit errors abort the
+// run — a streaming client that stopped reading). The returned cells
+// are in spec order.
+func (s *Server) execute(ctx context.Context, job *gridJob, emit func(idx int, c Cell) error) ([]Cell, error) {
 	t := job.tenant
 	nCells := len(job.cells)
 	out := make([]Cell, nCells)
@@ -294,7 +348,7 @@ func (s *Server) execute(ctx context.Context, job *gridJob, emit func(Cell) erro
 			idx := start + i
 			out[idx] = s.settleCell(t, batch[i], results[i], errs[i], elapsed, len(batch))
 			if emit != nil {
-				if err := emit(out[idx]); err != nil {
+				if err := emit(idx, out[idx]); err != nil {
 					s.failRemaining(job, out, idx+1, err)
 					return out, err
 				}
@@ -444,14 +498,25 @@ func (s *Server) runCellGuarded(ctx context.Context, job *gridJob, c gridCell) (
 	return sim.Run(p, job.snap.Reader(), s.simOptions(ctx, job, c))
 }
 
-// simOptions builds one cell's simulation options.
+// simOptions builds one cell's simulation options. Streaming requests
+// get a fresh kernel telemetry sink per build — the sink does not cost
+// fastpath eligibility, so sampled cells still replay on the kernel.
 func (s *Server) simOptions(ctx context.Context, job *gridJob, c gridCell) sim.Options {
-	return sim.Options{
+	o := sim.Options{
 		ContextSwitches: c.sp.ContextSwitch,
 		MaxCondBranches: job.branches,
 		Context:         ctx,
 		Span:            job.span,
 	}
+	if job.tel != nil {
+		sink := &sim.Telemetry{
+			Interval: job.req.Interval,
+			TopK:     job.req.TopMispredicted,
+		}
+		job.tel[c.idx] = sink
+		o.Telemetry = sink
+	}
+	return o
 }
 
 // cellError attributes one failed cell.

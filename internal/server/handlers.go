@@ -14,11 +14,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sort"
 	"strconv"
 	"time"
 
 	"twolevel/internal/span"
+	"twolevel/internal/telemetry"
 	"twolevel/internal/trace"
 )
 
@@ -46,11 +46,12 @@ func (s *Server) routes() *http.ServeMux {
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	// Spans, cell progress and pprof ride the PR-4 monitor's handler,
-	// fed by the server-wide grid monitor and tracer.
+	mux.HandleFunc("GET /progress", s.handleProgress)
+	// Spans and pprof ride the PR-4 monitor's handler, fed by the
+	// server-wide grid monitor and tracer; /progress renders all scopes
+	// from the metrics registry instead.
 	grid := s.grid.Handler()
 	mux.Handle("GET /spans", grid)
-	mux.Handle("GET /progress", grid)
 	mux.Handle("GET /debug/pprof/", grid)
 	return mux
 }
@@ -181,27 +182,44 @@ func (s *Server) gridFailure(w http.ResponseWriter, t *tenant, err error, began 
 	s.refuse(w, status, 0, err.Error())
 }
 
-// streamGrid writes the NDJSON response: one {"cell": ...} line as each
-// cell settles, then a final {"summary": ...} line. Every line is
+// streamGrid writes the NDJSON response as typed events: per cell, its
+// "interval" samples and "verdict" lines (when requested), then the
+// "cell" line and a "progress" line; a keepalive heartbeat covers the
+// gaps and a final "summary" line closes the stream. Every line is
 // written and flushed under the slow-client deadline, so a stalled
 // reader aborts the grid instead of parking a worker.
 func (s *Server) streamGrid(w http.ResponseWriter, ctx context.Context, t *tenant, job *gridJob, resp GridResponse, began time.Time) {
-	rc := http.NewResponseController(w)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(w)
-	emit := func(c Cell) error {
-		s.armWrite(rc)
-		if err := enc.Encode(map[string]Cell{"cell": c}); err != nil {
-			return err
+	sw := s.newStreamWriter(w)
+	defer sw.close()
+	emit := func(idx int, c Cell) error {
+		if sink := job.sink(idx); sink != nil && c.Error == "" {
+			for i := range sink.Samples {
+				ev := streamEvent{Type: "interval", Spec: c.Spec, Interval: &sink.Samples[i]}
+				if err := sw.send(ev); err != nil {
+					return err
+				}
+			}
+			for _, row := range sink.TopMispredicted {
+				v := newVerdictEvent(row)
+				ev := streamEvent{Type: "verdict", Spec: c.Spec, Verdict: &v}
+				if err := sw.send(ev); err != nil {
+					return err
+				}
+			}
 		}
-		rc.Flush()
 		if c.Error == "" {
 			resp.Completed++
 		} else {
 			resp.Failed++
 		}
-		return nil
+		cell := c
+		if err := sw.send(streamEvent{Type: "cell", Cell: &cell}); err != nil {
+			return err
+		}
+		p := progressEvent{Done: resp.Completed, Failed: resp.Failed, Planned: len(job.cells)}
+		return sw.send(streamEvent{Type: "progress", Progress: &p})
 	}
 	_, execErr := s.execute(ctx, job, emit)
 	elapsed := s.cfg.clock().Sub(began)
@@ -209,9 +227,7 @@ func (s *Server) streamGrid(w http.ResponseWriter, ctx context.Context, t *tenan
 	ok := resp.Failed == 0 && execErr == nil
 	s.agg.done(ok, elapsed)
 	t.mon.done(ok, elapsed)
-	s.armWrite(rc)
-	enc.Encode(map[string]GridResponse{"summary": resp})
-	rc.Flush()
+	sw.send(streamEvent{Type: "summary", Summary: &resp})
 }
 
 // handleUpload is POST /v1/traces: accept a binary (TLBPTRC1) or text
@@ -258,7 +274,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		}
 		return trace.NewTextReader(bytes.NewReader(body)), nil
 	}
-	snap, err := s.cache.Capture(r.Context(), key, allConds, open)
+	snap, hit, err := s.cache.CaptureWithStatus(r.Context(), key, allConds, open)
+	if err == nil {
+		t.recordCapture(hit)
+	}
 	if err != nil {
 		s.agg.reject()
 		t.mon.reject()
@@ -285,47 +304,49 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, info)
 }
 
-// handleMetrics is GET /metrics. Without a query it renders the
-// server-wide request counters, every tenant's labelled request
-// counters (tenant creation order — stable within a process) and the
-// shared cache + queue gauges, then the server-wide grid metrics. With
-// ?tenant=NAME it renders that tenant's request counters and grid
-// metrics alone.
+// handleMetrics is GET /metrics, rendered from the unified metrics
+// registry. Without a query it renders every process-scope source (the
+// server-wide request counters, admission and cache gauges, then the
+// server-wide grid metrics), then every tenant's labelled sources
+// sorted by name. With ?tenant=NAME it renders that tenant's sources
+// alone — request counters, grid metrics and capture-cache attribution,
+// all under the tenant label.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if name := r.URL.Query().Get("tenant"); name != "" {
-		t, ok := s.ten.lookup(name)
-		if !ok {
+		if _, ok := s.ten.lookup(name); !ok {
 			http.Error(w, "unknown tenant", http.StatusNotFound)
 			return
 		}
-		t.mon.Snapshot().writePrometheus(w, fmt.Sprintf("{tenant=%q}", t.name))
-		t.grid.Snapshot().WritePrometheus(w)
+		s.reg.WriteTenant(w, name)
 		return
 	}
-	s.agg.Snapshot().writePrometheus(w, "")
-	all := s.ten.all()
-	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
-	for _, t := range all {
-		t.mon.Snapshot().writePrometheus(w, fmt.Sprintf("{tenant=%q}", t.name))
+	s.reg.WriteAll(w)
+}
+
+// handleProgress is GET /progress: the same registry snapshot as
+// /metrics, as a JSON document {"server": {...}, "tenants": {...}}.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.reg.JSON())
+}
+
+// serverMetrics renders process-level admission and cache state.
+func (s *Server) serverMetrics() []telemetry.Metric {
+	st := s.cache.Stats()
+	g := telemetry.GaugeMetric
+	return []telemetry.Metric{
+		g("twolevel_serve_queue_depth", "Requests holding or waiting for an execution slot.", float64(s.queued.Load())),
+		g("twolevel_serve_draining", "1 while the server is draining, else 0.", boolGauge(s.draining.Load())),
+		g("twolevel_serve_trace_cache_entries", "Captured streams resident in the shared cache.", float64(st.Entries)),
+		g("twolevel_serve_trace_cache_bytes", "Approximate heap bytes held by shared captures.", float64(st.Bytes)),
+		g("twolevel_serve_trace_cache_hits", "Capture requests served from stored events.", float64(st.Hits)),
+		g("twolevel_serve_trace_cache_misses", "Capture requests that opened or extended a capture.", float64(st.Misses)),
 	}
-	s.writeServerGauges(w)
-	s.grid.Snapshot().WritePrometheus(w)
 }
 
 // writeServerGauges renders process-level admission and cache state.
 func (s *Server) writeServerGauges(w io.Writer) {
-	gauge := func(name, help string, v float64) {
-		name = "twolevel_serve_" + name
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
-	}
-	gauge("queue_depth", "Requests holding or waiting for an execution slot.", float64(s.queued.Load()))
-	gauge("draining", "1 while the server is draining, else 0.", boolGauge(s.draining.Load()))
-	st := s.cache.Stats()
-	gauge("trace_cache_entries", "Captured streams resident in the shared cache.", float64(st.Entries))
-	gauge("trace_cache_bytes", "Approximate heap bytes held by shared captures.", float64(st.Bytes))
-	gauge("trace_cache_hits", "Capture requests served from stored events.", float64(st.Hits))
-	gauge("trace_cache_misses", "Capture requests that opened or extended a capture.", float64(st.Misses))
+	telemetry.WriteMetrics(w, "", s.serverMetrics())
 }
 
 func boolGauge(b bool) float64 {

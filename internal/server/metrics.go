@@ -10,12 +10,12 @@
 package server
 
 import (
-	"fmt"
 	"io"
 	"sync/atomic"
 	"time"
 
 	"twolevel/internal/span"
+	"twolevel/internal/telemetry"
 )
 
 // Monitor accumulates one tenant's (or the server-wide aggregate's)
@@ -171,21 +171,27 @@ func (s MonitorSnapshot) counterSeries() []struct {
 	}
 }
 
-// writePrometheus renders the snapshot's counters and latency gauges
-// with the given label clause ("" or `{tenant="x"}`).
-func (s MonitorSnapshot) writePrometheus(w io.Writer, labels string) {
+// Metrics flattens the snapshot into the shared metric-row form the
+// telemetry registry renders: the request counters in counterSeries
+// order, then the latency and shed-rate gauges.
+func (s MonitorSnapshot) Metrics() []telemetry.Metric {
+	var ms []telemetry.Metric
 	for _, c := range s.counterSeries() {
-		name := "twolevel_serve_" + c.Name + "_total"
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s%s %d\n",
-			name, c.Help, name, name, labels, c.V)
+		ms = append(ms, telemetry.CounterMetric("twolevel_serve_"+c.Name+"_total", c.Help, c.V))
 	}
-	gauge := func(name, help string, v float64) {
-		name = "twolevel_serve_" + name
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s%s %g\n", name, help, name, name, labels, v)
+	g := func(name, help string, v float64) {
+		ms = append(ms, telemetry.GaugeMetric("twolevel_serve_"+name, help, v))
 	}
-	gauge("latency_seconds_mean", "Mean admitted-request service time.", s.LatencySecondsMean)
-	gauge("latency_seconds_p50", "Median admitted-request service time (log-bucketed upper bound).", s.LatencySecondsP50)
-	gauge("latency_seconds_p95", "95th-percentile admitted-request service time (log-bucketed upper bound).", s.LatencySecondsP95)
-	gauge("latency_seconds_max", "Slowest admitted-request service time.", s.LatencySecondsMax)
-	gauge("shed_rate", "Shed plus quota-denied requests over all requests.", s.ShedRate())
+	g("latency_seconds_mean", "Mean admitted-request service time.", s.LatencySecondsMean)
+	g("latency_seconds_p50", "Median admitted-request service time (log-bucketed upper bound).", s.LatencySecondsP50)
+	g("latency_seconds_p95", "95th-percentile admitted-request service time (log-bucketed upper bound).", s.LatencySecondsP95)
+	g("latency_seconds_max", "Slowest admitted-request service time.", s.LatencySecondsMax)
+	g("shed_rate", "Shed plus quota-denied requests over all requests.", s.ShedRate())
+	return ms
+}
+
+// writePrometheus renders the snapshot under a label scope — pairs
+// without braces ("" or `tenant="x"`), merged by the registry writer.
+func (s MonitorSnapshot) writePrometheus(w io.Writer, scope string) {
+	telemetry.WriteMetrics(w, scope, s.Metrics())
 }

@@ -8,9 +8,11 @@ package server
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"twolevel/internal/experiments"
+	"twolevel/internal/telemetry"
 )
 
 // tokenBucket is a classic refill-on-demand token bucket. The clock is
@@ -65,6 +67,31 @@ type tenant struct {
 	grid   *experiments.Monitor // cell-level counters (progress, events, retries)
 	bucket *tokenBucket
 	cells  chan struct{} // concurrent-cell semaphore
+
+	// cacheHits/cacheMisses attribute shared capture-cache traffic to the
+	// tenant whose request triggered it (the cache itself only keeps
+	// process-wide totals).
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+}
+
+// recordCapture attributes one capture-cache access to the tenant.
+func (t *tenant) recordCapture(hit bool) {
+	if hit {
+		t.cacheHits.Add(1)
+	} else {
+		t.cacheMisses.Add(1)
+	}
+}
+
+// cacheMetrics renders the tenant's capture-cache attribution counters.
+func (t *tenant) cacheMetrics() []telemetry.Metric {
+	return []telemetry.Metric{
+		telemetry.CounterMetric("twolevel_serve_trace_cache_hits_total",
+			"Capture requests by this tenant served from stored events.", t.cacheHits.Load()),
+		telemetry.CounterMetric("twolevel_serve_trace_cache_misses_total",
+			"Capture requests by this tenant that opened or extended a capture.", t.cacheMisses.Load()),
+	}
 }
 
 // acquireCells blocks until n cell slots are free or done is closed

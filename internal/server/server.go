@@ -34,6 +34,7 @@ import (
 	"twolevel/internal/prog"
 	"twolevel/internal/span"
 	"twolevel/internal/spec"
+	"twolevel/internal/telemetry"
 	"twolevel/internal/trace"
 )
 
@@ -81,6 +82,14 @@ type Config struct {
 	// cancelled: in-flight requests get this long to finish before
 	// connections are torn down (default 15s).
 	DrainTimeout time.Duration
+	// KeepAliveInterval paces the {"type":"keepalive"} heartbeat on
+	// streamed grid responses, so clients can tell a slow cell from a
+	// dead connection (default 5s; < 0 disables).
+	KeepAliveInterval time.Duration
+	// MaxStreamSamples caps the per-cell interval samples a streamed
+	// request may ask for: requests whose branches/interval ratio
+	// exceeds it are refused with 400 (default 512).
+	MaxStreamSamples int
 	// Workers bounds simulator cells executing at once across ALL
 	// tenants (default GOMAXPROCS).
 	Workers int
@@ -130,6 +139,12 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 15 * time.Second
 	}
+	if c.KeepAliveInterval == 0 {
+		c.KeepAliveInterval = 5 * time.Second
+	}
+	if c.MaxStreamSamples <= 0 {
+		c.MaxStreamSamples = 512
+	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -157,6 +172,7 @@ type Server struct {
 	agg    *Monitor             // server-wide request counters
 	grid   *experiments.Monitor // server-wide cell counters (feeds /spans too)
 	tracer *span.Tracer
+	reg    *telemetry.Registry // unified metrics: /metrics and /progress render from it
 
 	slots    chan struct{} // admitted-request concurrency
 	queued   atomic.Int64  // requests holding or waiting for a slot
@@ -180,14 +196,26 @@ func New(cfg Config) *Server {
 		workSem: make(chan struct{}, cfg.Workers),
 	}
 	s.grid.AttachTracer(s.tracer)
+	// Every metrics surface renders from one registry: the process scope
+	// (request aggregate, admission/cache gauges, server-wide grid), then
+	// each tenant's request counters, grid progress and cache attribution
+	// registered as the tenant is first seen.
+	s.reg = telemetry.NewRegistry()
+	s.reg.Register(func() []telemetry.Metric { return s.agg.Snapshot().Metrics() })
+	s.reg.Register(s.serverMetrics)
+	s.reg.Register(func() []telemetry.Metric { return s.grid.Snapshot().Metrics() })
 	s.ten = newTenants(func(name string) *tenant {
-		return &tenant{
+		t := &tenant{
 			name:   name,
 			mon:    &Monitor{},
 			grid:   experiments.NewMonitor(),
 			bucket: newTokenBucket(cfg.TenantRate, cfg.TenantBurst, cfg.clock),
 			cells:  make(chan struct{}, cfg.TenantCells),
 		}
+		s.reg.RegisterTenant(name, func() []telemetry.Metric { return t.mon.Snapshot().Metrics() })
+		s.reg.RegisterTenant(name, func() []telemetry.Metric { return t.grid.Snapshot().Metrics() })
+		s.reg.RegisterTenant(name, t.cacheMetrics)
+		return t
 	})
 	s.mux = s.routes()
 	return s

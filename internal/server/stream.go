@@ -1,0 +1,141 @@
+// NDJSON stream discipline: typed events, per-write deadlines and a
+// keepalive heartbeat. Every streamed line goes through one streamWriter
+// whose send() arms the slow-client write deadline, encodes and flushes
+// — a client that stops reading stalls its own connection and fails the
+// next send instead of parking a worker; the error is sticky, so the
+// executor aborts the grid at the next emit.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"twolevel/internal/analysis"
+	"twolevel/internal/telemetry"
+)
+
+// streamEvent is one NDJSON line of a streamed grid response. Type
+// discriminates: "interval", "verdict", "cell", "progress", "keepalive"
+// or "summary"; exactly the matching payload field is set. The legacy
+// "cell"/"summary" keys are retained, so pre-typed clients that decode
+// only those fields keep working.
+type streamEvent struct {
+	Type string `json:"type"`
+	// Spec names the grid cell an interval or verdict event belongs to.
+	Spec     string            `json:"spec,omitempty"`
+	Interval *telemetry.Sample `json:"interval,omitempty"`
+	Verdict  *verdictEvent     `json:"verdict,omitempty"`
+	Cell     *Cell             `json:"cell,omitempty"`
+	Progress *progressEvent    `json:"progress,omitempty"`
+	Summary  *GridResponse     `json:"summary,omitempty"`
+}
+
+// verdictEvent is one hot branch's streaming forensics verdict, built
+// from the kernel-native per-PC profile by analysis.ExplainStream.
+type verdictEvent struct {
+	PC          string  `json:"pc"`
+	Verdict     string  `json:"verdict"`
+	Summary     string  `json:"summary"`
+	Executions  uint64  `json:"executions"`
+	Mispredicts uint64  `json:"mispredicts"`
+	MissShare   float64 `json:"miss_share"`
+	TakenRate   float64 `json:"taken_rate"`
+}
+
+func newVerdictEvent(p telemetry.PCStats) verdictEvent {
+	e := analysis.ExplainStream(p)
+	return verdictEvent{
+		PC:          fmt.Sprintf("%#x", p.PC),
+		Verdict:     e.Verdict.String(),
+		Summary:     e.Summary,
+		Executions:  p.Executions,
+		Mispredicts: p.Mispredicts,
+		MissShare:   p.MissShare,
+		TakenRate:   p.TakenRate,
+	}
+}
+
+// progressEvent tracks settled cells against the plan.
+type progressEvent struct {
+	Done    int `json:"done"`
+	Failed  int `json:"failed"`
+	Planned int `json:"planned"`
+}
+
+// streamWriter serialises every write of one NDJSON response. The
+// keepalive goroutine shares it with the executor, so sends are
+// mutex-ordered and the first failure poisons the stream for both.
+type streamWriter struct {
+	srv *Server
+	mu  sync.Mutex
+	rc  *http.ResponseController
+	enc *json.Encoder
+	err error
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// newStreamWriter wraps w and starts the keepalive heartbeat. Callers
+// must close() the writer before the handler returns — the heartbeat
+// must not write into a dead ResponseWriter.
+func (s *Server) newStreamWriter(w http.ResponseWriter) *streamWriter {
+	sw := &streamWriter{
+		srv:  s,
+		rc:   http.NewResponseController(w),
+		enc:  json.NewEncoder(w),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go sw.keepalive(s.cfg.KeepAliveInterval)
+	return sw
+}
+
+// send writes one event line under the write deadline and flushes it, so
+// a tail -f consumer sees every event as it happens. Errors are sticky.
+func (sw *streamWriter) send(ev streamEvent) error {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.err != nil {
+		return sw.err
+	}
+	sw.srv.armWrite(sw.rc)
+	if err := sw.enc.Encode(ev); err != nil {
+		sw.err = err
+		return err
+	}
+	if err := sw.rc.Flush(); err != nil {
+		sw.err = err
+		return err
+	}
+	return nil
+}
+
+// keepalive emits {"type":"keepalive"} lines while the grid computes, so
+// a client mid-batch can distinguish a slow cell from a dead connection.
+func (sw *streamWriter) keepalive(every time.Duration) {
+	defer close(sw.done)
+	if every <= 0 {
+		<-sw.stop
+		return
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-sw.stop:
+			return
+		case <-t.C:
+			sw.send(streamEvent{Type: "keepalive"})
+		}
+	}
+}
+
+// close stops the heartbeat and waits for it to exit.
+func (sw *streamWriter) close() {
+	close(sw.stop)
+	<-sw.done
+}

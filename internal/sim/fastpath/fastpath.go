@@ -60,6 +60,18 @@ type Config struct {
 	// variations whose first and second levels are both non-global; the
 	// kernel silently runs serial otherwise.
 	Shards int
+	// Interval, when > 0, accumulates an accuracy sample every Interval
+	// resolved conditional branches — the kernel-native equivalent of
+	// the telemetry.IntervalSeries observer, bit-identical by the
+	// equivalence suite.
+	Interval uint64
+	// TopPCs, when > 0, accumulates a per-PC mispredict profile and
+	// reports the TopPCs worst branches (telemetry.HotBranches order).
+	TopPCs int
+	// Warmup is the resolved-branch index bounding the warmup-miss
+	// split of the per-PC profile (0 = attribute every miss to steady
+	// state, matching Forensics with an unknown budget).
+	Warmup uint64
 }
 
 // Counters mirrors sim.Result for the depth-0 base model (Repredictions
@@ -177,6 +189,8 @@ type Kernel struct {
 
 	c       Counters
 	sinceCS uint64
+
+	tap *Tap // kernel-native telemetry accumulator; nil when off
 }
 
 // New builds a kernel over p, seeding the flat mirrors from the
@@ -187,14 +201,14 @@ func New(p predictor.Predictor, cfg Config) (*Kernel, bool) {
 	}
 	switch tp := p.(type) {
 	case predictor.AlwaysTaken:
-		return &Kernel{kind: kindAlwaysTaken, cfg: cfg}, true
+		return &Kernel{kind: kindAlwaysTaken, cfg: cfg, tap: newTap(cfg)}, true
 	case predictor.BTFN:
-		return &Kernel{kind: kindBTFN, cfg: cfg}, true
+		return &Kernel{kind: kindBTFN, cfg: cfg, tap: newTap(cfg)}, true
 	case *predictor.TwoLevel:
 		if tp == nil || tp.Config().SpeculativeHistory {
 			return nil, false
 		}
-		k := &Kernel{kind: kindTwoLevel, cfg: cfg, view: tp.FlatView()}
+		k := &Kernel{kind: kindTwoLevel, cfg: cfg, view: tp.FlatView(), tap: newTap(cfg)}
 		k.seed()
 		return k, true
 	default:
@@ -429,7 +443,7 @@ func (k *Kernel) Run(snap trace.Snapshot, start int) (Counters, int, error) {
 	case k.shardable() && k.shardCount() > 1:
 		consumed, err = k.runSharded(instrs, pcs, targets, meta, start, end)
 	case k.hAxis == predictor.AxisGlobal && k.pAxis == predictor.AxisGlobal:
-		consumed, err = k.runGAg(instrs, meta, start, end)
+		consumed, err = k.runGAg(instrs, pcs, meta, start, end)
 	case k.cache != nil && k.hAxis == predictor.AxisPerAddress && k.pAxis == predictor.AxisGlobal:
 		consumed, err = k.runPAgCache(instrs, pcs, targets, meta, start, end)
 	case k.cache != nil && k.hAxis == predictor.AxisPerAddress && k.pAxis == predictor.AxisPerAddress:

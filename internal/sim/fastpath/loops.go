@@ -16,7 +16,16 @@ import (
 )
 
 // runStatic replays the stateless static schemes (AlwaysTaken, BTFN).
+// Like every hot loop here it has a tap-free twin: with telemetry off
+// the loop carries no tap branch at all (see runPAgCache).
 func (k *Kernel) runStatic(instrs, pcs, targets []uint32, meta []uint8, start, end int) (int, error) {
+	if k.tap == nil {
+		return k.runStaticPlain(instrs, pcs, targets, meta, start, end)
+	}
+	return k.runStaticTap(instrs, pcs, targets, meta, start, end)
+}
+
+func (k *Kernel) runStaticPlain(instrs, pcs, targets []uint32, meta []uint8, start, end int) (int, error) {
 	btfn := k.kind == kindBTFN
 	cs, interval := k.cfg.ContextSwitches, k.cfg.CSInterval
 	ctx := k.cfg.Context
@@ -72,10 +81,83 @@ func (k *Kernel) runStatic(instrs, pcs, targets []uint32, meta []uint8, start, e
 	return i - start, err
 }
 
+func (k *Kernel) runStaticTap(instrs, pcs, targets []uint32, meta []uint8, start, end int) (int, error) {
+	btfn := k.kind == kindBTFN
+	cs, interval := k.cfg.ContextSwitches, k.cfg.CSInterval
+	ctx := k.cfg.Context
+	c := &k.c
+	tap := k.tap
+	sinceCS := k.sinceCS
+	var sinceCheck uint32
+	i := start
+	var err error
+	for ; i < end; i++ {
+		if ctx != nil {
+			if sinceCheck++; sinceCheck >= checkInterval {
+				sinceCheck = 0
+				if err = ctx.Err(); err != nil {
+					break
+				}
+			}
+		}
+		m := meta[i]
+		ins := uint64(instrs[i])
+		c.Instructions += ins
+		sinceCS += ins
+		if m&trace.MetaTrap != 0 {
+			c.Traps++
+			if cs {
+				c.ContextSwitches++
+				sinceCS = 0
+				if tap != nil {
+					tap.onSwitch()
+				}
+			}
+			continue
+		}
+		if cs && sinceCS >= interval {
+			c.ContextSwitches++
+			sinceCS = 0
+			if tap != nil {
+				tap.onSwitch()
+			}
+		}
+		cls := m >> trace.MetaClassShift
+		c.ByClass[cls]++
+		if trace.Class(cls) != trace.Cond {
+			continue
+		}
+		taken := m&trace.MetaTaken != 0
+		if taken {
+			c.TakenCond++
+		}
+		pred := true
+		if btfn {
+			pred = targets[i] < pcs[i]
+		}
+		c.Predictions++
+		if pred == taken {
+			c.Correct++
+		}
+		if tap != nil {
+			tap.resolve(pcs[i], taken, pred == taken)
+		}
+	}
+	k.sinceCS = sinceCS
+	return i - start, err
+}
+
 // runGAg replays the global/global variations (GAg, GSg presets): one
 // shared history register, one shared pattern table — the entire
 // predictor state is a uint32 and two slices.
-func (k *Kernel) runGAg(instrs []uint32, meta []uint8, start, end int) (int, error) {
+func (k *Kernel) runGAg(instrs, pcs []uint32, meta []uint8, start, end int) (int, error) {
+	if k.tap == nil {
+		return k.runGAgPlain(instrs, pcs, meta, start, end)
+	}
+	return k.runGAgTap(instrs, pcs, meta, start, end)
+}
+
+func (k *Kernel) runGAgPlain(instrs, pcs []uint32, meta []uint8, start, end int) (int, error) {
 	cs, interval := k.cfg.ContextSwitches, k.cfg.CSInterval
 	ctx := k.cfg.Context
 	c := &k.c
@@ -131,6 +213,86 @@ func (k *Kernel) runGAg(instrs []uint32, meta []uint8, start, end int) (int, err
 		c.Predictions++
 		if pred == taken {
 			c.Correct++
+		}
+		states[pat] = delta[uint32(s)<<1|o]
+		touched[pat>>6] |= 1 << (pat & 63)
+		if ghr&freshBit != 0 {
+			ghr = o * histMask // smear the first outcome (§4.2)
+		} else {
+			ghr = (ghr<<1 | o) & histMask
+		}
+	}
+	k.ghr = ghr
+	k.sinceCS = sinceCS
+	return i - start, err
+}
+
+func (k *Kernel) runGAgTap(instrs, pcs []uint32, meta []uint8, start, end int) (int, error) {
+	cs, interval := k.cfg.ContextSwitches, k.cfg.CSInterval
+	ctx := k.cfg.Context
+	c := &k.c
+	tap := k.tap
+	histMask, resetHist := k.histMask, k.resetHist
+	delta, predMask := k.delta, k.predMask
+	states, touched := k.gStates, k.gTouched
+	ghr := k.ghr
+	sinceCS := k.sinceCS
+	var sinceCheck uint32
+	i := start
+	var err error
+	for ; i < end; i++ {
+		if ctx != nil {
+			if sinceCheck++; sinceCheck >= checkInterval {
+				sinceCheck = 0
+				if err = ctx.Err(); err != nil {
+					break
+				}
+			}
+		}
+		m := meta[i]
+		ins := uint64(instrs[i])
+		c.Instructions += ins
+		sinceCS += ins
+		if m&trace.MetaTrap != 0 {
+			c.Traps++
+			if cs {
+				ghr = resetHist
+				c.ContextSwitches++
+				sinceCS = 0
+				if tap != nil {
+					tap.onSwitch()
+				}
+			}
+			continue
+		}
+		if cs && sinceCS >= interval {
+			ghr = resetHist
+			c.ContextSwitches++
+			sinceCS = 0
+			if tap != nil {
+				tap.onSwitch()
+			}
+		}
+		cls := m >> trace.MetaClassShift
+		c.ByClass[cls]++
+		if trace.Class(cls) != trace.Cond {
+			continue
+		}
+		taken := m&trace.MetaTaken != 0
+		var o uint32
+		if taken {
+			o = 1
+			c.TakenCond++
+		}
+		pat := ghr & histMask
+		s := states[pat]
+		pred := predMask>>s&1 != 0
+		c.Predictions++
+		if pred == taken {
+			c.Correct++
+		}
+		if tap != nil {
+			tap.resolve(pcs[i], taken, pred == taken)
 		}
 		states[pat] = delta[uint32(s)<<1|o]
 		touched[pat>>6] |= 1 << (pat & 63)
@@ -255,8 +417,18 @@ func (k *Kernel) flushState() {
 }
 
 // runPAgCache replays PAg/PSg on the practical BHT: per-address history
-// registers in the mirrored cache, one global pattern table.
+// registers in the mirrored cache, one global pattern table. The
+// tap-free twin exists so a run without telemetry pays nothing — not
+// even a per-event nil check — keeping the headline kernel throughput
+// where it was before the tap existed.
 func (k *Kernel) runPAgCache(instrs, pcs, targets []uint32, meta []uint8, start, end int) (int, error) {
+	if k.tap == nil {
+		return k.runPAgCachePlain(instrs, pcs, targets, meta, start, end)
+	}
+	return k.runPAgCacheTap(instrs, pcs, targets, meta, start, end)
+}
+
+func (k *Kernel) runPAgCachePlain(instrs, pcs, targets []uint32, meta []uint8, start, end int) (int, error) {
 	cs, interval := k.cfg.ContextSwitches, k.cfg.CSInterval
 	ctx := k.cfg.Context
 	c := &k.c
@@ -344,9 +516,114 @@ func (k *Kernel) runPAgCache(instrs, pcs, targets []uint32, meta []uint8, start,
 	return i - start, err
 }
 
+func (k *Kernel) runPAgCacheTap(instrs, pcs, targets []uint32, meta []uint8, start, end int) (int, error) {
+	cs, interval := k.cfg.ContextSwitches, k.cfg.CSInterval
+	ctx := k.cfg.Context
+	c := &k.c
+	tap := k.tap
+	histMask := k.histMask
+	delta, predMask := k.delta, k.predMask
+	states, touched := k.gStates, k.gTouched
+	sinceCS := k.sinceCS
+	var sinceCheck uint32
+	i := start
+	var err error
+	for ; i < end; i++ {
+		if ctx != nil {
+			if sinceCheck++; sinceCheck >= checkInterval {
+				sinceCheck = 0
+				if err = ctx.Err(); err != nil {
+					break
+				}
+			}
+		}
+		m := meta[i]
+		ins := uint64(instrs[i])
+		c.Instructions += ins
+		sinceCS += ins
+		if m&trace.MetaTrap != 0 {
+			c.Traps++
+			if cs {
+				valid := k.valid
+				for j := range valid {
+					valid[j] = false
+				}
+				c.ContextSwitches++
+				sinceCS = 0
+				if tap != nil {
+					tap.onSwitch()
+				}
+			}
+			continue
+		}
+		if cs && sinceCS >= interval {
+			valid := k.valid
+			for j := range valid {
+				valid[j] = false
+			}
+			c.ContextSwitches++
+			sinceCS = 0
+			if tap != nil {
+				tap.onSwitch()
+			}
+		}
+		cls := m >> trace.MetaClassShift
+		c.ByClass[cls]++
+		if trace.Class(cls) != trace.Cond {
+			continue
+		}
+		taken := m&trace.MetaTaken != 0
+		var o uint32
+		if taken {
+			o = 1
+			c.TakenCond++
+		}
+		pc := pcs[i]
+		slot := k.lookupAllocCache(pc)
+		h := k.hists[slot]
+		pat := h & histMask
+		s := states[pat]
+		pred := predMask>>s&1 != 0
+		c.Predictions++
+		if pred == taken {
+			c.Correct++
+		}
+		if tap != nil {
+			tap.resolve(pc, taken, pred == taken)
+		}
+		if pred && taken {
+			c.TargetPredictions++
+			if t := k.targets[slot]; t != 0 && t == targets[i] {
+				c.TargetCorrect++
+			}
+		}
+		states[pat] = delta[uint32(s)<<1|o]
+		touched[pat>>6] |= 1 << (pat & 63)
+		if h&freshBit != 0 {
+			h = o * histMask
+		} else {
+			h = (h<<1 | o) & histMask
+		}
+		k.hists[slot] = h
+		k.preds[slot] = predMask>>states[h]&1 != 0
+		if taken {
+			k.targets[slot] = targets[i]
+		}
+	}
+	k.sinceCS = sinceCS
+	return i - start, err
+}
+
 // runPApCache replays PAp on the practical BHT: per-address history and
 // a per-slot pattern table, both in the mirrored cache.
 func (k *Kernel) runPApCache(instrs, pcs, targets []uint32, meta []uint8, start, end int) (int, error) {
+	if k.tap == nil {
+		return k.runPApCachePlain(instrs, pcs, targets, meta, start, end)
+	}
+	return k.runPApCacheTap(instrs, pcs, targets, meta, start, end)
+}
+
+func (k *Kernel) runPApCachePlain(instrs, pcs, targets []uint32, meta []uint8, start, end int) (int, error) {
 	cs, interval := k.cfg.ContextSwitches, k.cfg.CSInterval
 	ctx := k.cfg.Context
 	c := &k.c
@@ -435,11 +712,117 @@ func (k *Kernel) runPApCache(instrs, pcs, targets []uint32, meta []uint8, start,
 	return i - start, err
 }
 
+func (k *Kernel) runPApCacheTap(instrs, pcs, targets []uint32, meta []uint8, start, end int) (int, error) {
+	cs, interval := k.cfg.ContextSwitches, k.cfg.CSInterval
+	ctx := k.cfg.Context
+	c := &k.c
+	tap := k.tap
+	histMask := k.histMask
+	delta, predMask := k.delta, k.predMask
+	sinceCS := k.sinceCS
+	var sinceCheck uint32
+	i := start
+	var err error
+	for ; i < end; i++ {
+		if ctx != nil {
+			if sinceCheck++; sinceCheck >= checkInterval {
+				sinceCheck = 0
+				if err = ctx.Err(); err != nil {
+					break
+				}
+			}
+		}
+		m := meta[i]
+		ins := uint64(instrs[i])
+		c.Instructions += ins
+		sinceCS += ins
+		if m&trace.MetaTrap != 0 {
+			c.Traps++
+			if cs {
+				valid := k.valid
+				for j := range valid {
+					valid[j] = false
+				}
+				c.ContextSwitches++
+				sinceCS = 0
+				if tap != nil {
+					tap.onSwitch()
+				}
+			}
+			continue
+		}
+		if cs && sinceCS >= interval {
+			valid := k.valid
+			for j := range valid {
+				valid[j] = false
+			}
+			c.ContextSwitches++
+			sinceCS = 0
+			if tap != nil {
+				tap.onSwitch()
+			}
+		}
+		cls := m >> trace.MetaClassShift
+		c.ByClass[cls]++
+		if trace.Class(cls) != trace.Cond {
+			continue
+		}
+		taken := m&trace.MetaTaken != 0
+		var o uint32
+		if taken {
+			o = 1
+			c.TakenCond++
+		}
+		pc := pcs[i]
+		slot := k.lookupAllocCache(pc)
+		states := k.phtStates[slot]
+		touched := k.phtTouched[slot]
+		h := k.hists[slot]
+		pat := h & histMask
+		s := states[pat]
+		pred := predMask>>s&1 != 0
+		c.Predictions++
+		if pred == taken {
+			c.Correct++
+		}
+		if tap != nil {
+			tap.resolve(pc, taken, pred == taken)
+		}
+		if pred && taken {
+			c.TargetPredictions++
+			if t := k.targets[slot]; t != 0 && t == targets[i] {
+				c.TargetCorrect++
+			}
+		}
+		states[pat] = delta[uint32(s)<<1|o]
+		touched[pat>>6] |= 1 << (pat & 63)
+		if h&freshBit != 0 {
+			h = o * histMask
+		} else {
+			h = (h<<1 | o) & histMask
+		}
+		k.hists[slot] = h
+		k.preds[slot] = predMask>>states[h]&1 != 0
+		if taken {
+			k.targets[slot] = targets[i]
+		}
+	}
+	k.sinceCS = sinceCS
+	return i - start, err
+}
+
 // runGeneric replays every remaining flattened variation — the taxonomy
 // extensions (GAp/GAs/PAs/SAg/SAs/SAp) and any variation on the Ideal
 // BHT — resolving the history and pattern levels per branch from the
 // same flat state the specialized loops use.
 func (k *Kernel) runGeneric(instrs, pcs, targets []uint32, meta []uint8, start, end int) (int, error) {
+	if k.tap == nil {
+		return k.runGenericPlain(instrs, pcs, targets, meta, start, end)
+	}
+	return k.runGenericTap(instrs, pcs, targets, meta, start, end)
+}
+
+func (k *Kernel) runGenericPlain(instrs, pcs, targets []uint32, meta []uint8, start, end int) (int, error) {
 	cs, interval := k.cfg.ContextSwitches, k.cfg.CSInterval
 	ctx := k.cfg.Context
 	c := &k.c
@@ -525,6 +908,128 @@ func (k *Kernel) runGeneric(instrs, pcs, targets []uint32, meta []uint8, start, 
 		c.Predictions++
 		if pred == taken {
 			c.Correct++
+		}
+		if hasStore && pred && taken {
+			c.TargetPredictions++
+			if t := k.targets[slot]; t != 0 && t == targets[i] {
+				c.TargetCorrect++
+			}
+		}
+		states[pat] = delta[uint32(s)<<1|o]
+		touched[pat>>6] |= 1 << (pat & 63)
+		if h&freshBit != 0 {
+			h = o * histMask
+		} else {
+			h = (h<<1 | o) & histMask
+		}
+		*hp = h
+		if slot >= 0 {
+			k.preds[slot] = predMask>>states[h]&1 != 0
+			if taken {
+				k.targets[slot] = targets[i]
+			}
+		}
+	}
+	k.sinceCS = sinceCS
+	return i - start, err
+}
+
+func (k *Kernel) runGenericTap(instrs, pcs, targets []uint32, meta []uint8, start, end int) (int, error) {
+	cs, interval := k.cfg.ContextSwitches, k.cfg.CSInterval
+	ctx := k.cfg.Context
+	c := &k.c
+	tap := k.tap
+	histMask := k.histMask
+	delta, predMask := k.delta, k.predMask
+	hasStore := k.store != nil
+	useCache := k.cache != nil
+	sinceCS := k.sinceCS
+	var sinceCheck uint32
+	i := start
+	var err error
+	for ; i < end; i++ {
+		if ctx != nil {
+			if sinceCheck++; sinceCheck >= checkInterval {
+				sinceCheck = 0
+				if err = ctx.Err(); err != nil {
+					break
+				}
+			}
+		}
+		m := meta[i]
+		ins := uint64(instrs[i])
+		c.Instructions += ins
+		sinceCS += ins
+		if m&trace.MetaTrap != 0 {
+			c.Traps++
+			if cs {
+				k.flushState()
+				c.ContextSwitches++
+				sinceCS = 0
+				if tap != nil {
+					tap.onSwitch()
+				}
+			}
+			continue
+		}
+		if cs && sinceCS >= interval {
+			k.flushState()
+			c.ContextSwitches++
+			sinceCS = 0
+			if tap != nil {
+				tap.onSwitch()
+			}
+		}
+		cls := m >> trace.MetaClassShift
+		c.ByClass[cls]++
+		if trace.Class(cls) != trace.Cond {
+			continue
+		}
+		taken := m&trace.MetaTaken != 0
+		var o uint32
+		if taken {
+			o = 1
+			c.TakenCond++
+		}
+		pc := pcs[i]
+		slot := -1
+		if hasStore {
+			if useCache {
+				slot = k.lookupAllocCache(pc)
+			} else {
+				slot = k.lookupAllocIdeal(pc)
+			}
+		}
+		var hp *uint32
+		switch k.hAxis {
+		case predictor.AxisGlobal:
+			hp = &k.ghr
+		case predictor.AxisPerSet:
+			hp = &k.setHists[pc>>2&k.histSetMask]
+		default:
+			hp = &k.hists[slot]
+		}
+		var states []automaton.State
+		var touched []uint64
+		switch k.pAxis {
+		case predictor.AxisGlobal:
+			states, touched = k.gStates, k.gTouched
+		case predictor.AxisPerSet:
+			si := pc >> 2 & k.patSetMask
+			states, touched = k.setStates[si], k.setTouched[si]
+		default:
+			states, touched = k.phtStates[slot], k.phtTouched[slot]
+		}
+		h := *hp
+		pat := h & histMask
+		s := states[pat]
+		pred := predMask>>s&1 != 0
+		c.Predictions++
+		if pred == taken {
+			c.Correct++
+		}
+		if tap != nil {
+			tap.resolve(pc, taken, pred == taken)
 		}
 		if hasStore && pred && taken {
 			c.TargetPredictions++

@@ -68,6 +68,7 @@ type shardWorker struct {
 	clock           uint64
 	lookups, misses uint64
 	sinceCS         uint64
+	tap             *Tap // private telemetry fork; nil when telemetry is off
 	// stop is the event index the worker halted at: end after a full
 	// pass, the aligned poll index where cancellation was observed
 	// otherwise. Polls fire at identical indices in every worker (the
@@ -90,6 +91,9 @@ func (k *Kernel) runSharded(instrs, pcs, targets []uint32, meta []uint8, start, 
 	workers := make([]shardWorker, g)
 	var wg sync.WaitGroup
 	for w := 0; w < g; w++ {
+		if k.tap != nil {
+			workers[w].tap = k.tap.fork(w)
+		}
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -126,6 +130,9 @@ func (k *Kernel) runSharded(instrs, pcs, targets []uint32, meta []uint8, start, 
 		if workers[w].clock > maxClock {
 			maxClock = workers[w].clock
 		}
+		if k.tap != nil {
+			k.tap.absorb(workers[w].tap)
+		}
 	}
 	k.clock = maxClock
 	k.sinceCS = workers[0].sinceCS
@@ -137,8 +144,18 @@ func (k *Kernel) runSharded(instrs, pcs, targets []uint32, meta []uint8, start, 
 // accounting (instructions, traps, classes, context-switch count) owned
 // by worker 0. startSinceCS seeds the context-switch phase (the pass
 // start's value, or the worker's own on a catch-up resume); poll=false
-// disables cancellation polling for the bounded catch-up leg.
+// disables cancellation polling for the bounded catch-up leg. As in
+// loops.go, a tap-free twin keeps the telemetry-off path free of
+// per-event tap branches.
 func (k *Kernel) runShard(sw *shardWorker, w, partMask uint32, instrs, pcs, targets []uint32, meta []uint8, start, end int, startSinceCS uint64, poll bool) {
+	if sw.tap == nil {
+		k.runShardPlain(sw, w, partMask, instrs, pcs, targets, meta, start, end, startSinceCS, poll)
+		return
+	}
+	k.runShardTap(sw, w, partMask, instrs, pcs, targets, meta, start, end, startSinceCS, poll)
+}
+
+func (k *Kernel) runShardPlain(sw *shardWorker, w, partMask uint32, instrs, pcs, targets []uint32, meta []uint8, start, end int, startSinceCS uint64, poll bool) {
 	cs, interval := k.cfg.ContextSwitches, k.cfg.CSInterval
 	ctx := k.cfg.Context
 	if !poll {
@@ -237,6 +254,144 @@ func (k *Kernel) runShard(sw *shardWorker, w, partMask uint32, instrs, pcs, targ
 		c.Predictions++
 		if pred == taken {
 			c.Correct++
+		}
+		if useCache && pred && taken {
+			c.TargetPredictions++
+			if t := k.targets[slot]; t != 0 && t == targets[i] {
+				c.TargetCorrect++
+			}
+		}
+		states[pat] = delta[uint32(s)<<1|o]
+		touched[pat>>6] |= 1 << (pat & 63)
+		if h&freshBit != 0 {
+			h = o * histMask
+		} else {
+			h = (h<<1 | o) & histMask
+		}
+		*hp = h
+		if slot >= 0 {
+			k.preds[slot] = predMask>>states[h]&1 != 0
+			if taken {
+				k.targets[slot] = targets[i]
+			}
+		}
+	}
+	sw.stop = end
+	sw.sinceCS = sinceCS
+}
+
+func (k *Kernel) runShardTap(sw *shardWorker, w, partMask uint32, instrs, pcs, targets []uint32, meta []uint8, start, end int, startSinceCS uint64, poll bool) {
+	cs, interval := k.cfg.ContextSwitches, k.cfg.CSInterval
+	ctx := k.cfg.Context
+	if !poll {
+		ctx = nil
+	}
+	c := &sw.c
+	tap := sw.tap
+	global := w == 0
+	histMask := k.histMask
+	delta, predMask := k.delta, k.predMask
+	useCache := k.cache != nil
+	g := partMask + 1
+	sinceCS := startSinceCS // all workers see the same instruction stream
+	var sinceCheck uint32
+	for i := start; i < end; i++ {
+		if ctx != nil {
+			if sinceCheck++; sinceCheck >= checkInterval {
+				sinceCheck = 0
+				if err := ctx.Err(); err != nil {
+					sw.err = err
+					sw.stop = i
+					sw.sinceCS = sinceCS
+					return
+				}
+			}
+		}
+		m := meta[i]
+		ins := uint64(instrs[i])
+		sinceCS += ins
+		if global {
+			c.Instructions += ins
+		}
+		if m&trace.MetaTrap != 0 {
+			if global {
+				c.Traps++
+			}
+			if cs {
+				k.flushShard(w, g)
+				if global {
+					c.ContextSwitches++
+				}
+				sinceCS = 0
+				if tap != nil {
+					tap.onSwitch()
+				}
+			}
+			continue
+		}
+		if cs && sinceCS >= interval {
+			k.flushShard(w, g)
+			if global {
+				c.ContextSwitches++
+			}
+			sinceCS = 0
+			if tap != nil {
+				tap.onSwitch()
+			}
+		}
+		cls := m >> trace.MetaClassShift
+		if trace.Class(cls) != trace.Cond {
+			if global {
+				c.ByClass[cls]++
+			}
+			continue
+		}
+		taken := m&trace.MetaTaken != 0
+		if global {
+			c.ByClass[cls]++
+			if taken {
+				c.TakenCond++
+			}
+		}
+		pc := pcs[i]
+		if pc>>2&partMask != w {
+			if tap != nil {
+				tap.skip()
+			}
+			continue
+		}
+		var o uint32
+		if taken {
+			o = 1
+		}
+		slot := -1
+		if useCache {
+			slot = k.lookupAllocCacheSharded(sw, pc)
+		}
+		var hp *uint32
+		if k.hAxis == predictor.AxisPerSet {
+			hp = &k.setHists[pc>>2&k.histSetMask]
+		} else {
+			hp = &k.hists[slot]
+		}
+		var states []automaton.State
+		var touched []uint64
+		if k.pAxis == predictor.AxisPerSet {
+			si := pc >> 2 & k.patSetMask
+			states, touched = k.setStates[si], k.setTouched[si]
+		} else {
+			states, touched = k.phtStates[slot], k.phtTouched[slot]
+		}
+		h := *hp
+		pat := h & histMask
+		s := states[pat]
+		pred := predMask>>s&1 != 0
+		c.Predictions++
+		if pred == taken {
+			c.Correct++
+		}
+		if tap != nil {
+			tap.resolve(pc, taken, pred == taken)
 		}
 		if useCache && pred && taken {
 			c.TargetPredictions++

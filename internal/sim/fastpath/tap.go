@@ -1,0 +1,202 @@
+package fastpath
+
+// Kernel-native telemetry: a Tap accumulates the interval accuracy series
+// and the per-PC mispredict profile directly in the flat loops, so a run
+// that wants live telemetry stays on the kernel instead of falling back
+// to the interpretive runner's Observer callbacks. The accumulators are
+// plain per-shard arrays and maps merged deterministically at writeback;
+// every hot-loop call site is nil-guarded (one predictable branch when
+// telemetry is off — the same zero-cost-when-disabled contract Observer
+// carries, enforced by the obsnilguard analyzer).
+
+import (
+	"sort"
+
+	"twolevel/internal/telemetry"
+)
+
+// Tap is one replay's telemetry accumulator. In a sharded run every
+// worker owns a private fork; each fork counts every resolved conditional
+// branch (the global resolution index times interval bins and the warmup
+// split) but bins only its own partition's predictions, so absorbing the
+// forks reproduces the serial series bit for bit.
+type Tap struct {
+	every  uint64 // interval size in resolved branches (0 = no series)
+	warmup uint64 // resolutions attributed to warmup (0 = no split)
+	topk   int    // per-PC profile rows to report (0 = no profile)
+
+	total   uint64   // resolved conditional branches seen so far
+	preds   []uint64 // per-interval prediction counts
+	correct []uint64 // per-interval correct counts
+
+	recordSwitches bool
+	switches       []uint64 // resolution index at each context switch
+
+	pcm map[uint32]*pcTap // nil when the per-PC profile is off
+}
+
+// pcTap mirrors telemetry.HotBranches' per-PC counters plus the
+// warmup-miss split the streaming verdict classifier consumes.
+type pcTap struct {
+	exec, taken, miss, warmupMiss uint64
+}
+
+// newTap returns the accumulator cfg asks for, or nil when telemetry is
+// off entirely.
+func newTap(cfg Config) *Tap {
+	if cfg.Interval == 0 && cfg.TopPCs <= 0 {
+		return nil
+	}
+	t := &Tap{
+		every:          cfg.Interval,
+		warmup:         cfg.Warmup,
+		topk:           cfg.TopPCs,
+		recordSwitches: true,
+	}
+	if t.topk > 0 {
+		t.pcm = make(map[uint32]*pcTap)
+	}
+	return t
+}
+
+// fork returns worker w's private accumulator for a sharded run. Only
+// worker 0 records context switches (it owns the global accounting).
+func (t *Tap) fork(w int) *Tap {
+	f := &Tap{
+		every:          t.every,
+		warmup:         t.warmup,
+		topk:           t.topk,
+		recordSwitches: w == 0,
+	}
+	if t.pcm != nil {
+		f.pcm = make(map[uint32]*pcTap)
+	}
+	return f
+}
+
+// resolve folds one resolved conditional branch owned by this tap.
+func (t *Tap) resolve(pc uint32, taken, correct bool) {
+	if t.every > 0 {
+		j := int(t.total / t.every)
+		for len(t.preds) <= j {
+			t.preds = append(t.preds, 0)
+			t.correct = append(t.correct, 0)
+		}
+		t.preds[j]++
+		if correct {
+			t.correct[j]++
+		}
+	}
+	if t.pcm != nil {
+		st := t.pcm[pc]
+		if st == nil {
+			st = &pcTap{}
+			t.pcm[pc] = st
+		}
+		st.exec++
+		if taken {
+			st.taken++
+		}
+		if !correct {
+			st.miss++
+			if t.warmup > 0 && t.total < t.warmup {
+				st.warmupMiss++
+			}
+		}
+	}
+	t.total++
+}
+
+// skip advances the global resolution index past a conditional branch
+// another partition owns (sharded runs only).
+func (t *Tap) skip() {
+	t.total++
+}
+
+// onSwitch records the resolution index of a context switch.
+func (t *Tap) onSwitch() {
+	if t.recordSwitches {
+		t.switches = append(t.switches, t.total)
+	}
+}
+
+// absorb merges worker fork o into t: elementwise interval sums, switch
+// indices from the recording worker, and a union of the (disjoint,
+// PC-partitioned) profiles. Deterministic regardless of scheduling.
+func (t *Tap) absorb(o *Tap) {
+	if o.total > t.total {
+		t.total = o.total
+	}
+	for len(t.preds) < len(o.preds) {
+		t.preds = append(t.preds, 0)
+		t.correct = append(t.correct, 0)
+	}
+	for j := range o.preds {
+		t.preds[j] += o.preds[j]
+		t.correct[j] += o.correct[j]
+	}
+	t.switches = append(t.switches, o.switches...)
+	if t.pcm != nil {
+		for pc, st := range o.pcm {
+			t.pcm[pc] = st
+		}
+	}
+}
+
+// Telemetry materialises the tap's outputs: the interval accuracy series
+// (bit-identical to telemetry.IntervalSeries over the same run), the
+// context-switch resolution indices, and the top-K per-PC mispredict
+// profile ordered like telemetry.HotBranches.Report (mispredicts
+// descending, PC ascending). All nil when the respective mode was off.
+func (k *Kernel) Telemetry() ([]telemetry.Sample, []uint64, []telemetry.PCStats) {
+	t := k.tap
+	if t == nil {
+		return nil, nil, nil
+	}
+	var samples []telemetry.Sample
+	var cum uint64
+	for j := range t.preds {
+		cum += t.preds[j]
+		samples = append(samples, telemetry.Sample{
+			Branches:    cum,
+			Predictions: t.preds[j],
+			Correct:     t.correct[j],
+			Accuracy:    float64(t.correct[j]) / float64(t.preds[j]),
+		})
+	}
+	var profile []telemetry.PCStats
+	if t.pcm != nil {
+		var misses uint64
+		for _, st := range t.pcm {
+			misses += st.miss
+		}
+		profile = make([]telemetry.PCStats, 0, len(t.pcm))
+		for pc, st := range t.pcm {
+			row := telemetry.PCStats{
+				PC:           pc,
+				Executions:   st.exec,
+				Taken:        st.taken,
+				Mispredicts:  st.miss,
+				WarmupMisses: st.warmupMiss,
+			}
+			if st.exec > 0 {
+				row.TakenRate = float64(st.taken) / float64(st.exec)
+			}
+			if misses > 0 {
+				row.MissShare = float64(st.miss) / float64(misses)
+			}
+			profile = append(profile, row)
+		}
+		sort.Slice(profile, func(i, j int) bool {
+			a, b := profile[i], profile[j]
+			if a.Mispredicts != b.Mispredicts {
+				return a.Mispredicts > b.Mispredicts
+			}
+			return a.PC < b.PC
+		})
+		if len(profile) > t.topk {
+			profile = profile[:t.topk]
+		}
+	}
+	return samples, t.switches, profile
+}

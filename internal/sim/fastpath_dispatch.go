@@ -20,7 +20,8 @@ import (
 //   - the depth-0 base model — the pipelined timing model interleaves
 //     predict and update in ways flat tables do not express;
 //   - no Observer — per-event callbacks would reintroduce the interface
-//     calls the kernel exists to remove;
+//     calls the kernel exists to remove (a Telemetry sink does NOT cost
+//     eligibility: the kernel accumulates it natively);
 //   - a predictor whose state flattens (fastpath.Supported): the static
 //     schemes, or a two-level predictor without speculative history.
 //
@@ -43,13 +44,21 @@ func fastpathConfig(opts Options) fastpath.Config {
 	if interval == 0 {
 		interval = DefaultCSInterval
 	}
-	return fastpath.Config{
+	cfg := fastpath.Config{
 		ContextSwitches: opts.ContextSwitches,
 		CSInterval:      interval,
 		MaxCondBranches: opts.MaxCondBranches,
 		Context:         opts.Context,
 		Shards:          opts.Shards,
 	}
+	if t := opts.Telemetry; t != nil {
+		cfg.Interval = t.Interval
+		cfg.TopPCs = t.TopK
+		if t.TopK > 0 {
+			cfg.Warmup = warmupBoundary(opts.MaxCondBranches)
+		}
+	}
+	return cfg
 }
 
 // countersToResult converts kernel counters to the public Result. The

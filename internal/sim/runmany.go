@@ -107,6 +107,7 @@ func RunMany(preds []predictor.Predictor, src trace.Source, opts []Options) ([]R
 				var c fastpath.Counters
 				c, consumed[j], errs[j] = kernels[j].Run(snap, start)
 				out[fastIdx[j]] = countersToResult(c)
+				opts[fastIdx[j]].Telemetry.fillFromKernel(kernels[j].Telemetry())
 			}(j)
 		}
 		wg.Wait()
@@ -128,13 +129,20 @@ func RunMany(preds []predictor.Predictor, src trace.Source, opts []Options) ([]R
 	}
 
 	runners := make([]runner, len(slowIdx))
+	slowOpts := make([]Options, len(slowIdx))
+	var harvests []func()
 	var ctxs []context.Context
 	for si, i := range slowIdx {
-		runners[si] = newRunner(preds[i], opts[i])
-		if obs := opts[i].Observer; obs != nil {
+		o, harvest := attachTelemetry(opts[i])
+		if harvest != nil {
+			harvests = append(harvests, harvest)
+		}
+		slowOpts[si] = o
+		runners[si] = newRunner(preds[i], o)
+		if obs := o.Observer; obs != nil {
 			obs.Start(telemetry.RunInfo{Predictor: preds[i]})
 		}
-		if ctx := opts[i].Context; ctx != nil {
+		if ctx := o.Context; ctx != nil {
 			dup := false
 			for _, c := range ctxs {
 				if c == ctx {
@@ -154,10 +162,14 @@ func RunMany(preds []predictor.Predictor, src trace.Source, opts []Options) ([]R
 		return out
 	}
 	finishObservers := func() {
-		for _, i := range slowIdx {
-			if obs := opts[i].Observer; obs != nil {
+		for si := range slowIdx {
+			if obs := slowOpts[si].Observer; obs != nil {
 				obs.Finish()
 			}
+		}
+		// Harvest after Finish so the final partial interval is flushed.
+		for _, h := range harvests {
+			h()
 		}
 	}
 	var sinceCheck uint32

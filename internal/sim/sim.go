@@ -77,6 +77,14 @@ type Options struct {
 	// bit-identical to the serial kernel. Ignored on the interpretive
 	// path.
 	Shards int
+	// Telemetry, when non-nil, requests the kernel-native interval
+	// accuracy series and per-PC mispredict profile. Unlike Observer it
+	// does not cost fastpath eligibility: the flat kernel accumulates
+	// the counters in its hot loops, and the interpretive runner serves
+	// the same sink (bit-identically) through internal observers when
+	// the kernel declines the run. Outputs land in the sink when the
+	// run returns; a sink is single-use.
+	Telemetry *Telemetry
 }
 
 // Result aggregates a simulation run.
@@ -128,15 +136,23 @@ func measureTarget(res *Result, tp predictor.TargetPredictor, b trace.Branch, pr
 // Run simulates p over src. A cancelled opts.Context aborts the run with
 // ctx.Err() and the partial result collected so far.
 func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) {
-	if obs := opts.Observer; obs != nil {
-		obs.Start(telemetry.RunInfo{Predictor: p})
-		defer obs.Finish()
-	}
 	var k *fastpath.Kernel
 	var sr *trace.SnapshotReader
 	if FastpathEligible(p, src, opts) {
 		sr, _ = src.(*trace.SnapshotReader)
 		k, _ = fastpath.New(p, fastpathConfig(opts))
+	}
+	if k == nil {
+		// The kernel declined (or was never eligible): a Telemetry sink
+		// is served by internal observers harvested after Finish.
+		var harvest func()
+		if opts, harvest = attachTelemetry(opts); harvest != nil {
+			defer harvest()
+		}
+	}
+	if obs := opts.Observer; obs != nil {
+		obs.Start(telemetry.RunInfo{Predictor: p})
+		defer obs.Finish()
 	}
 	if parent := opts.Span; parent != nil {
 		sp := parent.Child("replay",
@@ -148,6 +164,7 @@ func Run(p predictor.Predictor, src trace.Source, opts Options) (Result, error) 
 		start := sr.Pos()
 		c, consumed, err := k.Run(sr.Snapshot(), start)
 		sr.Seek(start + consumed)
+		opts.Telemetry.fillFromKernel(k.Telemetry())
 		return countersToResult(c), err
 	}
 	r := newRunner(p, opts)

@@ -1,0 +1,225 @@
+// Metrics registry: one process-wide catalogue of metric sources keyed
+// by scope (the serving process itself, or one tenant), rendering the
+// Prometheus text exposition and the /progress JSON view from the same
+// snapshots. Sources are closures over live counters — every render
+// re-samples them, so the registry holds no stale state and no clock.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// MetricKind distinguishes monotone counters from point-in-time gauges.
+type MetricKind int
+
+const (
+	// CounterKind is a monotonically increasing count.
+	CounterKind MetricKind = iota
+	// GaugeKind is a point-in-time measurement.
+	GaugeKind
+)
+
+// Metric is one exposition series sample. Counter metrics render their
+// Counter value with %d; gauges render Gauge with %g — matching the
+// hand-rolled expositions this registry replaced byte for byte.
+type Metric struct {
+	// Name is the full series name (e.g. "twolevel_grid_cells_done_total").
+	Name string
+	// Help is the one-line HELP text.
+	Help string
+	// Kind selects which value field renders.
+	Kind MetricKind
+	// Counter is the value for CounterKind metrics.
+	Counter uint64
+	// Gauge is the value for GaugeKind metrics.
+	Gauge float64
+	// Labels holds extra label pairs without braces (e.g.
+	// `worker="0",state="idle"`), merged with the scope's labels.
+	Labels string
+	// HeaderOnly emits the HELP/TYPE header without a sample line — for
+	// labelled families that are currently empty but whose presence the
+	// exposition advertises (the worker-state table before any worker
+	// registers).
+	HeaderOnly bool
+}
+
+// CounterMetric and GaugeMetric are sugar for literal metric rows.
+func CounterMetric(name, help string, v uint64) Metric {
+	return Metric{Name: name, Help: help, Kind: CounterKind, Counter: v}
+}
+
+func GaugeMetric(name, help string, v float64) Metric {
+	return Metric{Name: name, Help: help, Kind: GaugeKind, Gauge: v}
+}
+
+// WriteMetrics renders ms in the Prometheus text exposition format.
+// scope holds label pairs without braces applied to every sample (""
+// for none); HELP/TYPE headers are emitted once per consecutive run of
+// the same Name, so multi-row families (worker states) list their
+// header a single time.
+func WriteMetrics(w io.Writer, scope string, ms []Metric) {
+	prev := ""
+	for _, m := range ms {
+		if m.Name != prev {
+			kind := "counter"
+			if m.Kind == GaugeKind {
+				kind = "gauge"
+			}
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.Name, m.Help, m.Name, kind)
+			prev = m.Name
+		}
+		if m.HeaderOnly {
+			continue
+		}
+		clause := labelClause(scope, m.Labels)
+		if m.Kind == GaugeKind {
+			fmt.Fprintf(w, "%s%s %g\n", m.Name, clause, m.Gauge)
+		} else {
+			fmt.Fprintf(w, "%s%s %d\n", m.Name, clause, m.Counter)
+		}
+	}
+}
+
+// labelClause merges scope and per-metric label pairs into a braced
+// clause ("" when both are empty).
+func labelClause(scope, labels string) string {
+	switch {
+	case scope == "" && labels == "":
+		return ""
+	case scope == "":
+		return "{" + labels + "}"
+	case labels == "":
+		return "{" + scope + "}"
+	default:
+		return "{" + scope + "," + labels + "}"
+	}
+}
+
+// Source yields a point-in-time metric set; the registry calls it on
+// every render.
+type Source func() []Metric
+
+// Registry is a two-scope metric catalogue: process-wide sources render
+// unlabelled, tenant sources render under a tenant label. Registration
+// order is preserved within a scope; tenants render sorted by name.
+type Registry struct {
+	mu      sync.Mutex
+	process []Source
+	tenants map[string][]Source
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{tenants: make(map[string][]Source)}
+}
+
+// Register adds a process-scope source.
+func (r *Registry) Register(src Source) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.process = append(r.process, src)
+}
+
+// RegisterTenant adds a source under the tenant's scope.
+func (r *Registry) RegisterTenant(tenant string, src Source) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tenants[tenant] = append(r.tenants[tenant], src)
+}
+
+// snapshotLocked copies the source lists so sampling runs outside the
+// registry lock (sources may take their own locks).
+func (r *Registry) snapshot() (process []Source, names []string, tenants map[string][]Source) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	process = append([]Source(nil), r.process...)
+	for name := range r.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tenants = make(map[string][]Source, len(r.tenants))
+	for _, name := range names {
+		tenants[name] = append([]Source(nil), r.tenants[name]...)
+	}
+	return process, names, tenants
+}
+
+// WriteTenant renders one tenant's sources labelled {tenant="name"}.
+// It reports whether the tenant has any registered sources.
+func (r *Registry) WriteTenant(w io.Writer, name string) bool {
+	r.mu.Lock()
+	srcs := append([]Source(nil), r.tenants[name]...)
+	r.mu.Unlock()
+	if len(srcs) == 0 {
+		return false
+	}
+	scope := fmt.Sprintf("tenant=%q", name)
+	for _, src := range srcs {
+		WriteMetrics(w, scope, src())
+	}
+	return true
+}
+
+// WriteAll renders every scope: process sources unlabelled first, then
+// each tenant's sources under its label, tenants sorted by name.
+func (r *Registry) WriteAll(w io.Writer) {
+	process, names, tenants := r.snapshot()
+	for _, src := range process {
+		WriteMetrics(w, "", src())
+	}
+	for _, name := range names {
+		scope := fmt.Sprintf("tenant=%q", name)
+		for _, src := range tenants[name] {
+			WriteMetrics(w, scope, src())
+		}
+	}
+}
+
+// Values flattens a scope's metric rows into a name -> value map (the
+// /progress JSON building block). Labelled rows key as name{labels};
+// header-only rows are skipped. Counters surface as uint64, gauges as
+// float64.
+func Values(ms []Metric) map[string]any {
+	out := make(map[string]any, len(ms))
+	for _, m := range ms {
+		if m.HeaderOnly {
+			continue
+		}
+		key := m.Name
+		if m.Labels != "" {
+			key += "{" + m.Labels + "}"
+		}
+		if m.Kind == GaugeKind {
+			out[key] = m.Gauge
+		} else {
+			out[key] = m.Counter
+		}
+	}
+	return out
+}
+
+// JSON renders every scope as a JSON-encodable document:
+// {"server": {...}, "tenants": {"name": {...}}}.
+func (r *Registry) JSON() map[string]any {
+	process, names, tenants := r.snapshot()
+	server := make(map[string]any)
+	for _, src := range process {
+		for k, v := range Values(src()) {
+			server[k] = v
+		}
+	}
+	byTenant := make(map[string]map[string]any, len(names))
+	for _, name := range names {
+		vals := make(map[string]any)
+		for _, src := range tenants[name] {
+			for k, v := range Values(src()) {
+				vals[k] = v
+			}
+		}
+		byTenant[name] = vals
+	}
+	return map[string]any{"server": server, "tenants": byTenant}
+}

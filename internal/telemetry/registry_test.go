@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteMetricsFormat(t *testing.T) {
+	ms := []Metric{
+		CounterMetric("demo_total", "A counter.", 7),
+		GaugeMetric("demo_gauge", "A gauge.", 1.5),
+		{Name: "demo_state", Help: "Labelled family.", Kind: GaugeKind, Gauge: 1, Labels: `worker="0",state="idle"`},
+		{Name: "demo_state", Help: "Labelled family.", Kind: GaugeKind, Gauge: 1, Labels: `worker="1",state="run"`},
+	}
+	var sb strings.Builder
+	WriteMetrics(&sb, "", ms)
+	want := "# HELP demo_total A counter.\n# TYPE demo_total counter\ndemo_total 7\n" +
+		"# HELP demo_gauge A gauge.\n# TYPE demo_gauge gauge\ndemo_gauge 1.5\n" +
+		"# HELP demo_state Labelled family.\n# TYPE demo_state gauge\n" +
+		"demo_state{worker=\"0\",state=\"idle\"} 1\n" +
+		"demo_state{worker=\"1\",state=\"run\"} 1\n"
+	if sb.String() != want {
+		t.Errorf("WriteMetrics:\n got %q\nwant %q", sb.String(), want)
+	}
+}
+
+func TestWriteMetricsScopeMerge(t *testing.T) {
+	ms := []Metric{
+		CounterMetric("demo_total", "A counter.", 3),
+		{Name: "demo_state", Help: "Labelled.", Kind: GaugeKind, Gauge: 1, Labels: `state="idle"`},
+	}
+	var sb strings.Builder
+	WriteMetrics(&sb, `tenant="acme"`, ms)
+	if !strings.Contains(sb.String(), "demo_total{tenant=\"acme\"} 3\n") {
+		t.Errorf("scope label missing:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "demo_state{tenant=\"acme\",state=\"idle\"} 1\n") {
+		t.Errorf("merged clause missing:\n%s", sb.String())
+	}
+}
+
+func TestWriteMetricsHeaderOnly(t *testing.T) {
+	var sb strings.Builder
+	WriteMetrics(&sb, "", []Metric{{Name: "demo_state", Help: "Empty family.", Kind: GaugeKind, HeaderOnly: true}})
+	want := "# HELP demo_state Empty family.\n# TYPE demo_state gauge\n"
+	if sb.String() != want {
+		t.Errorf("header-only:\n got %q\nwant %q", sb.String(), want)
+	}
+}
+
+func TestRegistryScopes(t *testing.T) {
+	r := NewRegistry()
+	r.Register(func() []Metric { return []Metric{CounterMetric("proc_total", "Process counter.", 1)} })
+	r.RegisterTenant("beta", func() []Metric { return []Metric{CounterMetric("ten_total", "Tenant counter.", 2)} })
+	r.RegisterTenant("acme", func() []Metric { return []Metric{CounterMetric("ten_total", "Tenant counter.", 9)} })
+
+	var all strings.Builder
+	r.WriteAll(&all)
+	got := all.String()
+	if !strings.Contains(got, "proc_total 1\n") {
+		t.Errorf("process scope missing:\n%s", got)
+	}
+	acme := strings.Index(got, `ten_total{tenant="acme"} 9`)
+	beta := strings.Index(got, `ten_total{tenant="beta"} 2`)
+	if acme < 0 || beta < 0 || acme > beta {
+		t.Errorf("tenants missing or unsorted (acme@%d beta@%d):\n%s", acme, beta, got)
+	}
+
+	var one strings.Builder
+	if !r.WriteTenant(&one, "acme") {
+		t.Fatal("WriteTenant(acme) reported no sources")
+	}
+	if !strings.Contains(one.String(), `ten_total{tenant="acme"} 9`) {
+		t.Errorf("tenant view:\n%s", one.String())
+	}
+	if r.WriteTenant(&one, "ghost") {
+		t.Error("WriteTenant(ghost) claimed sources exist")
+	}
+}
+
+func TestRegistryJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Register(func() []Metric {
+		return []Metric{
+			CounterMetric("proc_total", "P.", 4),
+			{Name: "state", Help: "S.", Kind: GaugeKind, HeaderOnly: true},
+		}
+	})
+	r.RegisterTenant("acme", func() []Metric { return []Metric{GaugeMetric("g", "G.", 2.5)} })
+	doc := r.JSON()
+	server := doc["server"].(map[string]any)
+	if server["proc_total"] != uint64(4) {
+		t.Errorf("server values = %v", server)
+	}
+	if _, ok := server["state"]; ok {
+		t.Error("header-only row leaked into JSON values")
+	}
+	tenants := doc["tenants"].(map[string]map[string]any)
+	if tenants["acme"]["g"] != 2.5 {
+		t.Errorf("tenant values = %v", tenants)
+	}
+}
