@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint verify
+.PHONY: build test race bench lint lint-json verify
 
 build:
 	$(GO) build ./...
@@ -24,5 +24,11 @@ bench:
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/brlint ./...
+
+# lint-json writes the machine-readable finding inventory (including
+# suppressed findings, marked as such) to brlint.json — the same
+# artifact CI's lint job uploads.
+lint-json:
+	$(GO) run ./cmd/brlint -json ./... > brlint.json
 
 verify: build lint test

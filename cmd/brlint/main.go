@@ -1,15 +1,22 @@
 // Command brlint runs the repository's invariant-checker suite
-// (internal/lint): five analyzers that mechanically enforce the
-// determinism, no-panic, observer-nil-guard, cancellation-poll and
-// atomic-counter contracts earlier PRs established. It is part of tier-1
-// verification:
+// (internal/lint): eleven analyzers that mechanically enforce the
+// determinism, no-panic, observer-nil-guard, span-nil-guard,
+// cancellation-poll, atomic-counter and flat-loop contracts earlier PRs
+// established, plus the CFG/dataflow checkers for allocation-free hot
+// loops (hotalloc), no blocking under a held mutex (lockheld), join-able
+// goroutines (goroleak) and never-dropped errors (errflow). It is part
+// of tier-1 verification:
 //
 //	go run ./cmd/brlint ./...
 //
 // Exit status is 0 when the tree is clean, 1 when there are findings, and
-// 2 on usage or load errors. Suppress a finding — with a mandatory,
-// auditable reason — using an inline directive on or directly above the
-// offending line:
+// 2 on usage or load errors. With -json, findings are emitted as a JSON
+// array (file/line/col/analyzer/message/suppressed) that includes the
+// suppressed findings — the auditable inventory of what //lint:allow
+// directives hide; the exit status still reflects only live findings.
+// -only restricts the run to a comma-separated subset of analyzers.
+// Suppress a finding — with a mandatory, auditable reason — using an
+// inline directive on or directly above the offending line:
 //
 //	//lint:allow <analyzer> <reason>
 package main
@@ -17,23 +24,28 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"twolevel/internal/buildinfo"
 	"twolevel/internal/lint"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("brlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and the contracts they enforce, then exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (including suppressed ones) instead of text")
+	only := fs.String("only", "", "run only this comma-separated subset of analyzers")
 	version := fs.Bool("version", false, "print build provenance and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: brlint [-list] [packages]\n\n"+
+		fmt.Fprintf(fs.Output(), "usage: brlint [-list] [-json] [-only analyzer,...] [packages]\n\n"+
 			"Runs the twolevel invariant-checker suite over the given package\n"+
 			"patterns (default ./...). Patterns are module-relative: ./..., ./internal/sim,\n"+
 			"or an import path.\n\n")
@@ -43,30 +55,58 @@ func run(args []string) int {
 		return 2
 	}
 	if *version {
-		fmt.Println(buildinfo.Read().String())
+		fmt.Fprintln(stdout, buildinfo.Read().String())
 		return 0
 	}
 	if *list {
 		for _, a := range lint.Analyzers {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
+	suite := lint.Analyzers
+	if *only != "" {
+		suite = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.ByName(name)
+			if a == nil {
+				fmt.Fprintf(stderr, "brlint: unknown analyzer %q (see brlint -list)\n", name)
+				return 2
+			}
+			suite = append(suite, a)
+		}
+	}
 	modDir, err := findModuleRoot()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "brlint:", err)
+		fmt.Fprintln(stderr, "brlint:", err)
 		return 2
 	}
-	diags, fset, err := lint.RunSuite(modDir, fs.Args(), lint.Analyzers)
+	all, fset, err := lint.RunSuiteAll(modDir, fs.Args(), suite)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "brlint:", err)
+		fmt.Fprintln(stderr, "brlint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(lint.FormatDiagnostic(fset, d))
+	live := 0
+	for _, d := range all {
+		if !d.Suppressed {
+			live++
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "brlint: %d finding(s)\n", len(diags))
+	if *jsonOut {
+		if err := lint.WriteJSON(stdout, fset, modDir, all); err != nil {
+			fmt.Fprintln(stderr, "brlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			if !d.Suppressed {
+				fmt.Fprintln(stdout, lint.FormatDiagnostic(fset, d))
+			}
+		}
+	}
+	if live > 0 {
+		fmt.Fprintf(stderr, "brlint: %d finding(s)\n", live)
 		return 1
 	}
 	return 0

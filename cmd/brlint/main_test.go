@@ -1,24 +1,104 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
 
 // TestRepoIsClean is the tier-1 smoke test: the invariant suite must
 // exit 0 over the repository itself. A failure here means a contract
 // violation landed without a //lint:allow justification.
 func TestRepoIsClean(t *testing.T) {
-	if code := run([]string{"./..."}); code != 0 {
+	if code := run([]string{"./..."}, os.Stdout, os.Stderr); code != 0 {
 		t.Fatalf("brlint ./... exited %d, want 0 — fix the findings above or justify them with //lint:allow", code)
 	}
 }
 
 func TestListExitsZero(t *testing.T) {
-	if code := run([]string{"-list"}); code != 0 {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("brlint -list exited %d", code)
+	}
+	for _, name := range []string{"hotalloc", "lockheld", "goroleak", "errflow"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s", name)
+		}
 	}
 }
 
 func TestBadFlagUsageError(t *testing.T) {
-	if code := run([]string{"-no-such-flag"}); code != 2 {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
 		t.Fatalf("brlint -no-such-flag exited %d, want 2", code)
+	}
+}
+
+// TestOnlyUnknownAnalyzer pins the usage-error exit for a bad -only.
+func TestOnlyUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "nosuchcheck", "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr %q does not name the unknown analyzer", errb.String())
+	}
+}
+
+// TestJSONRepoInventory runs -json over the repository: exit 0 (the tree
+// is clean), the output parses as a JSON array, and every row is a
+// suppressed finding with module-relative paths — the auditable
+// inventory of what the tree's //lint:allow directives hide.
+func TestJSONRepoInventory(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("brlint -json ./... exited %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	var rows []struct {
+		File       string `json:"file"`
+		Line       int    `json:"line"`
+		Col        int    `json:"col"`
+		Analyzer   string `json:"analyzer"`
+		Message    string `json:"message"`
+		Suppressed bool   `json:"suppressed"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rows); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v", err)
+	}
+	for _, r := range rows {
+		if !r.Suppressed {
+			t.Errorf("live finding in a clean run: %s:%d [%s] %s", r.File, r.Line, r.Analyzer, r.Message)
+		}
+		if r.File == "" || r.Line == 0 || r.Analyzer == "" || r.Message == "" {
+			t.Errorf("incomplete row: %+v", r)
+		}
+		if strings.HasPrefix(r.File, "/") {
+			t.Errorf("file %q is absolute; the artifact must be module-relative", r.File)
+		}
+	}
+	if len(rows) == 0 {
+		t.Error("expected suppressed rows in the inventory (the tree carries //lint:allow directives)")
+	}
+}
+
+// TestOnlySubsetRuns restricts the suite and checks the restriction
+// holds: a -only determinism run emits no rows from other analyzers.
+func TestOnlySubsetRuns(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "-only", "determinism", "twolevel/internal/telemetry"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	var rows []struct {
+		Analyzer string `json:"analyzer"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Analyzer != "determinism" && r.Analyzer != "directive" {
+			t.Errorf("-only determinism emitted a %s row", r.Analyzer)
+		}
 	}
 }

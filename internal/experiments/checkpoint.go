@@ -169,6 +169,7 @@ func (c *Checkpoint) Flush() error {
 	if err != nil {
 		return fmt.Errorf("experiments: write checkpoint: %w", err)
 	}
+	//lint:allow lockheld the mutex serialises whole flushes: the temp-file write and rename must not interleave with a concurrent flush or a mutation of the maps just encoded
 	_, werr := tmp.Write(append(data, '\n'))
 	cerr := tmp.Close()
 	if werr == nil {

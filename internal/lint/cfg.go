@@ -1,0 +1,682 @@
+package lint
+
+// Control-flow graphs for the flow-sensitive analyzers (hotalloc,
+// lockheld, goroleak, errflow). buildCFG lowers one function body into
+// basic blocks connected by branch, loop, switch/select and defer edges;
+// the graph then answers the two questions the analyzers ask — "is this
+// statement inside a loop?" (natural loops from back edges to a
+// dominator) and "what holds on every path to this statement?" (the
+// forward solver in dataflow.go).
+//
+// The lowering is deliberately leaf-granular: Block.Nodes carries plain
+// statements and control-header expressions (an if condition, a switch
+// tag, a range operand) in execution order, never a statement whose body
+// lives in another block. Analyzers may therefore ast.Inspect each node
+// freely, pruning only *ast.FuncLit (a nested function is a different
+// CFG). Two exceptions are surfaced as block metadata instead of nodes:
+// a select statement is represented by Block.Sel on its head block (the
+// comm statements themselves start the per-case blocks, marked in
+// CFG.CommNodes so channel analyses do not mistake an already-selected
+// comm for a second blocking point), and deferred statements are listed
+// in CFG.Defers as well as appearing in-line where they are registered.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block.
+type Block struct {
+	Index int
+	Kind  string // "entry", "exit", "if.then", "for.head", ... (debugging/tests)
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+
+	// Sel is set on the head block of a select statement; its successor
+	// blocks are the comm-clause bodies (and the default clause, if any).
+	Sel *ast.SelectStmt
+}
+
+// CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry; Exit is the single synthetic exit block (reachable from every
+// return and from falling off the end). Unreachable blocks are pruned.
+type CFG struct {
+	Blocks []*Block
+	Exit   *Block
+	// Defers lists every defer statement in the function, in source
+	// order. Deferred calls run at function exit; analyzers that care
+	// (lockheld's defer-Unlock pairing) consult this list explicitly.
+	Defers []*ast.DeferStmt
+	// CommNodes marks the comm statement of each select case (the
+	// send/receive that already happened when its case block runs).
+	CommNodes map[ast.Node]bool
+
+	idom []int  // lazily computed immediate dominators
+	loop []bool // lazily computed natural-loop membership
+}
+
+// buildCFG lowers body (a FuncDecl or FuncLit body) into a CFG.
+func buildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg: &CFG{CommNodes: make(map[ast.Node]bool)},
+	}
+	entry := b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.cur = entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.cfg.Exit)
+	}
+	b.cfg.prune()
+	return b.cfg
+}
+
+type branchTarget struct {
+	label string
+	brk   *Block // break destination
+	cont  *Block // continue destination (nil for switch/select)
+}
+
+type cfgBuilder struct {
+	cfg     *CFG
+	cur     *Block // nil after a terminator (return, break, ...)
+	targets []branchTarget
+	// pendingLabel names the label attached to the next loop/switch/
+	// select statement, so `break L` / `continue L` resolve to it.
+	pendingLabel string
+	labelBlocks  map[string]*Block // goto targets, created on demand
+	// fallTarget is the next case-clause body during switch lowering.
+	fallTarget *Block
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a leaf node to the current block, materialising an
+// unreachable block if control already terminated (pruned later).
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for a labelable construct.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// labelBlock returns (creating if needed) the goto-target block for a
+// label.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if b.labelBlocks == nil {
+		b.labelBlocks = make(map[string]*Block)
+	}
+	if blk, ok := b.labelBlocks[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labelBlocks[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The label block is both the goto target and the re-entry
+		// point; loops behind the label pick the name up via
+		// pendingLabel so `break L`/`continue L` resolve.
+		lbl := b.labelBlock(s.Label.Name)
+		if b.cur != nil {
+			b.edge(b.cur, lbl)
+		}
+		b.cur = lbl
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pendingLabel = s.Label.Name
+		}
+		b.stmt(s.Stmt)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		done := b.newBlock("if.done")
+		then := b.newBlock("if.then")
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.edge(b.cur, done)
+		}
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.edge(b.cur, done)
+			}
+		} else {
+			b.edge(cond, done)
+		}
+		b.cur = done
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock("for.head")
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		done := b.newBlock("for.done")
+		body := b.newBlock("for.body")
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edge(head, done)
+		}
+		b.edge(head, body)
+		contTarget := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+			contTarget = post
+		}
+		b.targets = append(b.targets, branchTarget{label: label, brk: done, cont: contTarget})
+		b.cur = body
+		b.stmt(s.Body)
+		b.targets = b.targets[:len(b.targets)-1]
+		if b.cur != nil {
+			b.edge(b.cur, contTarget)
+		}
+		b.cur = done
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock("range.head")
+		// The whole RangeStmt is the header node: analyzers inspect
+		// X/Key/Value from it (bodies live in successor blocks).
+		head.Nodes = append(head.Nodes, rangeHeader(s))
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		done := b.newBlock("range.done")
+		body := b.newBlock("range.body")
+		b.edge(head, done)
+		b.edge(head, body)
+		b.targets = append(b.targets, branchTarget{label: label, brk: done, cont: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.targets = b.targets[:len(b.targets)-1]
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.cur = done
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(label, s.Body, func(c *ast.CaseClause) ([]ast.Stmt, bool) {
+			for _, e := range c.List {
+				b.add(e)
+			}
+			return c.Body, c.List == nil
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(label, s.Body, func(c *ast.CaseClause) ([]ast.Stmt, bool) {
+			return c.Body, c.List == nil
+		})
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		if b.cur == nil {
+			b.cur = b.newBlock("unreachable")
+		}
+		head := b.newBlock("select.head")
+		b.edge(b.cur, head)
+		head.Sel = s
+		done := b.newBlock("select.done")
+		b.targets = append(b.targets, branchTarget{label: label, brk: done})
+		for _, cl := range s.Body.List {
+			c := cl.(*ast.CommClause)
+			body := b.newBlock("select.case")
+			b.edge(head, body)
+			b.cur = body
+			if c.Comm != nil {
+				b.cfg.CommNodes[c.Comm] = true
+				b.add(c.Comm)
+			}
+			b.stmtList(c.Body)
+			if b.cur != nil {
+				b.edge(b.cur, done)
+			}
+		}
+		b.targets = b.targets[:len(b.targets)-1]
+		if len(s.Body.List) == 0 {
+			// `select {}` blocks forever.
+			b.cur = nil
+			return
+		}
+		b.cur = done
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findTarget(s.Label, false); t != nil {
+				b.edge(b.mustCur(), t.brk)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if t := b.findTarget(s.Label, true); t != nil {
+				b.edge(b.mustCur(), t.cont)
+			}
+			b.cur = nil
+		case token.GOTO:
+			if s.Label != nil {
+				b.edge(b.mustCur(), b.labelBlock(s.Label.Name))
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			if b.fallTarget != nil {
+				b.edge(b.mustCur(), b.fallTarget)
+			}
+			b.cur = nil
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.mustCur(), b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if terminatesFlow(s.X) {
+			b.edge(b.mustCur(), b.cfg.Exit)
+			b.cur = nil
+		}
+
+	case nil:
+		// nothing
+
+	default:
+		// Assignments, sends, incdec, declarations, go statements,
+		// empty statements: straight-line leaves.
+		b.add(s)
+	}
+}
+
+// switchClauses lowers a (type) switch body: each case gets its own
+// block branching from the head, fallthrough edges chain to the next
+// clause in source order, and a missing default adds a head→done edge.
+func (b *cfgBuilder) switchClauses(label string, body *ast.BlockStmt, clause func(*ast.CaseClause) ([]ast.Stmt, bool)) {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	head := b.cur
+	done := b.newBlock("switch.done")
+	var blocks []*Block
+	var bodies [][]ast.Stmt
+	hasDefault := false
+	for _, cl := range body.List {
+		c, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("switch.case")
+		b.edge(head, blk)
+		stmts, isDefault := clause(c)
+		if isDefault {
+			hasDefault = true
+			blk.Kind = "switch.default"
+		}
+		blocks = append(blocks, blk)
+		bodies = append(bodies, stmts)
+	}
+	if !hasDefault {
+		b.edge(head, done)
+	}
+	b.targets = append(b.targets, branchTarget{label: label, brk: done})
+	savedFall := b.fallTarget
+	for i, blk := range blocks {
+		if i+1 < len(blocks) {
+			b.fallTarget = blocks[i+1]
+		} else {
+			b.fallTarget = nil
+		}
+		b.cur = blk
+		b.stmtList(bodies[i])
+		if b.cur != nil {
+			b.edge(b.cur, done)
+		}
+	}
+	b.fallTarget = savedFall
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = done
+}
+
+// findTarget resolves a break/continue to its enclosing construct.
+func (b *cfgBuilder) findTarget(label *ast.Ident, needCont bool) *branchTarget {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := &b.targets[i]
+		if needCont && t.cont == nil {
+			continue
+		}
+		if label == nil || t.label == label.Name {
+			return t
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) mustCur() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	return b.cur
+}
+
+// rangeHeader returns the node representing a range statement's header.
+// The whole statement is used so analyzers can see Key/Value/X, but they
+// must walk it through walkLeaf, which stops the descent into Body.
+func rangeHeader(s *ast.RangeStmt) ast.Node {
+	return s
+}
+
+// walkLeaf inspects one CFG leaf node in execution order, visiting only
+// what executes at that point: a range header contributes its key,
+// value and operand but not its body (which lives in successor blocks),
+// and function literals are reported (closure creation happens here)
+// but not entered (their bodies are separate CFGs). fn returning false
+// prunes the subtree, as with ast.Inspect.
+func walkLeaf(n ast.Node, fn func(ast.Node) bool) {
+	parts := []ast.Node{n}
+	if r, ok := n.(*ast.RangeStmt); ok {
+		parts = parts[:0]
+		if r.Key != nil {
+			parts = append(parts, r.Key)
+		}
+		if r.Value != nil {
+			parts = append(parts, r.Value)
+		}
+		parts = append(parts, r.X)
+	}
+	for _, p := range parts {
+		ast.Inspect(p, func(m ast.Node) bool {
+			if m == nil {
+				return true
+			}
+			if !fn(m) {
+				return false
+			}
+			if _, isLit := m.(*ast.FuncLit); isLit {
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// terminatesFlow reports whether a call expression never returns:
+// panic, os.Exit, runtime.Goexit, log.Fatal*, (testing.TB).Fatal*.
+func terminatesFlow(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			switch {
+			case x.Name == "os" && fun.Sel.Name == "Exit":
+				return true
+			case x.Name == "runtime" && fun.Sel.Name == "Goexit":
+				return true
+			case x.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"):
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// prune removes blocks unreachable from the entry and renumbers. The
+// exit block is kept even when unreachable (an infinite-loop function)
+// so CFG.Exit stays valid.
+func (c *CFG) prune() {
+	if len(c.Blocks) == 0 {
+		return
+	}
+	reach := make([]bool, len(c.Blocks))
+	stack := []*Block{c.Blocks[0]}
+	reach[0] = true
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !reach[s.Index] {
+				reach[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	reach[c.Exit.Index] = true
+	var kept []*Block
+	for _, blk := range c.Blocks {
+		if !reach[blk.Index] {
+			continue
+		}
+		var preds []*Block
+		for _, p := range blk.Preds {
+			if reach[p.Index] {
+				preds = append(preds, p)
+			}
+		}
+		blk.Preds = preds
+		kept = append(kept, blk)
+	}
+	for i, blk := range kept {
+		blk.Index = i
+	}
+	c.Blocks = kept
+}
+
+// Dominators returns the immediate-dominator index for every block
+// (idom[0] == 0 for the entry; blocks unreachable from entry — only the
+// kept exit of an infinite loop — get -1). Cooper–Harvey–Kennedy
+// iterative algorithm over reverse postorder.
+func (c *CFG) Dominators() []int {
+	if c.idom != nil {
+		return c.idom
+	}
+	n := len(c.Blocks)
+	order := c.postorder()
+	rpostIndex := make([]int, n) // block index -> reverse-postorder rank
+	for i := range rpostIndex {
+		rpostIndex[i] = -1
+	}
+	for rank, bi := range order {
+		rpostIndex[bi] = len(order) - 1 - rank
+	}
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpostIndex[a] > rpostIndex[b] {
+				a = idom[a]
+			}
+			for rpostIndex[b] > rpostIndex[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		// Reverse postorder, skipping the entry.
+		for i := len(order) - 1; i >= 0; i-- {
+			bi := order[i]
+			if bi == 0 {
+				continue
+			}
+			blk := c.Blocks[bi]
+			newIdom := -1
+			for _, p := range blk.Preds {
+				if idom[p.Index] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p.Index
+				} else {
+					newIdom = intersect(newIdom, p.Index)
+				}
+			}
+			if newIdom != -1 && idom[bi] != newIdom {
+				idom[bi] = newIdom
+				changed = true
+			}
+		}
+	}
+	c.idom = idom
+	return idom
+}
+
+// postorder returns reachable block indices in DFS postorder.
+func (c *CFG) postorder() []int {
+	seen := make([]bool, len(c.Blocks))
+	var order []int
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				walk(s)
+			}
+		}
+		order = append(order, b.Index)
+	}
+	if len(c.Blocks) > 0 {
+		walk(c.Blocks[0])
+	}
+	return order
+}
+
+// Dominates reports whether block a dominates block b.
+func (c *CFG) Dominates(a, b int) bool {
+	idom := c.Dominators()
+	if idom[b] == -1 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if b == 0 {
+			return false
+		}
+		b = idom[b]
+	}
+}
+
+// LoopBlocks reports, per block, membership in some natural loop: for
+// every back edge u→v (v dominates u), the loop is v plus every block
+// reaching u without passing through v.
+func (c *CFG) LoopBlocks() []bool {
+	if c.loop != nil {
+		return c.loop
+	}
+	idom := c.Dominators()
+	inLoop := make([]bool, len(c.Blocks))
+	for _, u := range c.Blocks {
+		if idom[u.Index] == -1 {
+			continue
+		}
+		for _, v := range u.Succs {
+			if !c.Dominates(v.Index, u.Index) {
+				continue
+			}
+			// Natural loop of back edge u→v.
+			inLoop[v.Index] = true
+			stack := []*Block{u}
+			seen := map[int]bool{v.Index: true}
+			for len(stack) > 0 {
+				blk := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if seen[blk.Index] {
+					continue
+				}
+				seen[blk.Index] = true
+				inLoop[blk.Index] = true
+				for _, p := range blk.Preds {
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	c.loop = inLoop
+	return inLoop
+}
+
+// NodeBlock returns the index of the block whose Nodes contain a node
+// positioned at pos, or -1. Used by tests and by analyzers that map a
+// syntactic finding back onto the graph.
+func (c *CFG) NodeBlock(pos token.Pos) int {
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			if n.Pos() <= pos && pos <= n.End() {
+				return blk.Index
+			}
+		}
+	}
+	return -1
+}

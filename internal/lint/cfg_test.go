@@ -1,0 +1,474 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseCFG builds the CFG of the first function declaration in src.
+func parseCFG(t *testing.T, src string) (*CFG, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_fixture.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return buildCFG(fd.Body), fset
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, nil
+}
+
+// blockOf finds the block whose nodes contain a call to the named
+// marker function (e.g. m1()).
+func blockOf(t *testing.T, cfg *CFG, marker string) *Block {
+	t.Helper()
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			found := false
+			walkLeaf(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == marker {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block contains marker %s()", marker)
+	return nil
+}
+
+// reaches reports whether to is reachable from from along Succs edges.
+func reaches(from, to *Block) bool {
+	seen := map[int]bool{}
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b.Index == to.Index {
+			return true
+		}
+		if seen[b.Index] {
+			continue
+		}
+		seen[b.Index] = true
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}
+
+// TestCFGShapes drives the builder over the table of control shapes the
+// flow-sensitive analyzers must get right.
+func TestCFGShapes(t *testing.T) {
+	type check func(t *testing.T, cfg *CFG)
+	inLoop := func(marker string, want bool) check {
+		return func(t *testing.T, cfg *CFG) {
+			b := blockOf(t, cfg, marker)
+			if got := cfg.LoopBlocks()[b.Index]; got != want {
+				t.Errorf("%s(): in-loop = %v, want %v", marker, got, want)
+			}
+		}
+	}
+	reach := func(fromM, toM string, want bool) check {
+		return func(t *testing.T, cfg *CFG) {
+			from, to := blockOf(t, cfg, fromM), blockOf(t, cfg, toM)
+			if got := reaches(from, to); got != want {
+				t.Errorf("reaches(%s, %s) = %v, want %v", fromM, toM, got, want)
+			}
+		}
+	}
+
+	cases := []struct {
+		name   string
+		src    string
+		checks []check
+	}{
+		{
+			name: "straight line",
+			src:  `func f() { m1(); m2() }`,
+			checks: []check{
+				reach("m1", "m2", true),
+				inLoop("m1", false),
+			},
+		},
+		{
+			name: "if else join",
+			src: `func f(c bool) {
+				if c { m1() } else { m2() }
+				m3()
+			}`,
+			checks: []check{
+				reach("m1", "m3", true), reach("m2", "m3", true),
+				reach("m1", "m2", false), reach("m2", "m1", false),
+			},
+		},
+		{
+			name: "for loop back edge",
+			src: `func f() {
+				m1()
+				for i := 0; i < 10; i++ { m2() }
+				m3()
+			}`,
+			checks: []check{
+				inLoop("m1", false), inLoop("m2", true), inLoop("m3", false),
+				reach("m2", "m2", true), // around the back edge
+				reach("m2", "m3", true),
+			},
+		},
+		{
+			name: "labeled break exits both loops",
+			src: `func f() {
+			outer:
+				for {
+					for {
+						if c() { break outer }
+						m1()
+					}
+				}
+				m2()
+			}`,
+			checks: []check{
+				inLoop("m1", true),
+				inLoop("m2", false),
+				reach("c", "m2", true), // break outer jumps past both loops
+				// m1 reaches m2 only around the inner back edge and
+				// through the next iteration's break.
+				reach("m1", "m2", true),
+			},
+		},
+		{
+			name: "labeled continue targets outer head",
+			src: `func f() {
+			outer:
+				for c() {
+					for {
+						m1()
+						continue outer
+					}
+				}
+				m2()
+			}`,
+			checks: []check{
+				inLoop("m1", true),
+				// continue outer re-runs the outer condition, so m1 can
+				// reach the loop exit through it.
+				reach("m1", "m2", true),
+			},
+		},
+		{
+			name: "switch fallthrough chains cases",
+			src: `func f(x int) {
+				switch x {
+				case 1:
+					m1()
+					fallthrough
+				case 2:
+					m2()
+				case 3:
+					m3()
+				}
+				m4()
+			}`,
+			checks: []check{
+				reach("m1", "m2", true),  // fallthrough edge
+				reach("m2", "m3", false), // no fallthrough
+				reach("m1", "m3", false),
+				reach("m3", "m4", true),
+			},
+		},
+		{
+			name: "switch without default can skip all cases",
+			src: `func f(x int) {
+				switch m1(); x {
+				case 1:
+					m2()
+				}
+				m3()
+			}`,
+			checks: []check{
+				reach("m1", "m3", true),
+				reach("m1", "m2", true),
+			},
+		},
+		{
+			name: "defer in loop recorded once per site",
+			src: `func f() {
+				for i := 0; i < 3; i++ {
+					defer m1()
+					m2()
+				}
+				m3()
+			}`,
+			checks: []check{
+				inLoop("m1", true),
+				func(t *testing.T, cfg *CFG) {
+					if len(cfg.Defers) != 1 {
+						t.Errorf("got %d defer sites, want 1", len(cfg.Defers))
+					}
+				},
+			},
+		},
+		{
+			name: "select cases branch and join",
+			src: `func f(a, b chan int) {
+				select {
+				case <-a:
+					m1()
+				case b <- 1:
+					m2()
+				}
+				m3()
+			}`,
+			checks: []check{
+				reach("m1", "m3", true), reach("m2", "m3", true),
+				reach("m1", "m2", false),
+				func(t *testing.T, cfg *CFG) {
+					var sel *Block
+					for _, b := range cfg.Blocks {
+						if b.Sel != nil {
+							sel = b
+						}
+					}
+					if sel == nil {
+						t.Fatal("no select head block")
+					}
+					if len(sel.Succs) != 2 {
+						t.Errorf("select head has %d succs, want 2", len(sel.Succs))
+					}
+					if len(cfg.CommNodes) != 2 {
+						t.Errorf("got %d comm nodes, want 2", len(cfg.CommNodes))
+					}
+				},
+			},
+		},
+		{
+			name: "range loop",
+			src: `func f(xs []int) {
+				for _, x := range xs {
+					m1()
+					_ = x
+				}
+				m2()
+			}`,
+			checks: []check{
+				inLoop("m1", true), inLoop("m2", false),
+				reach("m1", "m1", true),
+			},
+		},
+		{
+			name: "goto forms a loop",
+			src: `func f() {
+			again:
+				m1()
+				if c() {
+					goto again
+				}
+				m2()
+			}`,
+			checks: []check{
+				inLoop("m1", true),
+				reach("m1", "m2", true),
+			},
+		},
+		{
+			name: "return terminates the path",
+			src: `func f(c bool) {
+				if c {
+					m1()
+					return
+				}
+				m2()
+			}`,
+			checks: []check{
+				reach("m1", "m2", false),
+			},
+		},
+		{
+			name: "panic terminates the path",
+			src: `func f(c bool) {
+				if c {
+					m1()
+					panic("x")
+				}
+				m2()
+			}`,
+			checks: []check{
+				reach("m1", "m2", false),
+			},
+		},
+		{
+			name: "break inside switch inside loop stays in loop",
+			src: `func f(xs []int) {
+				for _, x := range xs {
+					switch x {
+					case 1:
+						break
+					case 2:
+						m1()
+					}
+					m2()
+				}
+				m3()
+			}`,
+			checks: []check{
+				inLoop("m1", true), inLoop("m2", true), inLoop("m3", false),
+				reach("m1", "m2", true),
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, _ := parseCFG(t, tc.src)
+			// Every CFG invariant check runs on every shape.
+			if cfg.Blocks[0].Kind != "entry" {
+				t.Errorf("Blocks[0].Kind = %q, want entry", cfg.Blocks[0].Kind)
+			}
+			for _, b := range cfg.Blocks {
+				for _, s := range b.Succs {
+					found := false
+					for _, p := range s.Preds {
+						if p.Index == b.Index {
+							found = true
+						}
+					}
+					if !found {
+						t.Errorf("edge %d→%d missing from Preds", b.Index, s.Index)
+					}
+				}
+			}
+			for _, c := range tc.checks {
+				c(t, cfg)
+			}
+		})
+	}
+}
+
+// TestCFGDominators pins the dominator relation on a diamond with a
+// loop: the entry dominates everything, neither diamond arm dominates
+// the join, and a loop head dominates its body.
+func TestCFGDominators(t *testing.T) {
+	cfg, _ := parseCFG(t, `func f(c bool) {
+		if c { m1() } else { m2() }
+		for i := 0; i < 3; i++ { m3() }
+		m4()
+	}`)
+	b1, b2 := blockOf(t, cfg, "m1"), blockOf(t, cfg, "m2")
+	b3, b4 := blockOf(t, cfg, "m3"), blockOf(t, cfg, "m4")
+	if !cfg.Dominates(0, b4.Index) {
+		t.Error("entry should dominate the tail")
+	}
+	if cfg.Dominates(b1.Index, b4.Index) || cfg.Dominates(b2.Index, b4.Index) {
+		t.Error("neither diamond arm should dominate the join")
+	}
+	// The loop head is b3's only way in, so it dominates b3.
+	head := b3.Preds[0]
+	if len(b3.Preds) == 1 && !cfg.Dominates(head.Index, b3.Index) {
+		t.Error("loop head should dominate loop body")
+	}
+	if !cfg.LoopBlocks()[b3.Index] {
+		t.Error("loop body should be marked in-loop")
+	}
+	if cfg.LoopBlocks()[b4.Index] {
+		t.Error("tail should not be in-loop")
+	}
+}
+
+// TestSolveForwardMust exercises the dataflow solver with a toy "held"
+// problem: gen at acquire(), kill at release(); a fact must survive a
+// branch only if held on both arms.
+func TestSolveForwardMust(t *testing.T) {
+	cfg, _ := parseCFG(t, `func f(c bool) {
+		acquire()
+		if c {
+			release()
+		}
+		m1()
+		acquire()
+		m2()
+		release()
+		m3()
+	}`)
+	markerCall := func(n ast.Node) string {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return ""
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return ""
+		}
+		return id.Name
+	}
+	in := solveForward(cfg, flowProblem{
+		must: true,
+		transfer: func(n ast.Node, f fact) fact {
+			walkLeaf(n, func(m ast.Node) bool {
+				switch markerCall(m) {
+				case "acquire":
+					f["lock"] = m.Pos()
+				case "release":
+					delete(f, "lock")
+				}
+				return true
+			})
+			return f
+		},
+	})
+	held := func(marker string) bool {
+		b := blockOf(t, cfg, marker)
+		f := in[b.Index].clone()
+		// Replay the block prefix up to the marker.
+		for _, n := range b.Nodes {
+			hit := false
+			walkLeaf(n, func(m ast.Node) bool {
+				switch markerCall(m) {
+				case "acquire":
+					f["lock"] = m.Pos()
+				case "release":
+					delete(f, "lock")
+				case marker:
+					hit = true
+				}
+				return true
+			})
+			if hit {
+				break
+			}
+		}
+		_, ok := f["lock"]
+		return ok
+	}
+	if held("m1") {
+		t.Error("m1: lock released on one arm, must-held should be false")
+	}
+	if !held("m2") {
+		t.Error("m2: lock acquired on the straight line, must-held should be true")
+	}
+	if held("m3") {
+		t.Error("m3: lock released, must-held should be false")
+	}
+}
+
+// TestCFGUnreachablePruned checks dead code after return is dropped.
+func TestCFGUnreachablePruned(t *testing.T) {
+	cfg, _ := parseCFG(t, `func f() int {
+		return 1
+	}`)
+	for _, b := range cfg.Blocks {
+		if strings.HasPrefix(b.Kind, "unreachable") && len(b.Nodes) > 0 {
+			t.Errorf("unreachable block %d survived pruning", b.Index)
+		}
+	}
+}

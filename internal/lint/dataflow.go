@@ -1,0 +1,182 @@
+package lint
+
+// A small forward-dataflow solver over the CFGs from cfg.go. Facts are
+// keyed sets (key → the position that generated the fact, e.g. a lock
+// name → its Lock call); a flowProblem supplies the per-node transfer
+// as gen/kill sets and chooses the meet (must = intersection, may =
+// union). solveForward iterates to a fixed point with a worklist, then
+// analyzers replay each block's nodes against the block-entry fact to
+// attach diagnostics to individual statements.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// fact is one dataflow fact set: key → position of the statement that
+// generated it.
+type fact map[string]token.Pos
+
+func (f fact) clone() fact {
+	g := make(fact, len(f))
+	for k, v := range f {
+		g[k] = v
+	}
+	return g
+}
+
+func (f fact) equal(g fact) bool {
+	if len(f) != len(g) {
+		return false
+	}
+	for k := range f {
+		if _, ok := g[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// intersect keeps keys present in both, preferring f's positions.
+func (f fact) intersect(g fact) fact {
+	out := make(fact)
+	for k, v := range f {
+		if _, ok := g[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// union keeps keys present in either, preferring f's positions.
+func (f fact) union(g fact) fact {
+	out := f.clone()
+	for k, v := range g {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// flowProblem describes one forward gen/kill analysis.
+type flowProblem struct {
+	// must selects the meet: true = intersection over predecessors
+	// ("holds on every path"), false = union ("holds on some path").
+	must bool
+	// transfer folds one CFG leaf node into the incoming fact, mutating
+	// and returning it. Implementations add gen keys and delete kill
+	// keys.
+	transfer func(n ast.Node, in fact) fact
+}
+
+// solveForward computes the block-entry fact for every block of cfg to
+// a fixed point. The entry block starts empty.
+func solveForward(cfg *CFG, p flowProblem) []fact {
+	n := len(cfg.Blocks)
+	in := make([]fact, n)
+	out := make([]fact, n)
+	visited := make([]bool, n)
+
+	apply := func(b *Block, f fact) fact {
+		f = f.clone()
+		for _, node := range b.Nodes {
+			f = p.transfer(node, f)
+		}
+		return f
+	}
+
+	work := []int{0}
+	in[0] = make(fact)
+	visited[0] = true
+	inWork := make([]bool, n)
+	inWork[0] = true
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		inWork[bi] = false
+		b := cfg.Blocks[bi]
+
+		// Meet over visited predecessors (the entry keeps its empty
+		// fact; unvisited preds contribute ⊤ for must and ∅ for may,
+		// i.e. nothing in either case until they are reached).
+		if bi != 0 {
+			var merged fact
+			for _, pr := range b.Preds {
+				if !visited[pr.Index] || out[pr.Index] == nil {
+					continue
+				}
+				if merged == nil {
+					merged = out[pr.Index].clone()
+				} else if p.must {
+					merged = merged.intersect(out[pr.Index])
+				} else {
+					merged = merged.union(out[pr.Index])
+				}
+			}
+			if merged == nil {
+				merged = make(fact)
+			}
+			if visited[bi] && in[bi] != nil && merged.equal(in[bi]) && out[bi] != nil {
+				continue
+			}
+			in[bi] = merged
+			visited[bi] = true
+		}
+
+		newOut := apply(b, in[bi])
+		if out[bi] != nil && newOut.equal(out[bi]) {
+			continue
+		}
+		out[bi] = newOut
+		for _, s := range b.Succs {
+			if !inWork[s.Index] {
+				inWork[s.Index] = true
+				work = append(work, s.Index)
+			}
+		}
+	}
+	for i := range in {
+		if in[i] == nil {
+			in[i] = make(fact)
+		}
+	}
+	return in
+}
+
+// funcBodies yields every function body in a file — declared functions
+// and methods plus each function literal — as (name, body, decl) where
+// decl is the enclosing FuncDecl (nil for a literal's synthetic entry
+// when the literal sits outside any declaration, e.g. a package-level
+// var initializer).
+type funcBody struct {
+	name string
+	decl *ast.FuncDecl // enclosing declaration, nil at package level
+	lit  *ast.FuncLit  // non-nil when this body is a literal
+	body *ast.BlockStmt
+}
+
+func funcBodies(f *ast.File) []funcBody {
+	var out []funcBody
+	for _, d := range f.Decls {
+		fd, isFunc := d.(*ast.FuncDecl)
+		if isFunc && fd.Body != nil {
+			out = append(out, funcBody{name: fd.Name.Name, decl: fd, body: fd.Body})
+		}
+		enclosing := fd // nil for non-func decls
+		if !isFunc {
+			enclosing = nil
+		}
+		ast.Inspect(d, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				name := "func literal"
+				if enclosing != nil {
+					name = enclosing.Name.Name + " literal"
+				}
+				out = append(out, funcBody{name: name, decl: enclosing, lit: lit, body: lit.Body})
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ErrFlow keeps failures attributable: the grid's fault-tolerance story
+// (CellError attribution, logx structured events, -keep-going partial
+// tables) only works if errors from the trace, sim and server layers
+// actually reach one of those sinks. The analyzer runs two checks over
+// each function in the orchestration packages. First, a call into a
+// target package whose error result is discarded outright — an
+// expression statement, or an assignment to the blank identifier — is
+// flagged. Second, a forward dataflow over the CFG catches dead error
+// stores: an error-typed local assigned from a target-package call must
+// be read (returned, compared, logged, recorded) on at least one path
+// before it is overwritten or goes out of scope. Reads inside closures
+// and deferred functions count conservatively (the variable escapes the
+// straight-line flow), and a bare `return` reads named results.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc: "errors from trace/sim/server calls must be returned, logged or " +
+		"recorded, never dropped",
+	Packages: []string{"experiments", "server", "sim"},
+	Run:      runErrFlow,
+}
+
+// errFlowSourcePkgs names the packages whose returned errors carry the
+// contract (matched by package name, like obsnilguard, so fixtures can
+// supply their own trace/sim packages).
+var errFlowSourcePkgs = map[string]bool{"trace": true, "sim": true, "server": true}
+
+func runErrFlow(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		for _, fb := range funcBodies(f) {
+			diags = append(diags, checkErrFlow(pass, fb)...)
+		}
+	}
+	return diags
+}
+
+func checkErrFlow(pass *Pass, fb funcBody) []Diagnostic {
+	var diags []Diagnostic
+
+	// Named results: a bare `return` reads them.
+	namedResults := make(map[types.Object]bool)
+	var ftype *ast.FuncType
+	if fb.lit != nil {
+		ftype = fb.lit.Type
+	} else if fb.decl != nil && fb.lit == nil {
+		ftype = fb.decl.Type
+	}
+	if ftype != nil && ftype.Results != nil {
+		for _, field := range ftype.Results.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					namedResults[obj] = true
+				}
+			}
+		}
+	}
+
+	cfg := buildCFG(fb.body)
+
+	// Objects read inside closures or deferred statements escape the
+	// straight-line dataflow; treat every later state as live.
+	escaped := make(map[types.Object]bool)
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if fb.lit != nil && n == fb.lit {
+				return true // our own body, not a nested literal
+			}
+			markIdentObjects(pass, n, escaped)
+			return false
+		case *ast.DeferStmt:
+			markIdentObjects(pass, n, escaped)
+			return false
+		}
+		return true
+	})
+
+	type defSite struct {
+		obj    ast.Expr // the defining ident
+		object types.Object
+		callee string
+		block  int
+		node   int // index in Block.Nodes
+	}
+	var defs []defSite
+
+	for bi, blk := range cfg.Blocks {
+		for ni, node := range blk.Nodes {
+			// Outright drops.
+			if es, ok := node.(*ast.ExprStmt); ok {
+				if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok {
+					if name, ok := errFlowTarget(pass, call); ok {
+						diags = append(diags, Diagnostic{
+							Pos: call.Pos(),
+							Message: fmt.Sprintf("error result of %s is dropped; return it, "+
+								"log it via logx, or record it in a CellError", name),
+						})
+					}
+				}
+				continue
+			}
+			a, ok := node.(*ast.AssignStmt)
+			if !ok || len(a.Rhs) != 1 {
+				continue
+			}
+			call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			name, ok := errFlowTarget(pass, call)
+			if !ok {
+				continue
+			}
+			errIdx := errResultIndexes(pass, call)
+			for _, i := range errIdx {
+				if i >= len(a.Lhs) {
+					continue
+				}
+				id, ok := ast.Unparen(a.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue // sw.err = ... stores into a field: kept
+				}
+				if id.Name == "_" {
+					diags = append(diags, Diagnostic{
+						Pos: id.Pos(),
+						Message: fmt.Sprintf("error result of %s is discarded with _; return it, "+
+							"log it via logx, or record it in a CellError", name),
+					})
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil || escaped[obj] {
+					continue
+				}
+				defs = append(defs, defSite{obj: id, object: obj, callee: name, block: bi, node: ni})
+			}
+		}
+	}
+
+	// Dead-store check: from each definition, some path must read the
+	// variable before overwriting it or leaving the function.
+	for _, d := range defs {
+		if errDefLive(pass, cfg, d.block, d.node, d.object, namedResults[d.object]) {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos: d.obj.Pos(),
+			Message: fmt.Sprintf("error from %s assigned to %s is never used on any path; "+
+				"return it, log it via logx, or record it in a CellError",
+				d.callee, d.object.Name()),
+		})
+	}
+	return diags
+}
+
+// markIdentObjects records every object referenced under n.
+func markIdentObjects(pass *Pass, n ast.Node, set map[types.Object]bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				set[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+// errFlowTarget reports whether call is into one of the error-source
+// packages (by defining package name, excluding same-package method
+// values resolved through interfaces elsewhere) and returns a display
+// name for it. Only calls whose results include an error qualify.
+func errFlowTarget(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := funcObj(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || !errFlowSourcePkgs[fn.Pkg().Name()] {
+		return "", false
+	}
+	if len(errResultIndexes(pass, call)) == 0 {
+		return "", false
+	}
+	return fn.Pkg().Name() + "." + fn.Name(), true
+}
+
+// errResultIndexes returns the positions of error-typed results of a
+// call (indices into the result tuple).
+func errResultIndexes(pass *Pass, call *ast.CallExpr) []int {
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return nil
+	}
+	var out []int
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	if isErrorType(t) {
+		out = append(out, 0)
+	}
+	return out
+}
+
+// isErrorType reports whether t is the predeclared error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}
+
+// errDefLive reports whether the definition of obj at (block, node) is
+// read on at least one path before being overwritten or going out of
+// scope. namedResult marks obj as a named result, read by bare returns.
+func errDefLive(pass *Pass, cfg *CFG, block, node int, obj types.Object, namedResult bool) bool {
+	// classify inspects one leaf node for a read or write of obj.
+	// Reads are checked first: in `err = wrap(err)` the RHS read
+	// precedes the LHS write.
+	classify := func(n ast.Node) (read, write bool) {
+		if namedResult {
+			if r, ok := n.(*ast.ReturnStmt); ok && len(r.Results) == 0 {
+				read = true
+				return
+			}
+		}
+		writeIdents := make(map[*ast.Ident]bool)
+		if a, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range a.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					writeIdents[id] = true
+				}
+			}
+		}
+		walkLeaf(n, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			o := pass.TypesInfo.Uses[id]
+			if o == nil {
+				o = pass.TypesInfo.Defs[id]
+			}
+			if o != obj {
+				return true
+			}
+			if writeIdents[id] {
+				write = true
+			} else {
+				read = true
+			}
+			return true
+		})
+		return
+	}
+
+	scan := func(nodes []ast.Node) (live, killed bool) {
+		for _, n := range nodes {
+			read, write := classify(n)
+			if read {
+				return true, false
+			}
+			if write {
+				return false, true
+			}
+		}
+		return false, false
+	}
+
+	// Rest of the defining block first.
+	if live, killed := scan(cfg.Blocks[block].Nodes[node+1:]); live {
+		return true
+	} else if killed {
+		return false
+	}
+
+	// BFS over successors; a path reaching exit without a read is only
+	// "live" for named results (the return statement machinery reads
+	// them implicitly when the function exits by panic-free paths that
+	// were lowered through explicit returns, which classify caught).
+	seen := map[int]bool{block: true}
+	queue := append([]*Block(nil), cfg.Blocks[block].Succs...)
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		if seen[blk.Index] {
+			continue
+		}
+		seen[blk.Index] = true
+		live, killed := scan(blk.Nodes)
+		if live {
+			return true
+		}
+		if killed {
+			continue
+		}
+		if blk == cfg.Exit && namedResult {
+			// Falling off the end of a function with named results
+			// returns them.
+			return true
+		}
+		queue = append(queue, blk.Succs...)
+	}
+	return false
+}

@@ -134,6 +134,22 @@ func TestFlatLoopFixture(t *testing.T) {
 	runFixture(t, FlatLoop, "flatloop/fastpath")
 }
 
+func TestHotAllocFixture(t *testing.T) {
+	runFixture(t, HotAlloc, "hotalloc/fastpath")
+}
+
+func TestLockHeldFixture(t *testing.T) {
+	runFixture(t, LockHeld, "lockheld/server")
+}
+
+func TestGoroLeakFixture(t *testing.T) {
+	runFixture(t, GoroLeak, "goroleak/server")
+}
+
+func TestErrFlowFixture(t *testing.T) {
+	runFixture(t, ErrFlow, "errflow/experiments")
+}
+
 // TestAllowDirectiveHygiene checks that malformed suppressions are
 // findings in their own right, and that a directive that fails hygiene
 // does not actually suppress anything. (Checked directly rather than via

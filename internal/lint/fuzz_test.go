@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// FuzzAllowDirective drives arbitrary comment text through the
+// suppression parser and checks the safety property the directive
+// grammar exists for: a malformed //lint:allow (missing analyzer,
+// unknown analyzer, missing reason) must surface as a directive-hygiene
+// finding and must never suppress anything. A silent suppression — the
+// allow set covering a line without a well-formed, auditable directive —
+// is the one failure mode the fuzzer must never find.
+func FuzzAllowDirective(f *testing.F) {
+	f.Add("lint:allow determinism reviewed in PR 4")
+	f.Add("lint:allow determinism")
+	f.Add("lint:allow")
+	f.Add("lint:allow nosuchcheck because")
+	f.Add("lint:allowance is not ours")
+	f.Add("lint:allow\tdeterminism tab separated reason")
+	f.Add("lint:allow  determinism   extra   spacing")
+	f.Add(" lint:allow determinism leading space is not a directive")
+	f.Add("just a comment")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		if strings.ContainsAny(s, "\n\r") {
+			t.Skip() // must stay a single line comment
+		}
+		src := "package p\n\nfunc f() int {\n\tx := 0 //" + s + "\n\treturn x\n}\n"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments)
+		if err != nil {
+			t.Skip() // e.g. invalid UTF-8: never reaches the collector
+		}
+
+		allow, bad := collectAllowDirectives(fset, []*ast.File{file}, Analyzers)
+
+		// Recover the comment the parser actually saw.
+		var text string
+		var line int
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text = c.Text
+				line = fset.Position(c.Pos()).Line
+			}
+		}
+		if text == "" {
+			t.Skip() // the input erased the comment entirely
+		}
+
+		// The spec's own classification, restated independently:
+		// a candidate is //lint:allow followed by nothing, a space or a
+		// tab; it is well-formed when it names a known analyzer and
+		// carries at least one reason word.
+		rest, isPrefix := strings.CutPrefix(text, allowPrefix)
+		isDirective := isPrefix && (rest == "" || rest[0] == ' ' || rest[0] == '\t')
+		fields := strings.Fields(rest)
+		wellFormed := isDirective && len(fields) >= 2 && ByName(fields[0]) != nil
+
+		suppresses := false
+		for _, a := range Analyzers {
+			if allow.covers(a.Name, "fuzz.go", line) || allow.covers(a.Name, "fuzz.go", line+1) {
+				suppresses = true
+			}
+		}
+
+		switch {
+		case wellFormed:
+			if len(bad) != 0 {
+				t.Fatalf("well-formed directive %q produced findings: %v", text, bad)
+			}
+			if !allow.covers(fields[0], "fuzz.go", line) {
+				t.Fatalf("well-formed directive %q does not cover its own line", text)
+			}
+		case isDirective:
+			if len(bad) == 0 {
+				t.Fatalf("malformed directive %q produced no directive-hygiene finding", text)
+			}
+			if suppresses {
+				t.Fatalf("malformed directive %q suppresses findings — silent suppression", text)
+			}
+		default:
+			if len(bad) != 0 {
+				t.Fatalf("non-directive comment %q produced findings: %v", text, bad)
+			}
+			if suppresses {
+				t.Fatalf("non-directive comment %q suppresses findings", text)
+			}
+		}
+	})
+}

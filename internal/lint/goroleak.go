@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroLeak keeps the daemon's goroutines join-able: every `go` statement
+// in the server and experiments packages must be tied to a lifecycle
+// that can observe and wait for its exit — a context.Context, a
+// sync.WaitGroup, or a channel handshake (the drain/Shutdown paths are
+// channel-based) — so a stream heartbeat or admission worker cannot
+// outlive its request. The check is structural: the spawned body (a
+// function literal, or a same-package function's body one level deep)
+// must contain a join signal — a WaitGroup Done/Wait, a context
+// Done/Err call, or any channel operation (send, receive, close,
+// select, range). A `go` spawning an unresolvable callee is joinable
+// only if it passes a context, channel or WaitGroup argument.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "every go statement in server/experiments must be join-able " +
+		"(context, WaitGroup, or channel handshake)",
+	Packages: []string{"server", "experiments"},
+	Run:      runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) []Diagnostic {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if joinableGo(pass, decls, g) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos: g.Pos(),
+				Message: "goroutine has no join path: tie it to a context.Context, " +
+					"a sync.WaitGroup, or a channel handshake so shutdown can wait for it " +
+					"(stream heartbeats and admission workers must not outlive their request)",
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// joinableGo reports whether the spawned goroutine is tied to a join
+// mechanism.
+func joinableGo(pass *Pass, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt) bool {
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if fn := funcObj(pass.TypesInfo, g.Call); fn != nil {
+			if fd := decls[fn]; fd != nil {
+				body = fd.Body
+			}
+		}
+	}
+	if body != nil && hasJoinSignal(pass, body) {
+		return true
+	}
+	if body == nil {
+		// Unresolvable callee: accept a context/channel/WaitGroup
+		// argument as the join handle.
+		for _, arg := range g.Call.Args {
+			if t := pass.TypesInfo.TypeOf(arg); t != nil && joinHandleType(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasJoinSignal reports whether body contains a join mechanism. Nested
+// function literals are included: a `defer func() { wg.Done() }()`
+// joins the goroutine that registered it.
+func hasJoinSignal(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+					return false
+				}
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if isWaitGroupValue(pass, sel.X) &&
+					(sel.Sel.Name == "Done" || sel.Sel.Name == "Wait") {
+					found = true
+				}
+				if isContextValue(pass, sel.X) &&
+					(sel.Sel.Name == "Done" || sel.Sel.Name == "Err") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupValue reports whether e is a sync.WaitGroup (or pointer).
+func isWaitGroupValue(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// joinHandleType reports whether t can serve as a join handle when
+// passed to an unresolvable spawned function.
+func joinHandleType(t types.Type) bool {
+	if _, isChan := t.Underlying().(*types.Chan); isChan {
+		return true
+	}
+	u := t
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		u = ptr.Elem()
+	}
+	if named, ok := u.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch {
+			case obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup":
+				return true
+			case obj.Pkg().Path() == "context" && obj.Name() == "Context":
+				return true
+			}
+		}
+	}
+	return false
+}

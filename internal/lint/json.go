@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// JSONDiagnostic is the machine-readable shape of one finding, emitted
+// by brlint -json and consumed by the CI lint job. The field set is
+// pinned by TestJSONSchema: changing it is a wire-format change for
+// every artifact consumer.
+type JSONDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// ToJSON converts diagnostics to their wire shape. File paths under
+// root are made root-relative with forward slashes, so the artifact is
+// stable across checkouts.
+func ToJSON(fset *token.FileSet, root string, diags []Diagnostic) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		file := p.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		out = append(out, JSONDiagnostic{
+			File:       file,
+			Line:       p.Line,
+			Col:        p.Column,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		})
+	}
+	return out
+}
+
+// WriteJSON encodes diagnostics as an indented JSON array — always an
+// array, never null, so `jq length` works on a clean tree too.
+func WriteJSON(w io.Writer, fset *token.FileSet, root string, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(ToJSON(fset, root, diags))
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestJSONSchema pins the wire format of brlint -json: field names,
+// order, and the presence of suppressed findings. CI's jq queries and
+// any artifact consumer depend on this exact shape.
+func TestJSONSchema(t *testing.T) {
+	ld := fixtureLoader(t)
+	pkg, err := ld.Load("hotalloc/fastpath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := CheckPackageAll(pkg, []*Analyzer{HotAlloc})
+	rows := ToJSON(pkg.Fset, root, all)
+	if len(rows) == 0 {
+		t.Fatal("expected findings from the hotalloc fixture")
+	}
+
+	first, err := json.Marshal(rows[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"file":"hotalloc/fastpath/fastpath.go","line":36,"col":10,` +
+		`"analyzer":"hotalloc","message":"make allocation in fast-path loop of runReplay; ` +
+		`hoist it out of the per-event path (BenchmarkKernelVsRunner guards this throughput)",` +
+		`"suppressed":false}`
+	if string(first) != want {
+		t.Errorf("schema drift:\n got %s\nwant %s", first, want)
+	}
+
+	// The suppressed map insert (//lint:allow hotalloc ...) must appear
+	// in the JSON inventory, marked suppressed.
+	foundSuppressed := false
+	for _, r := range rows {
+		if r.Suppressed {
+			foundSuppressed = true
+			if !strings.Contains(r.Message, "map insert") {
+				t.Errorf("unexpected suppressed finding: %+v", r)
+			}
+		}
+	}
+	if !foundSuppressed {
+		t.Error("no suppressed finding in JSON output; the suppression inventory is the point of -json")
+	}
+}
+
+// TestWriteJSONEmpty checks a clean tree encodes as an empty array, not
+// null: `jq length` must work either way.
+func TestWriteJSONEmpty(t *testing.T) {
+	ld := fixtureLoader(t)
+	pkg, err := ld.Load("hotalloc/fastpath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, pkg.Fset, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty diagnostics encode as %q, want []", got)
+	}
+}
+
+// TestCheckPackageFiltersSuppressed checks the text driver's view is the
+// verbose view minus the suppressed rows — no separate code path.
+func TestCheckPackageFiltersSuppressed(t *testing.T) {
+	ld := fixtureLoader(t)
+	pkg, err := ld.Load("hotalloc/fastpath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := CheckPackageAll(pkg, []*Analyzer{HotAlloc})
+	live := CheckPackage(pkg, []*Analyzer{HotAlloc})
+	suppressed := 0
+	for _, d := range all {
+		if d.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed == 0 {
+		t.Fatal("fixture has no suppressed findings")
+	}
+	if len(live)+suppressed != len(all) {
+		t.Errorf("CheckPackage returned %d, CheckPackageAll %d with %d suppressed",
+			len(live), len(all), suppressed)
+	}
+	for _, d := range live {
+		if d.Suppressed {
+			t.Errorf("suppressed diagnostic leaked through CheckPackage: %s",
+				FormatDiagnostic(pkg.Fset, d))
+		}
+	}
+}

@@ -1,11 +1,15 @@
-// Package lint is the repository's invariant-checker suite: seven custom
-// static analyzers that mechanically enforce contracts earlier PRs
-// established by hand — deterministic report output, error-not-panic
+// Package lint is the repository's invariant-checker suite: eleven
+// custom static analyzers that mechanically enforce contracts earlier
+// PRs established by hand — deterministic report output, error-not-panic
 // public constructors, nil-guarded observer hooks, nil-guarded span
 // tracing, cancellation-polled event loops, atomics-only monitor
-// counters, and interface-free fast-path hot loops. The cmd/brlint binary
-// runs the suite over the module; CI runs it as part of tier-1
-// verification.
+// counters, and interface-free fast-path hot loops — plus, on the
+// CFG/dataflow layer in cfg.go and dataflow.go, four flow-sensitive
+// checkers: allocation-free fast-path loops (hotalloc), no blocking
+// operations under a held mutex (lockheld), join-able goroutines
+// (goroleak) and no dropped errors from the trace/sim/server layers
+// (errflow). The cmd/brlint binary runs the suite over the module; CI
+// runs it as part of tier-1 verification.
 //
 // The framework deliberately mirrors the golang.org/x/tools/go/analysis
 // API shape (Analyzer, Pass, Diagnostic) so the analyzers could be ported
@@ -81,11 +85,14 @@ func (p *Pass) Allowed(analyzer string, pos token.Pos) bool {
 	return p.allow.covers(analyzer, position.Filename, position.Line)
 }
 
-// Diagnostic is one finding.
+// Diagnostic is one finding. Suppressed marks a finding covered by a
+// //lint:allow directive; the text driver drops those, the JSON output
+// keeps them so the suppression inventory stays auditable.
 type Diagnostic struct {
-	Pos      token.Pos
-	Analyzer string
-	Message  string
+	Pos        token.Pos
+	Analyzer   string
+	Message    string
+	Suppressed bool
 }
 
 // Analyzers is the full suite in presentation order.
@@ -97,6 +104,10 @@ var Analyzers = []*Analyzer{
 	CtxPoll,
 	AtomicCounter,
 	FlatLoop,
+	HotAlloc,
+	LockHeld,
+	GoroLeak,
+	ErrFlow,
 }
 
 // ByName returns the analyzer with the given name, or nil.
@@ -113,6 +124,19 @@ func ByName(name string) *Analyzer {
 // returns the surviving (non-suppressed) diagnostics together with any
 // directive-hygiene findings (missing reason, unknown analyzer name).
 func CheckPackage(pkg *Package, suite []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range CheckPackageAll(pkg, suite) {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// CheckPackageAll is CheckPackage without the suppression filter:
+// findings covered by a //lint:allow directive are returned with
+// Suppressed set, so JSON consumers can audit what the directives hide.
+func CheckPackageAll(pkg *Package, suite []*Analyzer) []Diagnostic {
 	allow, bad := collectAllowDirectives(pkg.Fset, pkg.Files, suite)
 	var out []Diagnostic
 	out = append(out, bad...)
@@ -132,9 +156,7 @@ func CheckPackage(pkg *Package, suite []*Analyzer) []Diagnostic {
 			if d.Analyzer == "" {
 				d.Analyzer = a.Name
 			}
-			if pass.Allowed(d.Analyzer, d.Pos) {
-				continue
-			}
+			d.Suppressed = pass.Allowed(d.Analyzer, d.Pos)
 			out = append(out, d)
 		}
 	}

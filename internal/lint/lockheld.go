@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockHeld guards the serving stack's liveness: a sync.Mutex/RWMutex
+// held across a blocking operation — a channel send or receive, a
+// blocking select, a WaitGroup wait, a network or file write, an
+// http.ResponseWriter flush — couples every other critical-section
+// entrant to the slowest client or disk, which is exactly how a
+// slow-loris consumer parks a worker pool. The analyzer runs a forward
+// must-held dataflow over each function's CFG (gen at Lock/RLock, kill
+// at Unlock/RUnlock; a deferred Unlock holds to function exit) and
+// flags blocking operations reached with a non-empty lock set,
+// reporting the acquisition site the dataflow carried to the operation
+// (the Lock dominates it — intersection meet keeps only locks held on
+// every path). Function literals are analyzed as their own functions
+// with an empty entry lock set.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc: "no blocking operation (channel op, select, io/network write, flush) " +
+		"while a sync.Mutex/RWMutex is held",
+	Packages: []string{"server", "experiments", "telemetry"},
+	Run:      runLockHeld,
+}
+
+func runLockHeld(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		for _, fb := range funcBodies(f) {
+			diags = append(diags, checkLockHeld(pass, fb)...)
+		}
+	}
+	return diags
+}
+
+func checkLockHeld(pass *Pass, fb funcBody) []Diagnostic {
+	cfg := buildCFG(fb.body)
+
+	transfer := func(n ast.Node, f fact) fact {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			// defer mu.Unlock() releases at function exit; the lock
+			// stays held for the rest of the body.
+			return f
+		}
+		walkLeaf(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			key, op := lockOp(pass, call)
+			switch op {
+			case "Lock", "RLock":
+				f[key] = call.Pos()
+			case "Unlock", "RUnlock":
+				delete(f, key)
+			}
+			return true
+		})
+		return f
+	}
+
+	in := solveForward(cfg, flowProblem{must: true, transfer: transfer})
+
+	var diags []Diagnostic
+	report := func(pos token.Pos, desc string, held fact) {
+		keys := make([]string, 0, len(held))
+		for k := range held {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			lp := pass.Fset.Position(held[k])
+			diags = append(diags, Diagnostic{
+				Pos: pos,
+				Message: fmt.Sprintf("%s while %s is held (locked at line %d) in %s; "+
+					"release the lock first or justify with //lint:allow lockheld",
+					desc, strings.TrimSuffix(k, rlockSuffix), lp.Line, fb.name),
+			})
+		}
+	}
+
+	for _, blk := range cfg.Blocks {
+		f := in[blk.Index].clone()
+		if blk.Sel != nil && len(f) > 0 && !selectHasDefault(blk.Sel) {
+			report(blk.Sel.Pos(), "blocking select (no default)", f)
+		}
+		for _, node := range blk.Nodes {
+			if len(f) > 0 {
+				for _, b := range blockingOps(pass, cfg, node) {
+					report(b.pos, b.desc, f)
+				}
+			}
+			f = transfer(node, f)
+		}
+	}
+	return diags
+}
+
+const rlockSuffix = "\x00r" // distinguishes the RLock/RUnlock pairing
+
+// lockOp classifies a call as a mutex operation, returning the lock's
+// fact key (receiver expression, with a marker for the read side of an
+// RWMutex) and the method name; op == "" for non-lock calls.
+func lockOp(pass *Pass, call *ast.CallExpr) (key, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "Unlock" && name != "RLock" && name != "RUnlock" {
+		return "", ""
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return "", ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	if obj.Name() != "Mutex" && obj.Name() != "RWMutex" {
+		return "", ""
+	}
+	key = exprKey(sel.X)
+	if name == "RLock" || name == "RUnlock" {
+		key += rlockSuffix
+	}
+	return key, name
+}
+
+type blockingOp struct {
+	pos  token.Pos
+	desc string
+}
+
+// blockingOps lists the blocking operations in one CFG leaf node.
+// Comm statements of a select are skipped — the select head itself is
+// the blocking point, and by the time a case body runs its comm has
+// already completed.
+func blockingOps(pass *Pass, cfg *CFG, node ast.Node) []blockingOp {
+	if cfg.CommNodes[node] {
+		return nil
+	}
+	if _, isDefer := node.(*ast.DeferStmt); isDefer {
+		// Deferred calls run after the body (and after deferred
+		// unlocks registered earlier); pairing them against the live
+		// lock set here would be wrong in both directions.
+		return nil
+	}
+	var out []blockingOp
+	add := func(pos token.Pos, desc string) {
+		out = append(out, blockingOp{pos, desc})
+	}
+	if r, ok := node.(*ast.RangeStmt); ok {
+		if t := pass.TypesInfo.TypeOf(r.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				add(r.Pos(), "range over channel")
+			}
+		}
+		return out
+	}
+	walkLeaf(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			add(n.Arrow, "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				add(n.OpPos, "channel receive")
+			}
+		case *ast.CallExpr:
+			if desc := blockingCall(pass, n); desc != "" {
+				add(n.Pos(), desc)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// blockingCallTable lists method and function calls treated as
+// blocking: {package path, receiver type name (empty for package-level
+// functions), method name}.
+var blockingCallTable = map[[3]string]string{
+	{"sync", "WaitGroup", "Wait"}:               "sync.WaitGroup.Wait",
+	{"time", "", "Sleep"}:                       "time.Sleep",
+	{"net/http", "ResponseWriter", "Write"}:     "http.ResponseWriter.Write",
+	{"net/http", "ResponseController", "Flush"}: "http.ResponseController.Flush",
+	{"net/http", "Flusher", "Flush"}:            "http.Flusher.Flush",
+	{"encoding/json", "Encoder", "Encode"}:      "json.Encoder.Encode (writes through)",
+	{"io", "Writer", "Write"}:                   "io.Writer.Write",
+	{"io", "ReadWriter", "Write"}:               "io.Writer.Write",
+	{"bufio", "Writer", "Flush"}:                "bufio.Writer.Flush",
+	{"os", "File", "Write"}:                     "os.File.Write",
+	{"os", "File", "WriteString"}:               "os.File.WriteString",
+	{"os", "File", "Sync"}:                      "os.File.Sync",
+	{"net", "Conn", "Write"}:                    "net.Conn.Write",
+	{"net", "Conn", "Read"}:                     "net.Conn.Read",
+}
+
+// blockingCall classifies a call against blockingCallTable, resolving
+// the receiver's defining package and type name.
+func blockingCall(pass *Pass, call *ast.CallExpr) string {
+	fn := funcObj(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if sig.Recv() == nil {
+		return blockingCallTable[[3]string{fn.Pkg().Path(), "", fn.Name()}]
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return blockingCallTable[[3]string{obj.Pkg().Path(), obj.Name(), fn.Name()}]
+}
+
+// selectHasDefault reports whether a select statement has a default
+// clause (making it non-blocking).
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if c, ok := cl.(*ast.CommClause); ok && c.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

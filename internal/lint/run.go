@@ -10,6 +10,22 @@ import (
 // covers are skipped without type-checking, which keeps a whole-module
 // run to the thirteen contract packages plus their dependencies.
 func RunSuite(modDir string, patterns []string, suite []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	all, fset, err := RunSuiteAll(modDir, patterns, suite)
+	if err != nil {
+		return nil, nil, err
+	}
+	var diags []Diagnostic
+	for _, d := range all {
+		if !d.Suppressed {
+			diags = append(diags, d)
+		}
+	}
+	return diags, fset, nil
+}
+
+// RunSuiteAll is RunSuite without the suppression filter: findings
+// covered by //lint:allow directives are included with Suppressed set.
+func RunSuiteAll(modDir string, patterns []string, suite []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
 	loader, err := NewLoader(modDir)
 	if err != nil {
 		return nil, nil, err
@@ -38,7 +54,7 @@ func RunSuite(modDir string, patterns []string, suite []*Analyzer) ([]Diagnostic
 		if err != nil {
 			return nil, nil, err
 		}
-		diags = append(diags, CheckPackage(pkg, suite)...)
+		diags = append(diags, CheckPackageAll(pkg, suite)...)
 	}
 	sortDiagnostics(loader.Fset, diags)
 	return diags, loader.Fset, nil

@@ -1,0 +1,83 @@
+// Fixture for the errflow analyzer: errors from trace/sim/server calls
+// must be returned, logged or recorded, never dropped.
+package experiments
+
+import "errflow/trace"
+
+type cell struct{ err error }
+
+// dropped discards the error outright.
+func dropped() {
+	trace.Sync() // want "error result of trace\.Sync is dropped"
+}
+
+// blanked discards it with the blank identifier.
+func blanked() int {
+	n, _ := trace.Open("x") // want "error result of trace\.Open is discarded with _"
+	return n
+}
+
+// deadStore assigns the error and overwrites it before any read.
+func deadStore() int {
+	n, err := trace.Open("x") // want "error from trace\.Open assigned to err is never used"
+	err = nil
+	_ = err
+	return n
+}
+
+// overwritten kills the first error with the second call's result; only
+// the first assignment is dead.
+func overwritten() error {
+	_, err := trace.Open("a") // want "error from trace\.Open assigned to err is never used"
+	_, err = trace.Open("b")
+	return err
+}
+
+// returned propagates the error: clean.
+func returned() (int, error) {
+	n, err := trace.Open("x")
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// recorded stores the error in the cell: clean (a field store is a use).
+func recorded(c *cell) {
+	_, err := trace.Open("x")
+	c.err = err
+}
+
+// checked uses the error in a comparison: clean.
+func checked() bool {
+	err := trace.Sync()
+	return err == nil
+}
+
+// deferred errors read inside a closure escape the straight-line flow
+// and are conservatively live: clean.
+func deferred() {
+	err := trace.Sync()
+	defer func() {
+		_ = err
+	}()
+}
+
+// named assigns into a named result; the bare return reads it: clean.
+func named() (err error) {
+	err = trace.Sync()
+	return
+}
+
+// localErr is out of contract: only trace/sim/server calls carry it.
+func localErr() error { return nil }
+
+func localDrop() {
+	localErr()
+}
+
+// sanctioned drops an error with a justification.
+func sanctioned() {
+	//lint:allow errflow fixture-sanctioned: the fake trace error is immaterial here
+	trace.Sync()
+}

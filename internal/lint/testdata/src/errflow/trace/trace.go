@@ -1,0 +1,19 @@
+// Package trace is the errflow fixture's stand-in error source: the
+// analyzer matches targets by package name, so this fake supplies the
+// "trace" contract without importing the real module.
+package trace
+
+import "errors"
+
+var errShort = errors.New("short read")
+
+// Open yields a handle and an error.
+func Open(path string) (int, error) {
+	if path == "" {
+		return 0, errShort
+	}
+	return 1, nil
+}
+
+// Sync returns only an error.
+func Sync() error { return errShort }

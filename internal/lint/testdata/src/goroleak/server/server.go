@@ -1,0 +1,62 @@
+// Fixture for the goroleak analyzer: every go statement in server code
+// must be join-able via a context, a WaitGroup, or a channel handshake.
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+type daemon struct {
+	wg   sync.WaitGroup
+	work chan int
+	n    int
+}
+
+// spin has no join signal of its own.
+func (d *daemon) spin() {
+	for i := 0; i < 1000; i++ {
+		d.n++
+	}
+}
+
+// drain ranges over the work channel: closing it joins the goroutine.
+func (d *daemon) drain() {
+	for v := range d.work {
+		d.n += v
+	}
+}
+
+// fireAndForget spawns goroutines nothing can wait for: findings.
+func (d *daemon) fireAndForget(fn func()) {
+	go func() { // want "goroutine has no join path"
+		d.n++
+	}()
+	go d.spin() // want "goroutine has no join path"
+	go fn()     // want "goroutine has no join path"
+}
+
+// joined ties every spawn to a lifecycle: all clean.
+func (d *daemon) joined(ctx context.Context, fn func(context.Context), done chan struct{}) {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		d.n++
+	}()
+	go func() {
+		<-ctx.Done()
+	}()
+	go func() {
+		d.n++
+		close(done)
+	}()
+	go d.drain() // the callee's range over d.work is the handshake
+	go fn(ctx)   // unresolvable callee, but the context is the join handle
+	d.wg.Wait()
+}
+
+// sanctioned is suppressed with a reason.
+func (d *daemon) sanctioned() {
+	//lint:allow goroleak fixture-sanctioned detached helper; exits with the process
+	go d.spin()
+}

@@ -1,0 +1,120 @@
+// Fixture for the lockheld analyzer: no blocking operation — channel
+// send/receive, blocking select, WaitGroup wait, network write — while a
+// sync.Mutex or sync.RWMutex is held.
+package server
+
+import (
+	"net/http"
+	"sync"
+)
+
+type daemon struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	evs chan int
+	wg  sync.WaitGroup
+	seq int
+}
+
+// sendLocked blocks on a channel send with the mutex held.
+func (d *daemon) sendLocked(v int) {
+	d.mu.Lock()
+	d.seq++
+	d.evs <- v // want "channel send while d\.mu is held"
+	d.mu.Unlock()
+}
+
+// sendUnlocked releases first: clean.
+func (d *daemon) sendUnlocked(v int) {
+	d.mu.Lock()
+	d.seq++
+	d.mu.Unlock()
+	d.evs <- v
+}
+
+// deferHold: a deferred unlock holds the lock to function exit, so the
+// send still happens under it.
+func (d *daemon) deferHold(v int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.evs <- v // want "channel send while d\.mu is held"
+}
+
+// recvLocked blocks on a receive.
+func (d *daemon) recvLocked() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return <-d.evs // want "channel receive while d\.mu is held"
+}
+
+// selectLocked parks on a blocking select (no default) under the lock.
+func (d *daemon) selectLocked(stop chan struct{}) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	select { // want "blocking select \(no default\) while d\.mu is held"
+	case <-stop:
+	case v := <-d.evs:
+		d.seq = v
+	}
+}
+
+// selectDefault is non-blocking: clean.
+func (d *daemon) selectDefault() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	select {
+	case v := <-d.evs:
+		d.seq = v
+	default:
+	}
+}
+
+// waitLocked parks on a WaitGroup with the lock held.
+func (d *daemon) waitLocked() {
+	d.mu.Lock()
+	d.wg.Wait() // want "sync\.WaitGroup\.Wait while d\.mu is held"
+	d.mu.Unlock()
+}
+
+// writeLocked writes to the client under the lock.
+func (d *daemon) writeLocked(w http.ResponseWriter, line []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w.Write(line) // want "http\.ResponseWriter\.Write while d\.mu is held"
+}
+
+// readHeld: the RWMutex read side counts too.
+func (d *daemon) readHeld(v int) {
+	d.rw.RLock()
+	d.evs <- v // want "channel send while d\.rw is held"
+	d.rw.RUnlock()
+}
+
+// readReleased: clean.
+func (d *daemon) readReleased(v int) {
+	d.rw.RLock()
+	d.seq++
+	d.rw.RUnlock()
+	d.evs <- v
+}
+
+// joinNotHeld unlocks on every path before the send: the must-analysis
+// meet leaves nothing held at the join, so the send is clean.
+func (d *daemon) joinNotHeld(v int, fast bool) {
+	d.mu.Lock()
+	if fast {
+		d.mu.Unlock()
+	} else {
+		d.seq++
+		d.mu.Unlock()
+	}
+	d.evs <- v
+}
+
+// sanctioned holds across a send with a recorded justification.
+func (d *daemon) sanctioned(v int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	//lint:allow lockheld fixture-sanctioned: the send is bounded by a deadline elsewhere
+	d.evs <- v
+}

@@ -148,6 +148,7 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		s.streamGrid(w, ctx, t, job, resp, began)
 		return
 	}
+	//lint:allow errflow execute records every failure in the cells themselves (settleCell/failRemaining), and resp.Failed counts them below
 	cells, _ := s.execute(ctx, job, nil)
 	resp.Cells = cells
 	for _, c := range cells {
@@ -227,7 +228,9 @@ func (s *Server) streamGrid(w http.ResponseWriter, ctx context.Context, t *tenan
 	ok := resp.Failed == 0 && execErr == nil
 	s.agg.done(ok, elapsed)
 	t.mon.done(ok, elapsed)
-	sw.send(streamEvent{Type: "summary", Summary: &resp})
+	if err := sw.send(streamEvent{Type: "summary", Summary: &resp}); err != nil {
+		s.log.Warn("stream summary line lost to a poisoned stream", "tenant", t.name, "err", err)
+	}
 }
 
 // handleUpload is POST /v1/traces: accept a binary (TLBPTRC1) or text

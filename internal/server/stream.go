@@ -71,8 +71,8 @@ type progressEvent struct {
 type streamWriter struct {
 	srv *Server
 	mu  sync.Mutex
+	w   http.ResponseWriter
 	rc  *http.ResponseController
-	enc *json.Encoder
 	err error
 
 	stop chan struct{}
@@ -85,8 +85,8 @@ type streamWriter struct {
 func (s *Server) newStreamWriter(w http.ResponseWriter) *streamWriter {
 	sw := &streamWriter{
 		srv:  s,
+		w:    w,
 		rc:   http.NewResponseController(w),
-		enc:  json.NewEncoder(w),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
@@ -96,17 +96,28 @@ func (s *Server) newStreamWriter(w http.ResponseWriter) *streamWriter {
 
 // send writes one event line under the write deadline and flushes it, so
 // a tail -f consumer sees every event as it happens. Errors are sticky.
+// The event is marshalled before the mutex is taken: encoding is the
+// CPU-heavy part of a send and needs no ordering, only the write does —
+// holding the lock across it would stall the keepalive heartbeat behind
+// every large summary line.
 func (sw *streamWriter) send(ev streamEvent) error {
+	line, merr := json.Marshal(ev)
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
 	if sw.err != nil {
 		return sw.err
 	}
+	if merr != nil {
+		sw.err = merr
+		return merr
+	}
 	sw.srv.armWrite(sw.rc)
-	if err := sw.enc.Encode(ev); err != nil {
+	//lint:allow lockheld write ordering is this mutex's purpose (keepalive vs executor lines must not interleave) and armWrite bounds the hold with the slow-client deadline
+	if _, err := sw.w.Write(append(line, '\n')); err != nil {
 		sw.err = err
 		return err
 	}
+	//lint:allow lockheld the flush is part of the deadline-bounded write the mutex orders
 	if err := sw.rc.Flush(); err != nil {
 		sw.err = err
 		return err
@@ -129,7 +140,12 @@ func (sw *streamWriter) keepalive(every time.Duration) {
 		case <-sw.stop:
 			return
 		case <-t.C:
-			sw.send(streamEvent{Type: "keepalive"})
+			if sw.send(streamEvent{Type: "keepalive"}) != nil {
+				// The stream is poisoned (the error is sticky); stop
+				// heartbeating into it and wait to be released.
+				<-sw.stop
+				return
+			}
 		}
 	}
 }

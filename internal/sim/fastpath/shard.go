@@ -95,7 +95,7 @@ func (k *Kernel) runSharded(instrs, pcs, targets []uint32, meta []uint8, start, 
 			workers[w].tap = k.tap.fork(w)
 		}
 		wg.Add(1)
-		go func(w int) {
+		go func(w int) { //lint:allow hotalloc per-worker spawn: O(shards) setup, not per-event work
 			defer wg.Done()
 			workers[w].clock = k.clock
 			k.runShard(&workers[w], uint32(w), uint32(g-1), instrs, pcs, targets, meta, start, end, k.sinceCS, true)

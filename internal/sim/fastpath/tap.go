@@ -62,14 +62,14 @@ func newTap(cfg Config) *Tap {
 // fork returns worker w's private accumulator for a sharded run. Only
 // worker 0 records context switches (it owns the global accounting).
 func (t *Tap) fork(w int) *Tap {
-	f := &Tap{
+	f := &Tap{ //lint:allow hotalloc per-worker fork: O(shards) setup, not per-event work
 		every:          t.every,
 		warmup:         t.warmup,
 		topk:           t.topk,
 		recordSwitches: w == 0,
 	}
 	if t.pcm != nil {
-		f.pcm = make(map[uint32]*pcTap)
+		f.pcm = make(map[uint32]*pcTap) //lint:allow hotalloc per-worker fork: O(shards) setup, not per-event work
 	}
 	return f
 }
@@ -79,8 +79,8 @@ func (t *Tap) resolve(pc uint32, taken, correct bool) {
 	if t.every > 0 {
 		j := int(t.total / t.every)
 		for len(t.preds) <= j {
-			t.preds = append(t.preds, 0)
-			t.correct = append(t.correct, 0)
+			t.preds = append(t.preds, 0)     //lint:allow hotalloc amortised interval-array growth: one extension per interval, not per event
+			t.correct = append(t.correct, 0) //lint:allow hotalloc amortised interval-array growth: one extension per interval, not per event
 		}
 		t.preds[j]++
 		if correct {
@@ -90,8 +90,8 @@ func (t *Tap) resolve(pc uint32, taken, correct bool) {
 	if t.pcm != nil {
 		st := t.pcm[pc]
 		if st == nil {
-			st = &pcTap{}
-			t.pcm[pc] = st
+			st = &pcTap{}  //lint:allow hotalloc lazy per-PC init: one allocation per distinct PC, amortised over its executions
+			t.pcm[pc] = st //lint:allow hotalloc lazy per-PC init: the map grows once per distinct PC, not per event
 		}
 		st.exec++
 		if taken {
@@ -116,7 +116,7 @@ func (t *Tap) skip() {
 // onSwitch records the resolution index of a context switch.
 func (t *Tap) onSwitch() {
 	if t.recordSwitches {
-		t.switches = append(t.switches, t.total)
+		t.switches = append(t.switches, t.total) //lint:allow hotalloc one append per context switch, not per event
 	}
 }
 
@@ -128,17 +128,17 @@ func (t *Tap) absorb(o *Tap) {
 		t.total = o.total
 	}
 	for len(t.preds) < len(o.preds) {
-		t.preds = append(t.preds, 0)
-		t.correct = append(t.correct, 0)
+		t.preds = append(t.preds, 0)     //lint:allow hotalloc per-worker merge at writeback, outside the per-event path
+		t.correct = append(t.correct, 0) //lint:allow hotalloc per-worker merge at writeback, outside the per-event path
 	}
 	for j := range o.preds {
 		t.preds[j] += o.preds[j]
 		t.correct[j] += o.correct[j]
 	}
-	t.switches = append(t.switches, o.switches...)
+	t.switches = append(t.switches, o.switches...) //lint:allow hotalloc per-worker merge at writeback, outside the per-event path
 	if t.pcm != nil {
 		for pc, st := range o.pcm {
-			t.pcm[pc] = st
+			t.pcm[pc] = st //lint:allow hotalloc per-worker merge at writeback, outside the per-event path
 		}
 	}
 }
